@@ -1,0 +1,167 @@
+"""Collective-algorithm ablation: functional equivalence + modeled costs.
+
+Shows why each collective fills its role in the pipeline:
+
+* short messages (triangles, Gram matrices): latency-bound — recursive
+  doubling / binomial trees win (log P alphas);
+* long messages (redistribution slabs): bandwidth-bound — ring/pairwise
+  schedules win ((P-1)/P of the payload, alpha-heavy but beta-light).
+
+The functional side times the real implementations on the threaded
+runtime; the modeled side evaluates the alpha-beta formulas at the
+paper's scales where latency/bandwidth crossovers actually happen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    allgather_ring,
+    allreduce_recursive_doubling,
+    bcast_scatter_allgather,
+    reduce_scatter_ring,
+    run_spmd,
+)
+from repro.perf import ANDES
+from repro.perf.collectives import (
+    cost_allreduce_recursive_doubling,
+    cost_allreduce_ring,
+    cost_allreduce_tree,
+    cost_alltoall_pairwise,
+    cost_bcast_binomial,
+    cost_bcast_scatter_allgather,
+)
+from repro.util import format_table
+
+P_FUNCTIONAL = 8
+
+
+class TestFunctionalEquivalence:
+    """Time the real algorithms against the built-in collectives."""
+
+    def test_bench_allreduce_builtin(self, benchmark):
+        def run():
+            def prog(comm):
+                return comm.allreduce(np.ones(1000))
+
+            return run_spmd(prog, P_FUNCTIONAL)
+
+        benchmark.pedantic(run, rounds=2, iterations=1)
+
+    def test_bench_allreduce_recursive_doubling(self, benchmark):
+        def run():
+            def prog(comm):
+                return allreduce_recursive_doubling(comm, np.ones(1000))
+
+            return run_spmd(prog, P_FUNCTIONAL)
+
+        benchmark.pedantic(run, rounds=2, iterations=1)
+
+    def test_bench_bcast_long_message(self, benchmark):
+        def run():
+            def prog(comm):
+                payload = np.ones(100_000) if comm.rank == 0 else None
+                return bcast_scatter_allgather(comm, payload, root=0)
+
+            return run_spmd(prog, P_FUNCTIONAL)
+
+        benchmark.pedantic(run, rounds=2, iterations=1)
+
+    def test_all_variants_agree(self, benchmark):
+        def run():
+            def prog(comm):
+                v = np.arange(64.0) + comm.rank
+                a = comm.allreduce(v)
+                b = allreduce_recursive_doubling(comm, v)
+                g1 = comm.allgather(v[:2])
+                g2 = allgather_ring(comm, v[:2])
+                slots = [np.array([comm.rank + q]) for q in range(comm.size)]
+                r1 = comm.reduce_scatter(slots)
+                r2 = reduce_scatter_ring(comm, slots)
+                return (
+                    np.allclose(a, b)
+                    and all(np.allclose(x, y) for x, y in zip(g1, g2))
+                    and np.allclose(r1, r2)
+                )
+
+            return all(run_spmd(prog, 6).values)
+
+        assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestModeledCrossovers:
+    def test_report_crossovers(self, benchmark, write_report):
+        comm = ANDES.comm
+
+        def compute():
+            rows = []
+            for p, nbytes in [(64, 8 * 256 * 256 // 2), (64, 8 * 32 * 32 // 2),
+                              (2048, 8 * 256 * 256 // 2), (2048, 512)]:
+                rows.append([
+                    p, nbytes,
+                    cost_allreduce_tree(p, nbytes, comm) * 1e6,
+                    cost_allreduce_recursive_doubling(p, nbytes, comm) * 1e6,
+                    cost_allreduce_ring(p, nbytes, comm) * 1e6,
+                ])
+            return rows
+
+        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        write_report(
+            "collectives_allreduce_crossover",
+            format_table(
+                ["P", "bytes", "tree [us]", "recdbl [us]", "ring [us]"],
+                rows,
+                title="Modeled allreduce critical paths (Andes alpha/beta)",
+            ),
+        )
+        for p, nbytes, tree, rd, ring in rows:
+            # Recursive doubling always beats tree (half the rounds).
+            assert rd < tree
+            if nbytes <= 512:
+                # tiny payloads: latency dominates -> ring loses at scale
+                if p >= 2048:
+                    assert rd < ring
+
+    def test_report_bcast_long_vs_short(self, benchmark, write_report):
+        comm = ANDES.comm
+
+        def compute():
+            rows = []
+            for nbytes in (1 << 10, 1 << 20, 1 << 28):
+                rows.append([
+                    nbytes,
+                    cost_bcast_binomial(256, nbytes, comm) * 1e3,
+                    cost_bcast_scatter_allgather(256, nbytes, comm) * 1e3,
+                ])
+            return rows
+
+        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        write_report(
+            "collectives_bcast_crossover",
+            format_table(
+                ["bytes", "binomial [ms]", "scatter+allgather [ms]"],
+                rows,
+                title="Broadcast algorithms, P=256 (Andes alpha/beta)",
+            ),
+        )
+        # Long messages prefer scatter+allgather; short prefer the tree.
+        assert rows[0][1] < rows[0][2]
+        assert rows[-1][2] < rows[-1][1]
+
+    def test_redistribution_schedule_is_bandwidth_optimal(self, benchmark):
+        """The paper's pairwise all-to-all moves (P-1)/P of the local
+        data — no schedule can move less, so the modeled cost is within
+        ~latency terms of the bandwidth lower bound."""
+        comm = ANDES.comm
+        p, local_bytes = 16, 8 * (250**4 // 512)
+
+        def compute():
+            actual = cost_alltoall_pairwise(p, local_bytes, comm)
+            lower_bound = comm.beta * local_bytes * (p - 1) / p
+            return actual, lower_bound
+
+        actual, lb = benchmark.pedantic(compute, rounds=1, iterations=1)
+        assert actual < lb * 1.01 + p * comm.alpha * 1.01
+        assert actual >= lb

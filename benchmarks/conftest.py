@@ -1,0 +1,39 @@
+"""Shared infrastructure for the per-figure/table benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it times the real computation with pytest-benchmark and writes a
+plain-text report with the same rows/series the paper shows to
+``benchmarks/reports/``.  Qualitative shape assertions (who wins, by
+roughly what factor) run inside the tests, so ``pytest benchmarks/
+--benchmark-only`` both measures and validates.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> str:
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    """Writer that saves (and echoes) a named report."""
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(report_dir, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _write
+
+
+VARIANTS = [("gram", "single"), ("qr", "single"), ("gram", "double"), ("qr", "double")]

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Automatic processor-grid tuning (replacing the paper's hand-tuning).
+
+The paper picks its grids manually (Table 1) using two rules of thumb
+from Sec. 4.2: give the first-processed mode a grid dimension of 1, and
+front-load small dimensions onto early modes.  This example lets the
+tuner search all factorizations of P through the performance model and
+shows that (a) the rules of thumb emerge from the search, and (b) the
+hand-picked Table-1 grids were already near-optimal.
+
+Run:  python examples/grid_tuning.py
+"""
+
+from repro.perf import (
+    ANDES,
+    CASCADE_LAKE,
+    simulate_sthosvd,
+    strong_scaling_grid,
+    tune_grid,
+)
+from repro.util import format_table
+
+SHAPE, RANKS = (256,) * 4, (32,) * 4
+
+# --- Andes: tuned vs Table 1 ------------------------------------------------
+rows = []
+for cores in (32, 128, 512, 2048):
+    t1_grid = strong_scaling_grid(cores, "qr")
+    t1 = simulate_sthosvd(SHAPE, RANKS, t1_grid, method="qr",
+                          mode_order="backward", machine=ANDES)
+    best = tune_grid(SHAPE, RANKS, cores, method="qr", machine=ANDES)[0]
+    rows.append([
+        cores, "x".join(map(str, t1_grid)), t1.total_seconds,
+        "x".join(map(str, best.grid)) + f" ({best.mode_order})", best.seconds,
+        100 * (t1.total_seconds / best.seconds - 1),
+    ])
+print(format_table(
+    ["cores", "Table-1 grid", "T1 [s]", "tuned grid", "tuned [s]", "gain %"],
+    rows,
+    title="QR double, 256^4 -> 32^4 on Andes: hand-tuned vs searched",
+))
+
+# --- Cascade Lake: the geqr/gelq asymmetry drives the choice -----------------
+print()
+best3 = tune_grid((300,) * 4, (30,) * 4, 16, method="qr",
+                  machine=CASCADE_LAKE, top_k=3)
+worst = tune_grid((300,) * 4, (30,) * 4, 16, method="qr",
+                  machine=CASCADE_LAKE, top_k=10**6)[-1]
+rows = [["best " + "x".join(map(str, c.grid)), c.mode_order, c.seconds]
+        for c in best3]
+rows.append(["worst " + "x".join(map(str, worst.grid)), worst.mode_order,
+             worst.seconds])
+print(format_table(
+    ["grid", "ordering", "modeled s"],
+    rows,
+    title="Cascade Lake, 16 procs: the search rediscovers Sec. 4.2's rules",
+))
+print(
+    "\nEvery top configuration is backward ordering with P_3 = 1 — the\n"
+    "geqr-over-gelq rule the paper derived by hand.  The spread between\n"
+    "best and worst grid is the cost of ignoring it."
+)
+
+# --- memory-constrained tuning ------------------------------------------------
+print()
+limit = 2.6 * 2**30  # tight enough to forbid first-mode redistribution
+constrained = tune_grid(SHAPE, RANKS, 32, method="qr", machine=ANDES,
+                        memory_limit_bytes=limit, top_k=3)
+rows = [["x".join(map(str, c.grid)), c.mode_order, c.seconds,
+         c.peak_bytes / 2**30] for c in constrained]
+print(format_table(
+    ["grid", "ordering", "modeled s", "GiB/rank"],
+    rows,
+    title=f"Same tensor, 32 cores, memory capped at {limit/2**30:.1f} GiB/rank",
+))

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compress a raw tensor file that never fits in memory at once.
+
+TuckerMPI's raison d'etre is compressing simulation dumps: terabytes of
+raw floats on disk.  The single-pass structure of the paper's kernels
+(one syrk per Gram block, one tpqrt per TSQR block) makes them naturally
+streamable — this example spills a combustion-like tensor to a raw file,
+compresses it with a deliberately tiny chunk budget (so the streaming
+machinery genuinely engages), verifies the result against the in-memory
+driver, and evaluates the reconstruction error *also* streaming (the
+reference never loads either).
+
+Run:  python examples/out_of_core_compression.py
+"""
+
+import os
+import tempfile
+
+from repro.core import sthosvd, sthosvd_out_of_core, streaming_rel_error
+from repro.data import hcci_surrogate, save_raw
+from repro.data.outofcore import OutOfCoreTensor
+from repro.util import format_table
+
+SHAPE = (48, 48, 24, 48)
+CHUNK = 1 << 14  # 16k elements (~128 KB) per chunk: absurdly small on
+                 # purpose, to demonstrate memory-bounded operation
+
+X = hcci_surrogate(shape=SHAPE)
+
+with tempfile.TemporaryDirectory() as d:
+    raw = os.path.join(d, "simulation.bin")
+    save_raw(X, raw)
+    size_mb = os.path.getsize(raw) / 1e6
+    print(f"raw file: {raw} ({size_mb:.0f} MB), chunk budget {CHUNK * 8 / 1e3:.0f} KB\n")
+
+    # --- streaming compression ------------------------------------------
+    res = sthosvd_out_of_core(
+        raw, SHAPE, tol=1e-4, method="qr", mode_order="backward",
+        max_elements=CHUNK,
+    )
+    print(f"ranks:        {res.ranks}")
+    print(f"compression:  {res.tucker.compression_ratio():.1f}x")
+    print(f"est. error:   {res.estimated_rel_error():.3e}")
+
+    # --- streaming error evaluation --------------------------------------
+    ooc = OutOfCoreTensor(raw, SHAPE)
+    err = streaming_rel_error(res.tucker, ooc, slab_elements=CHUNK)
+    print(f"actual error: {err:.3e} (computed without loading the file)\n")
+
+    # --- cross-check against the in-memory driver ------------------------
+    mem = sthosvd(X, tol=1e-4, method="qr", mode_order="backward")
+    print(format_table(
+        ["driver", "ranks", "rel error"],
+        [
+            ["out-of-core", str(res.ranks), err],
+            ["in-memory", str(mem.ranks), mem.tucker.rel_error(X)],
+        ],
+        title="Same mathematics, bounded memory",
+    ))
+    assert res.ranks == mem.ranks
+
+print(
+    "\nScaling note: peak memory is O(chunk + I_n^2) regardless of the\n"
+    "file size; the same code compresses a multi-TB dump.  The CLI\n"
+    "exposes this as:  python -m repro.cli compress FILE --shape ... \\\n"
+    "    --tol 1e-4 --out archive/ --out-of-core"
+)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The numerical heart of the paper: where each SVD algorithm stops working.
+
+Recreates the Fig. 1 experiment — an 80x80 matrix with singular values
+decaying geometrically from 1 to 1e-18 — and shows the computed spectra
+of Gram-SVD and QR-SVD in both precisions against the truth, plus the
+theoretical noise floors of Theorems 1-2 (eps*||A|| for QR,
+sqrt(eps)*||A|| for Gram).
+
+Run:  python examples/precision_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro.data import geometric_spectrum, matrix_with_spectrum
+from repro.linalg import gram_svd, qr_svd, singular_value_floor
+from repro.util import format_table
+
+N = 80
+true = geometric_spectrum(N, 1.0, 1e-18)
+A = matrix_with_spectrum(N, N, true, rng=0)
+
+variants = {
+    "gram-single": (gram_svd, np.float32),
+    "qr-single": (qr_svd, np.float32),
+    "gram-double": (gram_svd, np.float64),
+    "qr-double": (qr_svd, np.float64),
+}
+
+computed = {}
+for name, (fn, dtype) in variants.items():
+    computed[name] = np.asarray(fn(A.astype(dtype))[1], dtype=np.float64)
+
+# ASCII rendering of Fig. 1: sample every 8th singular value.
+rows = []
+for i in range(0, N, 8):
+    rows.append(
+        [i + 1, true[i]] + [computed[name][i] for name in variants]
+    )
+print(format_table(
+    ["i", "true sigma_i"] + list(variants), rows,
+    title="Fig. 1: computed singular values (geometric decay 1 .. 1e-18)",
+))
+
+print("\nTheoretical noise floors (Thm. 1-2), ||A|| = 1:")
+floor_rows = []
+for name in variants:
+    method, prec = name.split("-")
+    floor_rows.append([name, singular_value_floor(1.0, method, prec)])
+print(format_table(["variant", "floor"], floor_rows))
+
+print(
+    "\nHow to read it: each variant tracks the true spectrum until it\n"
+    "hits its floor, then flattens into noise.  The order of failure is\n"
+    "gram-single (sqrt(eps_s) ~ 3e-4), qr-single (eps_s ~ 1e-7),\n"
+    "gram-double (sqrt(eps_d) ~ 1e-8), and qr-double tracks to 1e-18.\n"
+    "ST-HOSVD's rank selection trusts these values, so a variant can\n"
+    "only honour error tolerances looser than its floor — the rule that\n"
+    "decides every accuracy result in the paper."
+)

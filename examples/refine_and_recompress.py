@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Archive lifecycle: one tight master, many derived fidelities.
+
+Production compression workflows keep a single tight-tolerance "master"
+archive and derive looser (smaller) versions from it on demand —
+recompression needs only the archive, never the original data.  When a
+fixed-budget rank is required (e.g. a bandwidth cap), HOOI refinement
+squeezes extra accuracy out of the same ranks.
+
+This example:
+
+1. builds a 1e-6 master archive of a combustion surrogate;
+2. derives 1e-4 and 1e-2 versions by recompression, comparing each
+   against compressing the original directly;
+3. refines a rank-limited version with HOOI and shows the fit gain.
+
+Run:  python examples/refine_and_recompress.py
+"""
+
+from repro.core import hooi, recompress, sthosvd
+from repro.data import hcci_surrogate
+from repro.util import format_table
+
+X = hcci_surrogate(shape=(44, 44, 22, 44))
+
+# --- 1. the master ----------------------------------------------------------
+master = sthosvd(X, tol=1e-6, method="qr")
+print(f"master archive: ranks {master.ranks}, "
+      f"{master.tucker.compression_ratio():.1f}x, "
+      f"error {master.tucker.rel_error(X):.2e}\n")
+
+# --- 2. derived fidelities --------------------------------------------------
+rows = []
+prior = master.tucker.rel_error(X)
+for tol in (1e-4, 1e-2):
+    derived, bound = recompress(master.tucker, tol=tol, prior_rel_error=prior)
+    direct = sthosvd(X, tol=tol, method="qr")
+    rows.append([
+        f"{tol:.0e}",
+        str(derived.ranks), derived.rel_error(X),
+        str(direct.ranks), direct.tucker.rel_error(X),
+        bound,
+    ])
+print(format_table(
+    ["target", "recompressed ranks", "err", "direct ranks", "err ",
+     "bound"],
+    rows,
+    title="Derived archives vs compressing the original directly",
+))
+print("(identical ranks, same-order errors — and recompression never\n"
+      " touched the original tensor)\n")
+
+# --- 3. HOOI refinement at a hard rank budget -------------------------------
+budget = (6, 6, 5, 6)
+seed = sthosvd(X, ranks=budget, method="qr")
+refined = hooi(X, ranks=budget, method="qr", max_iters=15)
+print(format_table(
+    ["algorithm", "ranks", "rel error"],
+    [
+        ["ST-HOSVD (quasi-optimal)", str(budget), seed.tucker.rel_error(X)],
+        ["HOOI (refined)", str(budget), refined.tucker.rel_error(X)],
+    ],
+    title=f"Fixed rank budget {budget}",
+))
+gain = seed.tucker.rel_error(X) / refined.tucker.rel_error(X)
+print(f"\nHOOI converged in {refined.iterations} sweeps "
+      f"(fit {refined.final_fit:.8f}), error ratio {gain:.3f}x.")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Plan a large-scale run with the performance model.
+
+Uses the alpha-beta-gamma machine model (calibrated to the paper's Andes
+measurements) to answer the practical question the paper's Figs. 3-4
+answer: *given my tensor, how many nodes should I use, and which
+method/precision variant will be fastest at my accuracy target?*
+
+Run:  python examples/scaling_study.py [I0 I1 ...] [--ranks R0 R1 ...]
+"""
+
+import argparse
+
+from repro.perf import (
+    ANDES,
+    simulate_sthosvd,
+    strong_scaling_grid,
+    STRONG_SCALING_GRIDS,
+    variant_label,
+)
+from repro.util import format_table
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("shape", nargs="*", type=int, default=[256, 256, 256, 256])
+    ap.add_argument("--ranks", nargs="*", type=int, default=[32, 32, 32, 32])
+    args = ap.parse_args()
+    shape, ranks = tuple(args.shape), tuple(args.ranks)
+    if len(shape) != 4 or len(ranks) != 4:
+        ap.error("this example uses the paper's 4-mode Table-1 grids")
+
+    print(f"tensor {shape} -> core {ranks} on Andes (modeled)\n")
+
+    rows = []
+    best = {}
+    for cores in sorted(STRONG_SCALING_GRIDS):
+        row = [cores]
+        for method in ("qr", "gram"):
+            grid = strong_scaling_grid(cores, method)
+            order = "backward" if method == "qr" else "forward"
+            for prec in ("single", "double"):
+                run = simulate_sthosvd(
+                    shape, ranks, grid, method=method, precision=prec,
+                    mode_order=order, machine=ANDES,
+                )
+                row.append(run.total_seconds)
+                best[(cores, method, prec)] = run
+        rows.append(row)
+
+    headers = ["cores"] + [
+        variant_label(m, p)
+        for m in ("qr", "gram")
+        for p in ("single", "double")
+    ]
+    print(format_table(headers, rows, title="Modeled time [s] per variant (Table-1 grids)"))
+
+    # Advice, paper-style: fastest variant per accuracy regime.
+    print(
+        "\nPicking a variant (Sec. 5):\n"
+        "  tolerance > 1e-3       : Gram single (fastest, accurate enough)\n"
+        "  1e-3 .. ~1e-7          : QR single  (Gram single past its floor)\n"
+        "  ~1e-7 .. 1e-8          : Gram double\n"
+        "  tighter than 1e-8      : QR double  (the only stable choice)"
+    )
+
+    # Parallel efficiency of the headline variant.
+    t32 = best[(32, "qr", "single")].total_seconds
+    print("\nQR-single parallel efficiency vs 32 cores:")
+    eff_rows = []
+    for cores in sorted(STRONG_SCALING_GRIDS):
+        t = best[(cores, "qr", "single")].total_seconds
+        eff_rows.append([cores, t, 100.0 * t32 / t / (cores / 32)])
+    print(format_table(["cores", "time [s]", "efficiency %"], eff_rows))
+
+
+if __name__ == "__main__":
+    main()

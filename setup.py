@@ -1,0 +1,6 @@
+"""Setuptools shim so `pip install -e . --no-use-pep517` works on
+environments without the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

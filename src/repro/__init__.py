@@ -1,0 +1,99 @@
+"""repro — reproduction of "Parallel Tucker Decomposition with Numerically
+Accurate SVD" (Li, Fang, Ballard; ICPP 2021).
+
+The package computes Tucker decompositions of dense tensors with the
+Sequentially Truncated HOSVD (ST-HOSVD), offering both of the paper's
+per-mode SVD algorithms — TuckerMPI's Gram-SVD and the numerically
+stable QR-SVD — in single or double working precision, sequentially or
+on a simulated MPI runtime, plus an alpha-beta-gamma performance model
+that regenerates the paper's scaling studies.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import DenseTensor, sthosvd
+>>> X = DenseTensor(np.random.default_rng(0).standard_normal((20, 30, 40)))
+>>> result = sthosvd(X, tol=1e-6, method="qr")
+"""
+
+from .precision import Precision, SINGLE, DOUBLE, resolve_precision
+from .errors import (
+    ReproError,
+    ShapeError,
+    DistributionError,
+    CommunicatorError,
+    ConvergenceError,
+    ConfigurationError,
+)
+from .instrument import FlopCounter, PhaseTimer
+from .tensor import DenseTensor, unfold, fold, ttm, multi_ttm
+from .linalg import (
+    gram_svd,
+    qr_svd,
+    tensor_gram_svd,
+    tensor_qr_svd,
+    tensor_lq,
+    geqr,
+    gelq,
+)
+from .core import (
+    TuckerTensor,
+    sthosvd,
+    SthosvdResult,
+    sthosvd_parallel,
+    ParallelSthosvdResult,
+    choose_rank,
+    compress,
+    choose_variant,
+    hosvd,
+    hooi,
+    sthosvd_out_of_core,
+)
+from .mpi import run_spmd, CostModel
+from .dist import ProcessorGrid, GridComms, DistributedTensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Precision",
+    "SINGLE",
+    "DOUBLE",
+    "resolve_precision",
+    "ReproError",
+    "ShapeError",
+    "DistributionError",
+    "CommunicatorError",
+    "ConvergenceError",
+    "ConfigurationError",
+    "FlopCounter",
+    "PhaseTimer",
+    "DenseTensor",
+    "unfold",
+    "fold",
+    "ttm",
+    "multi_ttm",
+    "gram_svd",
+    "qr_svd",
+    "tensor_gram_svd",
+    "tensor_qr_svd",
+    "tensor_lq",
+    "geqr",
+    "gelq",
+    "TuckerTensor",
+    "sthosvd",
+    "SthosvdResult",
+    "sthosvd_parallel",
+    "ParallelSthosvdResult",
+    "choose_rank",
+    "compress",
+    "choose_variant",
+    "hosvd",
+    "hooi",
+    "sthosvd_out_of_core",
+    "run_spmd",
+    "CostModel",
+    "ProcessorGrid",
+    "GridComms",
+    "DistributedTensor",
+    "__version__",
+]

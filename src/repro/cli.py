@@ -1,0 +1,323 @@
+"""Command-line drivers, in the spirit of TuckerMPI's shipped binaries.
+
+Three subcommands operate on raw natural-order tensor files (the
+:mod:`repro.data.io` format, which is TuckerMPI's):
+
+* ``compress``    — ST-HOSVD a raw file (in memory or out of core) into
+  a Tucker archive directory (core + factors + manifest);
+* ``reconstruct`` — expand an archive back to a raw file, optionally a
+  sub-region only;
+* ``info``        — inspect an archive: ranks, compression, diagnostics.
+
+Usage::
+
+    python -m repro.cli compress data.bin --shape 64 64 33 64 --tol 1e-4 \
+        --method qr --precision single --out archive/
+    python -m repro.cli info archive/
+    python -m repro.cli reconstruct archive/ --out restored.bin
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from .core import sthosvd, sthosvd_out_of_core, validate_tucker, core_statistics
+from .core.tucker import TuckerTensor
+from .data.io import load_raw, save_raw
+from .tensor.dense import DenseTensor
+
+__all__ = ["main", "save_archive", "load_archive"]
+
+MANIFEST = "manifest.json"
+
+
+def save_archive(tucker: TuckerTensor, directory: str, extra: dict | None = None) -> None:
+    """Write a Tucker archive: core.bin, factor<n>.npy, manifest.json."""
+    os.makedirs(directory, exist_ok=True)
+    save_raw(tucker.core, os.path.join(directory, "core.bin"))
+    for n, U in enumerate(tucker.factors):
+        np.save(os.path.join(directory, f"factor{n}.npy"), U)
+    manifest = {
+        "format": "repro-tucker-archive-v1",
+        "shape": list(tucker.shape),
+        "ranks": list(tucker.ranks),
+        "dtype": tucker.dtype.name,
+        "compression_ratio": tucker.compression_ratio(),
+    }
+    if extra:
+        manifest.update(extra)
+    with open(os.path.join(directory, MANIFEST), "w") as f:
+        json.dump(manifest, f, indent=2)
+
+
+def load_archive(directory: str) -> tuple[TuckerTensor, dict]:
+    """Read a Tucker archive back into memory."""
+    with open(os.path.join(directory, MANIFEST)) as f:
+        manifest = json.load(f)
+    core = load_raw(os.path.join(directory, "core.bin"))
+    factors = tuple(
+        np.load(os.path.join(directory, f"factor{n}.npy"))
+        for n in range(len(manifest["shape"]))
+    )
+    return TuckerTensor(core=core, factors=factors), manifest
+
+
+def _parse_slices(spec: str | None, ndim: int):
+    """Parse '0:3,:,2,:' into per-mode slices."""
+    if spec is None:
+        return None
+    parts = spec.split(",")
+    if len(parts) != ndim:
+        raise SystemExit(f"--region needs {ndim} comma-separated entries")
+    out = []
+    for p in parts:
+        p = p.strip()
+        if p == ":":
+            out.append(slice(None))
+        elif ":" in p:
+            a, b = p.split(":")
+            out.append(slice(int(a) if a else None, int(b) if b else None))
+        else:
+            out.append(int(p))
+    return tuple(out)
+
+
+def _cmd_compress(args) -> int:
+    shape = tuple(args.shape)
+    method, precision = args.method, args.precision
+    if args.auto:
+        if args.tol is None:
+            raise SystemExit("--auto requires --tol")
+        from .core import choose_variant
+
+        choice = choose_variant(args.tol)
+        method, precision = choice.method, str(choice.precision)
+        print(f"auto-selected: {choice.label} "
+              f"(floor {choice.floor:.1e}, margin {choice.margin:.0f}x)")
+    if args.out_of_core:
+        progress = None
+        if args.verbose:
+            def progress(info):
+                print(
+                    f"  mode {info['mode']} done "
+                    f"({info['step']}/{info['total_steps']}), "
+                    f"rank {info['rank']}, {info['seconds']:.1f}s elapsed"
+                )
+        res = sthosvd_out_of_core(
+            args.input, shape, dtype=args.file_dtype, precision=precision,
+            tol=args.tol, ranks=tuple(args.ranks) if args.ranks else None,
+            method=method, mode_order=args.order,
+            checkpoint_dir=args.checkpoint_dir, progress=progress,
+        )
+    else:
+        X = load_raw(args.input, shape=shape, dtype=args.file_dtype)
+        res = sthosvd(
+            X, tol=args.tol, ranks=tuple(args.ranks) if args.ranks else None,
+            method=method, precision=precision, mode_order=args.order,
+        )
+    save_archive(
+        res.tucker, args.out,
+        extra={
+            "method": res.method,
+            "precision": str(res.precision),
+            "mode_order": list(res.mode_order),
+            "estimated_rel_error": res.estimated_rel_error(),
+            "source": os.path.abspath(args.input),
+        },
+    )
+    print(f"ranks:        {res.ranks}")
+    print(f"compression:  {res.tucker.compression_ratio():.2f}x")
+    print(f"est. error:   {res.estimated_rel_error():.3e}")
+    print(f"archive:      {args.out}")
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    tucker, manifest = load_archive(args.archive)
+    if args.region:
+        region = _parse_slices(args.region, tucker.ndim)
+        out = tucker.reconstruct_slice(region)
+    else:
+        out = tucker.reconstruct()
+    save_raw(out, args.out)
+    print(f"wrote {out.shape} tensor ({out.nbytes} bytes) to {args.out}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    tucker, manifest = load_archive(args.archive)
+    diag = validate_tucker(tucker)
+    stats = core_statistics(tucker)
+    print(f"archive:       {args.archive}")
+    print(f"shape:         {manifest['shape']}")
+    print(f"ranks:         {manifest['ranks']}")
+    print(f"dtype:         {manifest['dtype']}")
+    print(f"method:        {manifest.get('method', '?')}")
+    print(f"compression:   {manifest['compression_ratio']:.2f}x")
+    print(f"est. error:    {manifest.get('estimated_rel_error', float('nan')):.3e}")
+    print(f"factors orth:  {diag.factors_orthonormal()}")
+    print(f"core norm:     {stats['norm']:.6g}")
+    print(f"core range:    [{stats['min']:.3g}, {stats['max']:.3g}]")
+    return 0
+
+
+def _cmd_recompress(args) -> int:
+    from .core import recompress
+
+    tucker, manifest = load_archive(args.archive)
+    prior = float(manifest.get("estimated_rel_error", 0.0) or 0.0)
+    out_tucker, bound = recompress(
+        tucker,
+        tol=args.tol,
+        ranks=tuple(args.ranks) if args.ranks else None,
+        prior_rel_error=prior,
+    )
+    save_archive(
+        out_tucker, args.out,
+        extra={
+            "method": manifest.get("method", "qr"),
+            "precision": manifest.get("precision", "double"),
+            "estimated_rel_error": bound,
+            "recompressed_from": os.path.abspath(args.archive),
+        },
+    )
+    print(f"ranks:        {manifest['ranks']} -> {list(out_tucker.ranks)}")
+    print(f"compression:  {manifest['compression_ratio']:.2f}x -> "
+          f"{out_tucker.compression_ratio():.2f}x")
+    print(f"error bound:  {bound:.3e}")
+    print(f"archive:      {args.out}")
+    return 0
+
+
+def _machine(name: str):
+    from .perf import ANDES, CASCADE_LAKE
+
+    return ANDES if name == "andes" else CASCADE_LAKE
+
+
+def _cmd_simulate(args) -> int:
+    from .perf import simulate_sthosvd, simulate_memory, PHASE_LABELS
+
+    run = simulate_sthosvd(
+        tuple(args.shape), tuple(args.ranks), tuple(args.grid),
+        method=args.method, precision=args.precision,
+        mode_order=args.order, machine=_machine(args.machine),
+    )
+    mem = simulate_memory(
+        tuple(args.shape), tuple(args.ranks), tuple(args.grid),
+        method=args.method, precision=args.precision, mode_order=args.order,
+    )
+    print(f"modeled time:      {run.total_seconds:.4g} s on {run.nprocs} procs")
+    print(f"sustained:         {run.gflops_per_core():.2f} GFLOPS/core")
+    print(f"peak memory:       {mem.peak_gib:.3f} GiB/rank (mode {mem.peak_mode})")
+    print("breakdown by phase:")
+    for phase, secs in sorted(run.seconds_by_phase().items(), key=lambda kv: -kv[1]):
+        label = PHASE_LABELS.get(phase, phase)
+        print(f"  {label:<6} {secs:10.4g} s  ({100 * secs / run.total_seconds:5.1f} %)")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .perf import tune_grid
+
+    limit = None if args.memory_limit_gib is None else args.memory_limit_gib * 2**30
+    configs = tune_grid(
+        tuple(args.shape), tuple(args.ranks), args.procs,
+        method=args.method, precision=args.precision,
+        machine=_machine(args.machine), memory_limit_bytes=limit,
+        top_k=args.top,
+    )
+    print(f"{'grid':>20} {'ordering':>9} {'modeled s':>11} {'GiB/rank':>9}")
+    for c in configs:
+        print(
+            f"{'x'.join(map(str, c.grid)):>20} {c.mode_order:>9} "
+            f"{c.seconds:11.4g} {c.peak_bytes / 2**30:9.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="ST-HOSVD a raw tensor file")
+    c.add_argument("input")
+    c.add_argument("--shape", type=int, nargs="+", required=True)
+    c.add_argument("--file-dtype", default="double", choices=["single", "double"],
+                   help="precision the file is stored in")
+    c.add_argument("--precision", default="double", choices=["single", "double"],
+                   help="working precision of the computation")
+    c.add_argument("--tol", type=float, default=None)
+    c.add_argument("--ranks", type=int, nargs="+", default=None)
+    c.add_argument("--method", default="qr",
+                   choices=["qr", "gram", "gram-mixed", "randomized"])
+    c.add_argument("--auto", action="store_true",
+                   help="pick method and precision from --tol (paper Sec. 5)")
+    c.add_argument("--order", default="forward", choices=["forward", "backward"])
+    c.add_argument("--out", required=True)
+    c.add_argument("--out-of-core", action="store_true",
+                   help="stream from disk instead of loading the tensor")
+    c.add_argument("--checkpoint-dir", default=None,
+                   help="resumable checkpoints for --out-of-core runs")
+    c.add_argument("--verbose", action="store_true",
+                   help="per-mode progress for --out-of-core runs")
+    c.set_defaults(fn=_cmd_compress)
+
+    r = sub.add_parser("reconstruct", help="expand an archive to a raw file")
+    r.add_argument("archive")
+    r.add_argument("--out", required=True)
+    r.add_argument("--region", default=None,
+                   help="per-mode slices, e.g. '0:3,:,2,:' (partial reconstruction)")
+    r.set_defaults(fn=_cmd_reconstruct)
+
+    i = sub.add_parser("info", help="inspect an archive")
+    i.add_argument("archive")
+    i.set_defaults(fn=_cmd_info)
+
+    rc = sub.add_parser("recompress",
+                        help="re-truncate an archive (no original data needed)")
+    rc.add_argument("archive")
+    rc.add_argument("--tol", type=float, default=None)
+    rc.add_argument("--ranks", type=int, nargs="+", default=None)
+    rc.add_argument("--out", required=True)
+    rc.set_defaults(fn=_cmd_recompress)
+
+    s = sub.add_parser("simulate", help="model a parallel run (no computation)")
+    s.add_argument("--shape", type=int, nargs="+", required=True)
+    s.add_argument("--ranks", type=int, nargs="+", required=True)
+    s.add_argument("--grid", type=int, nargs="+", required=True)
+    s.add_argument("--method", default="qr", choices=["qr", "gram"])
+    s.add_argument("--precision", default="double", choices=["single", "double"])
+    s.add_argument("--order", default="forward", choices=["forward", "backward"])
+    s.add_argument("--machine", default="andes", choices=["andes", "cascade-lake"])
+    s.set_defaults(fn=_cmd_simulate)
+
+    t = sub.add_parser("tune", help="search processor grids via the model")
+    t.add_argument("--shape", type=int, nargs="+", required=True)
+    t.add_argument("--ranks", type=int, nargs="+", required=True)
+    t.add_argument("--procs", type=int, required=True)
+    t.add_argument("--method", default="qr", choices=["qr", "gram"])
+    t.add_argument("--precision", default="double", choices=["single", "double"])
+    t.add_argument("--machine", default="andes", choices=["andes", "cascade-lake"])
+    t.add_argument("--memory-limit-gib", type=float, default=None)
+    t.add_argument("--top", type=int, default=5)
+    t.set_defaults(fn=_cmd_tune)
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("compress", "recompress") and (args.tol is None) == (
+        args.ranks is None
+    ):
+        raise SystemExit(f"{args.command}: pass exactly one of --tol / --ranks")
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

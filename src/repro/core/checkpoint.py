@@ -1,0 +1,148 @@
+"""Checkpoint/restart for long out-of-core compressions.
+
+Compressing a multi-terabyte dump takes hours per mode; an interrupted
+run should resume after the last completed mode instead of restarting.
+A checkpoint directory holds, after each completed mode: the factors and
+singular values computed so far, the partially truncated tensor (the
+current scratch file), and a JSON manifest tying them together with the
+run's configuration.  ``sthosvd_out_of_core(..., checkpoint_dir=...)``
+writes checkpoints as it goes; rerunning the identical call resumes.
+
+The manifest stores the configuration fingerprint (shape, dtype, tol or
+ranks, method, order, source path); resuming with a different
+configuration is refused rather than silently blended.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..data.outofcore import OutOfCoreTensor
+
+__all__ = ["CheckpointState", "save_checkpoint", "load_checkpoint", "clear_checkpoint"]
+
+MANIFEST = "checkpoint.json"
+
+
+@dataclass
+class CheckpointState:
+    """Resumable state: completed steps, factors, sigmas, current tensor."""
+
+    completed_steps: int
+    factors: dict  # mode -> ndarray
+    sigmas: dict  # mode -> ndarray
+    ranks_chosen: dict  # mode -> int
+    current: OutOfCoreTensor
+    norm_sq: float
+
+
+def _fingerprint(shape, dtype, tol, ranks, method, order) -> dict:
+    return {
+        "shape": list(int(s) for s in shape),
+        "dtype": np.dtype(dtype).name,
+        "tol": None if tol is None else float(tol),
+        "ranks": None if ranks is None else [int(r) for r in ranks],
+        "method": method,
+        "order": list(int(n) for n in order),
+    }
+
+
+def save_checkpoint(
+    directory: str,
+    *,
+    step: int,
+    factors: dict,
+    sigmas: dict,
+    ranks_chosen: dict,
+    current: OutOfCoreTensor,
+    norm_sq: float,
+    fingerprint: dict,
+) -> None:
+    """Persist state after completing ``step`` modes.
+
+    The current scratch tensor is copied into the checkpoint directory
+    (it will be deleted by the driver's normal scratch rotation).
+    """
+    os.makedirs(directory, exist_ok=True)
+    tensor_path = os.path.join(directory, f"state{step}.bin")
+    # Copy the scratch file (streamed).
+    with open(current.path, "rb") as src, open(tensor_path, "wb") as dst:
+        while True:
+            buf = src.read(1 << 24)
+            if not buf:
+                break
+            dst.write(buf)
+    for mode, U in factors.items():
+        np.save(os.path.join(directory, f"factor{mode}.npy"), U)
+    for mode, s in sigmas.items():
+        np.save(os.path.join(directory, f"sigma{mode}.npy"), s)
+    manifest = {
+        "completed_steps": step,
+        "tensor_file": os.path.basename(tensor_path),
+        "tensor_shape": list(current.shape),
+        "norm_sq": norm_sq,
+        "modes_done": sorted(factors),
+        "ranks_chosen": {str(k): int(v) for k, v in ranks_chosen.items()},
+        "fingerprint": fingerprint,
+    }
+    tmp = os.path.join(directory, MANIFEST + ".tmp")
+    with open(tmp, "w") as f:
+        json.dump(manifest, f)
+    os.replace(tmp, os.path.join(directory, MANIFEST))
+    # Drop the previous step's tensor copy.
+    prev = os.path.join(directory, f"state{step - 1}.bin")
+    if os.path.exists(prev):
+        os.unlink(prev)
+
+
+def load_checkpoint(directory: str, fingerprint: dict) -> CheckpointState | None:
+    """Load a resumable state, or None when no (valid) checkpoint exists.
+
+    Raises
+    ------
+    ConfigurationError
+        If a checkpoint exists but was written by a different run
+        configuration.
+    """
+    path = os.path.join(directory, MANIFEST)
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        manifest = json.load(f)
+    if manifest["fingerprint"] != fingerprint:
+        raise ConfigurationError(
+            "checkpoint was written by a different configuration; "
+            "clear it or match the original arguments"
+        )
+    factors = {}
+    sigmas = {}
+    for mode in manifest["modes_done"]:
+        factors[mode] = np.load(os.path.join(directory, f"factor{mode}.npy"))
+        sigmas[mode] = np.load(os.path.join(directory, f"sigma{mode}.npy"))
+    current = OutOfCoreTensor(
+        os.path.join(directory, manifest["tensor_file"]),
+        manifest["tensor_shape"],
+        manifest["fingerprint"]["dtype"],
+    )
+    return CheckpointState(
+        completed_steps=int(manifest["completed_steps"]),
+        factors=factors,
+        sigmas=sigmas,
+        ranks_chosen={int(k): v for k, v in manifest["ranks_chosen"].items()},
+        current=current,
+        norm_sq=float(manifest["norm_sq"]),
+    )
+
+
+def clear_checkpoint(directory: str) -> None:
+    """Delete checkpoint artifacts (no-op if absent)."""
+    if not os.path.isdir(directory):
+        return
+    for name in os.listdir(directory):
+        if name == MANIFEST or name.endswith(".npy") or name.endswith(".bin"):
+            os.unlink(os.path.join(directory, name))

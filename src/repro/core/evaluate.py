@@ -1,0 +1,105 @@
+"""Approximation-error evaluation, including streaming (out-of-core).
+
+``rel_error`` on :class:`TuckerTensor` reconstructs the full tensor —
+impossible when the original only exists as a raw file larger than
+memory.  :func:`streaming_rel_error` computes the same quantity one
+mode-(N-1) slab at a time: each slab of the reference is read from disk,
+the matching slab of the approximation is produced by partial
+reconstruction (sliced factors), and the squared difference accumulates
+in float64.  Peak memory is one slab plus the Tucker parameters.
+
+Also provides :func:`rel_error_lowmem` for in-memory references that are
+too large to hold twice (reference + reconstruction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..data.outofcore import OutOfCoreTensor
+from ..tensor import layout
+from ..tensor.dense import DenseTensor
+from .tucker import TuckerTensor
+
+__all__ = ["streaming_rel_error", "rel_error_lowmem"]
+
+
+def streaming_rel_error(
+    tucker: TuckerTensor,
+    reference: OutOfCoreTensor,
+    *,
+    slab_elements: int = 1 << 22,
+) -> float:
+    """``||X - X_hat|| / ||X||`` with ``X`` streamed from a raw file.
+
+    Slabs are contiguous runs of the last mode's indices, so reads are
+    sequential.  ``slab_elements`` bounds the per-slab memory.
+    """
+    if tuple(reference.shape) != tucker.shape:
+        raise ShapeError(
+            f"reference shape {reference.shape} does not match {tucker.shape}"
+        )
+    shape = tucker.shape
+    last = len(shape) - 1
+    slab_size = layout.prod_before(shape, last)  # elements per last-mode index
+    per_slab = max(slab_elements // max(slab_size, 1), 1)
+
+    mm = np.memmap(reference.path, dtype=reference.dtype, mode="r").reshape(
+        shape[last], -1
+    )  # [last index, rest] — natural order puts the last mode slowest
+
+    num = 0.0
+    den = 0.0
+    region: list = [slice(None)] * len(shape)
+    for t0 in range(0, shape[last], per_slab):
+        t1 = min(t0 + per_slab, shape[last])
+        region[last] = slice(t0, t1)
+        approx = tucker.reconstruct_slice(tuple(region))
+        # The slab in natural order: last index slowest -> rows of mm.
+        ref_flat = np.asarray(mm[t0:t1], dtype=np.float64).reshape(-1)
+        app_flat = approx.flat_view().astype(np.float64, copy=False)
+        # approx slab natural order: modes 0..N-2 fastest then the slab's
+        # last-mode offset — identical ordering to ref_flat.
+        diff = ref_flat - app_flat
+        num += float(diff @ diff)
+        den += float(ref_flat @ ref_flat)
+    if den == 0:
+        return 0.0
+    return float(np.sqrt(num / den))
+
+
+def rel_error_lowmem(
+    tucker: TuckerTensor,
+    reference: DenseTensor,
+    *,
+    slab_elements: int = 1 << 22,
+) -> float:
+    """Slab-wise relative error against an in-memory reference.
+
+    Avoids materializing the full reconstruction next to the reference
+    (halving the peak memory of ``TuckerTensor.rel_error``).
+    """
+    if reference.shape != tucker.shape:
+        raise ShapeError(
+            f"reference shape {reference.shape} does not match {tucker.shape}"
+        )
+    shape = tucker.shape
+    last = len(shape) - 1
+    slab_size = layout.prod_before(shape, last)
+    per_slab = max(slab_elements // max(slab_size, 1), 1)
+
+    num = 0.0
+    den = 0.0
+    region: list = [slice(None)] * len(shape)
+    for t0 in range(0, shape[last], per_slab):
+        t1 = min(t0 + per_slab, shape[last])
+        region[last] = slice(t0, t1)
+        approx = tucker.reconstruct_slice(tuple(region))
+        ref_slab = reference.data[tuple(region)].astype(np.float64)
+        diff = ref_slab.reshape(-1, order="F") - approx.flat_view().astype(np.float64)
+        num += float(diff @ diff)
+        den += float(ref_slab.reshape(-1) @ ref_slab.reshape(-1))
+    if den == 0:
+        return 0.0
+    return float(np.sqrt(num / den))

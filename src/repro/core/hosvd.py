@@ -1,0 +1,107 @@
+"""Classic (truncated) HOSVD — the non-sequential baseline [19].
+
+Where ST-HOSVD truncates each mode before moving to the next, classic
+HOSVD computes every factor matrix from the *original* tensor and forms
+the core in one multi-TTM at the end.  It does more work (every mode
+sees the full tensor) and satisfies the same ``sqrt(N)``-quasi-optimality
+bound; it is included as the natural baseline for ST-HOSVD's sequencing
+decision and because TuckerMPI-family libraries ship both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..instrument import FlopCounter, PhaseTimer, PHASE_TTM
+from ..precision import resolve_precision
+from ..tensor.dense import DenseTensor
+from ..tensor.ttm import ttm, ttm_flops
+from .sthosvd import SthosvdResult, _mode_svd, METHODS
+from .truncation import choose_rank, error_budget_per_mode
+from .tucker import TuckerTensor
+
+__all__ = ["hosvd"]
+
+
+def hosvd(
+    tensor: DenseTensor | np.ndarray,
+    *,
+    tol: float | None = None,
+    ranks: Sequence[int] | None = None,
+    method: str = "qr",
+    precision=None,
+    backend: str = "lapack",
+) -> SthosvdResult:
+    """Truncated classic HOSVD (all factors from the original tensor).
+
+    Accepts the same arguments as :func:`repro.core.sthosvd.sthosvd`
+    except ``mode_order`` (ordering is irrelevant when nothing is
+    truncated between modes) and returns the same result type.
+    """
+    if method not in METHODS:
+        raise ConfigurationError(f"method must be one of {METHODS}, got {method!r}")
+    if tol is not None and ranks is not None:
+        raise ConfigurationError("pass either tol or ranks, not both")
+    if method == "randomized" and ranks is None:
+        raise ConfigurationError(
+            "method='randomized' sketches to a target rank: pass ranks="
+        )
+    if not isinstance(tensor, DenseTensor):
+        tensor = DenseTensor(tensor)
+    if precision is not None:
+        prec = resolve_precision(precision)
+        if tensor.dtype != prec.dtype:
+            tensor = tensor.astype(prec.dtype)
+    ndim = tensor.ndim
+    if ranks is not None:
+        ranks = tuple(int(r) for r in ranks)
+        if len(ranks) != ndim:
+            raise ConfigurationError(f"need {ndim} ranks, got {len(ranks)}")
+        for n, (r, i) in enumerate(zip(ranks, tensor.shape)):
+            if not 1 <= r <= i:
+                raise ConfigurationError(f"rank {r} invalid for mode {n} of size {i}")
+
+    counter = FlopCounter()
+    timer = PhaseTimer()
+    norm_x = tensor.norm()
+    budget = (
+        error_budget_per_mode(norm_x * norm_x, tol, ndim) if tol is not None else None
+    )
+
+    factors: list = [None] * ndim
+    sigmas: dict[int, np.ndarray] = {}
+    for n in range(ndim):
+        rank_hint = ranks[n] if ranks is not None else None
+        U, sigma = _mode_svd(
+            method, tensor, n, backend, counter, timer, rank_hint=rank_hint
+        )
+        sigmas[n] = sigma
+        if budget is not None:
+            r = choose_rank(sigma, budget)
+        elif ranks is not None:
+            r = ranks[n]
+        else:
+            r = min(tensor.shape[n], U.shape[1])
+        factors[n] = np.ascontiguousarray(U[:, :r])
+
+    core = tensor
+    for n in range(ndim):
+        with timer.phase(PHASE_TTM, n):
+            counter.add(
+                ttm_flops(core.shape, n, factors[n].shape[1]), phase=PHASE_TTM, mode=n
+            )
+            core = ttm(core, factors[n], n, transpose=True)
+
+    return SthosvdResult(
+        tucker=TuckerTensor(core=core, factors=tuple(factors)),
+        sigmas=sigmas,
+        mode_order=tuple(range(ndim)),
+        method=method,
+        precision=tensor.precision,
+        norm_x=norm_x,
+        flops=counter,
+        timer=timer,
+    )

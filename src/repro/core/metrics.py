@@ -1,0 +1,103 @@
+"""Diagnostics and metrics for Tucker decompositions.
+
+TuckerMPI computes summary metrics of the compressed representation as
+it writes it (the core carries most of the information content); this
+module provides the equivalents plus validation checks used by tests,
+examples, and downstream users who want a health report on a computed
+decomposition without reconstructing the full tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..tensor.dense import DenseTensor
+from .tucker import TuckerTensor
+
+__all__ = ["TuckerDiagnostics", "validate_tucker", "core_statistics"]
+
+
+@dataclass(frozen=True)
+class TuckerDiagnostics:
+    """Health report of a Tucker decomposition.
+
+    Attributes
+    ----------
+    factor_orthogonality:
+        Per-mode ``max |U^T U - I|`` — zero for exact ST-HOSVD factors.
+    core_gram_diagonality:
+        Per-mode ratio of the largest off-diagonal entry of
+        ``G_(n) G_(n)^T`` to its largest diagonal entry.  The all-
+        orthogonality property of (ST-)HOSVD cores makes this ~eps; HOOI
+        cores satisfy it only at convergence.
+    core_norm:
+        Frobenius norm of the core (equals the approximation's norm).
+    compression_ratio:
+        Stored-parameter compression.
+    """
+
+    factor_orthogonality: tuple[float, ...]
+    core_gram_diagonality: tuple[float, ...]
+    core_norm: float
+    compression_ratio: float
+
+    def factors_orthonormal(self, atol: float = 1e-6) -> bool:
+        """True when every factor's ``U^T U`` is within ``atol`` of I."""
+        return all(v <= atol for v in self.factor_orthogonality)
+
+    def core_all_orthogonal(self, rtol: float = 1e-6) -> bool:
+        """True when every core unfolding's Gram is diagonal to ``rtol``."""
+        return all(v <= rtol for v in self.core_gram_diagonality)
+
+
+def validate_tucker(tucker: TuckerTensor) -> TuckerDiagnostics:
+    """Compute the full diagnostics report for a decomposition."""
+    orth = []
+    for U in tucker.factors:
+        Ud = U.astype(np.float64, copy=False)
+        gram = Ud.T @ Ud
+        orth.append(float(np.abs(gram - np.eye(U.shape[1])).max()))
+
+    diag_ratios = []
+    for n in range(tucker.ndim):
+        Gn = tucker.core.unfold(n).astype(np.float64, copy=False)
+        GG = Gn @ Gn.T
+        d = np.abs(np.diag(GG)).max()
+        off = np.abs(GG - np.diag(np.diag(GG))).max()
+        diag_ratios.append(float(off / d) if d > 0 else 0.0)
+
+    return TuckerDiagnostics(
+        factor_orthogonality=tuple(orth),
+        core_gram_diagonality=tuple(diag_ratios),
+        core_norm=tucker.core.norm(),
+        compression_ratio=tucker.compression_ratio(),
+    )
+
+
+def core_statistics(tucker: TuckerTensor) -> dict:
+    """Summary statistics of the core tensor (TuckerMPI-style metrics)."""
+    flat = tucker.core.flat_view().astype(np.float64, copy=False)
+    if flat.size == 0:
+        raise ShapeError("core tensor is empty")
+    return {
+        "min": float(flat.min()),
+        "max": float(flat.max()),
+        "mean": float(flat.mean()),
+        "std": float(flat.std()),
+        "norm": float(np.linalg.norm(flat)),
+        "abs_max": float(np.abs(flat).max()),
+        "n_entries": int(flat.size),
+        # Energy concentration: fraction of squared norm in the largest
+        # 1% of entries — high for well-compressed data.
+        "energy_top1pct": _energy_top_fraction(flat, 0.01),
+    }
+
+
+def _energy_top_fraction(flat: np.ndarray, fraction: float) -> float:
+    sq = np.sort(flat**2)[::-1]
+    k = max(int(np.ceil(fraction * sq.size)), 1)
+    total = sq.sum()
+    return float(sq[:k].sum() / total) if total > 0 else 0.0

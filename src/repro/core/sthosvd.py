@@ -1,0 +1,230 @@
+"""Sequential ST-HOSVD (paper Alg. 1) with pluggable per-mode SVD.
+
+For each mode in the chosen order: compute singular values and left
+singular vectors of the current unfolding (QR-SVD via TensorLQ, or
+TuckerMPI's Gram-SVD), pick the rank from the error budget, and truncate
+with a TTM before moving on.  The working precision is whatever the
+input tensor carries — convert with ``DenseTensor.astype`` (or pass
+``precision=``) to run the paper's single-precision variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..instrument import FlopCounter, PhaseTimer, PHASE_SVD, PHASE_EVD, PHASE_TTM, PHASE_LQ, PHASE_GRAM
+from ..precision import Precision, resolve_precision
+from ..tensor.dense import DenseTensor
+from ..tensor.ttm import ttm, ttm_flops
+from ..linalg.gram import tensor_gram
+from ..linalg.svd import left_svd_of_triangle, svd_from_gram
+from ..linalg.tensor_lq import tensor_lq
+from .ordering import resolve_mode_order
+from .truncation import choose_rank, error_budget_per_mode
+from .tucker import TuckerTensor
+
+__all__ = ["SthosvdResult", "sthosvd", "METHODS"]
+
+# "qr" and "gram" are the paper's two algorithms; "gram-mixed" (float64
+# accumulation of a float32 Gram) and "randomized" (HMT sketch; requires
+# explicit ranks) implement the future-work extensions of its Sec. 5.
+METHODS = ("qr", "gram", "gram-mixed", "randomized")
+
+
+@dataclass
+class SthosvdResult:
+    """Everything a run of ST-HOSVD produces.
+
+    Attributes
+    ----------
+    tucker:
+        The computed decomposition.
+    sigmas:
+        Per-mode singular values as computed when that mode was
+        processed (keys are mode indices; values descending arrays).
+    mode_order:
+        The order in which modes were processed.
+    method, precision:
+        Algorithm/working-precision actually used.
+    norm_x:
+        Frobenius norm of the input.
+    flops:
+        Operation counts by phase (LQ/Gram, SVD/EVD, TTM).
+    timer:
+        Wall-clock phase breakdown of this process.
+    """
+
+    tucker: TuckerTensor
+    sigmas: dict[int, np.ndarray]
+    mode_order: tuple[int, ...]
+    method: str
+    precision: Precision
+    norm_x: float
+    flops: FlopCounter = field(default_factory=FlopCounter)
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return self.tucker.ranks
+
+    def estimated_rel_error(self) -> float:
+        """Error estimate from discarded singular values (free at runtime).
+
+        The squared truncation errors of the modes are orthogonal, so
+        their sum bounds the squared approximation error [28].
+        """
+        if self.norm_x == 0:
+            return 0.0
+        total = 0.0
+        for n, sigma in self.sigmas.items():
+            r = self.tucker.ranks[n]
+            tail = np.asarray(sigma[r:], dtype=np.float64)
+            total += float(np.sum(tail * tail))
+        return float(np.sqrt(total) / self.norm_x)
+
+
+def _mode_svd(method, tensor, n, backend, counter, timer, rank_hint=None, svd_options=None):
+    """Per-mode SVD with the reduction and small-decomposition phases
+    timed separately (the paper's LQ/Gram vs SVD/EVD breakdown)."""
+    if method == "qr":
+        with timer.phase(PHASE_LQ, n):
+            L = tensor_lq(tensor, n, backend=backend, counter=counter)
+        solver = (svd_options or {}).get("triangle_solver", "lapack")
+        with timer.phase(PHASE_SVD, n):
+            if solver == "jacobi":
+                from ..linalg.jacobi import jacobi_left_svd
+
+                return jacobi_left_svd(L, counter=counter, mode=n)
+            if solver != "lapack":
+                raise ConfigurationError(
+                    f"triangle_solver must be 'lapack' or 'jacobi', got {solver!r}"
+                )
+            return left_svd_of_triangle(L, counter=counter, mode=n)
+    if method == "randomized":
+        from ..linalg.randomized import tensor_randomized_svd
+
+        opts = dict(svd_options or {})
+        opts.setdefault("rng", n)
+        with timer.phase(PHASE_SVD, n):
+            return tensor_randomized_svd(
+                tensor, n, rank_hint, counter=counter, **opts
+            )
+    accumulate = "double" if method == "gram-mixed" else None
+    with timer.phase(PHASE_GRAM, n):
+        G = tensor_gram(tensor, n, counter=counter, accumulate=accumulate)
+    with timer.phase(PHASE_EVD, n):
+        return svd_from_gram(G, counter=counter, mode=n)
+
+
+def sthosvd(
+    tensor: DenseTensor | np.ndarray,
+    *,
+    tol: float | None = None,
+    ranks: Sequence[int] | None = None,
+    method: str = "qr",
+    precision=None,
+    mode_order="forward",
+    backend: str = "lapack",
+    svd_options: dict | None = None,
+) -> SthosvdResult:
+    """Sequentially Truncated HOSVD of a dense tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Input data (``DenseTensor`` or array-like).
+    tol:
+        Relative error tolerance ``eps``; ranks are chosen so the
+        approximation satisfies ``||X - X_hat|| <= tol * ||X||`` (in
+        exact arithmetic — the paper's subject is precisely when
+        roundoff breaks this).
+    ranks:
+        Fixed per-mode ranks instead of a tolerance.  Exactly one of
+        ``tol``/``ranks`` may be given; with neither, no truncation is
+        performed (full HOSVD — used for singular-value studies).
+    method:
+        ``"qr"`` (numerically stable QR-SVD, this paper) or ``"gram"``
+        (TuckerMPI's Gram-SVD baseline).
+    precision:
+        Optional working precision override (``"single"``/``"double"``,
+        dtype, or :class:`Precision`); default is the input's dtype.
+    mode_order:
+        ``"forward"``, ``"backward"``, or an explicit permutation.
+    backend:
+        ``"lapack"`` or ``"householder"`` QR kernels.
+    svd_options:
+        Extra keyword arguments for the per-mode SVD; currently used by
+        ``method="randomized"`` (``oversample``, ``power_iters``, ``rng``).
+
+    Returns
+    -------
+    SthosvdResult
+    """
+    if method not in METHODS:
+        raise ConfigurationError(f"method must be one of {METHODS}, got {method!r}")
+    if tol is not None and ranks is not None:
+        raise ConfigurationError("pass either tol or ranks, not both")
+    if method == "randomized" and ranks is None:
+        raise ConfigurationError(
+            "method='randomized' sketches to a target rank: pass ranks="
+        )
+    if not isinstance(tensor, DenseTensor):
+        tensor = DenseTensor(tensor)
+    if precision is not None:
+        prec = resolve_precision(precision)
+        if tensor.dtype != prec.dtype:
+            tensor = tensor.astype(prec.dtype)
+    prec = tensor.precision
+    ndim = tensor.ndim
+    order = resolve_mode_order(mode_order, ndim)
+    if ranks is not None:
+        ranks = tuple(int(r) for r in ranks)
+        if len(ranks) != ndim:
+            raise ConfigurationError(f"need {ndim} ranks, got {len(ranks)}")
+        for n, (r, i) in enumerate(zip(ranks, tensor.shape)):
+            if not 1 <= r <= i:
+                raise ConfigurationError(f"rank {r} invalid for mode {n} of size {i}")
+
+    counter = FlopCounter()
+    timer = PhaseTimer()
+    norm_x = tensor.norm()
+    budget = (
+        error_budget_per_mode(norm_x * norm_x, tol, ndim) if tol is not None else None
+    )
+
+    current = tensor
+    factors: list = [None] * ndim
+    sigmas: dict[int, np.ndarray] = {}
+    for n in order:
+        rank_hint = ranks[n] if ranks is not None else None
+        U, sigma = _mode_svd(
+            method, current, n, backend, counter, timer,
+            rank_hint=rank_hint, svd_options=svd_options,
+        )
+        sigmas[n] = sigma
+        if budget is not None:
+            r = choose_rank(sigma, budget)
+        elif ranks is not None:
+            r = ranks[n]
+        else:
+            r = min(current.shape[n], U.shape[1])
+        U_n = np.ascontiguousarray(U[:, :r])
+        factors[n] = U_n
+        with timer.phase(PHASE_TTM, n):
+            counter.add(ttm_flops(current.shape, n, r), phase=PHASE_TTM, mode=n)
+            current = ttm(current, U_n, n, transpose=True)
+
+    return SthosvdResult(
+        tucker=TuckerTensor(core=current, factors=tuple(factors)),
+        sigmas=sigmas,
+        mode_order=order,
+        method=method,
+        precision=prec,
+        norm_x=norm_x,
+        flops=counter,
+        timer=timer,
+    )

@@ -1,0 +1,131 @@
+"""Tucker-format tensor: core plus factor matrices (Sec. 2.2).
+
+A rank-``(R_0, ..., R_{N-1})`` Tucker approximation of an
+``I_0 x ... x I_{N-1}`` tensor stores a small core ``G`` and one
+``I_n x R_n`` factor with orthonormal columns per mode:
+
+    X ≈ G x_0 U_0 x_1 U_1 ... x_{N-1} U_{N-1}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..tensor.dense import DenseTensor
+from ..tensor.ttm import multi_ttm
+
+__all__ = ["TuckerTensor"]
+
+
+@dataclass(frozen=True)
+class TuckerTensor:
+    """Immutable Tucker-format container.
+
+    Attributes
+    ----------
+    core:
+        The ``R_0 x ... x R_{N-1}`` core tensor ``G``.
+    factors:
+        Per-mode ``I_n x R_n`` factor matrices ``U_n``.
+    """
+
+    core: DenseTensor
+    factors: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.factors) != self.core.ndim:
+            raise ShapeError(
+                f"{self.core.ndim}-mode core needs {self.core.ndim} factors, "
+                f"got {len(self.factors)}"
+            )
+        for n, (U, r) in enumerate(zip(self.factors, self.core.shape)):
+            if U.ndim != 2 or U.shape[1] != r:
+                raise ShapeError(
+                    f"factor {n} must have {r} columns to match the core, "
+                    f"got shape {U.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return self.core.ndim
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Dimensions of the full (reconstructed) tensor."""
+        return tuple(U.shape[0] for U in self.factors)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """Multilinear rank = core dimensions."""
+        return self.core.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.core.dtype
+
+    def n_parameters(self) -> int:
+        """Stored parameter count: core plus all factor entries."""
+        return self.core.size + sum(int(U.size) for U in self.factors)
+
+    def compression_ratio(self) -> float:
+        """Original element count over stored parameter count."""
+        full = 1
+        for s in self.shape:
+            full *= s
+        return full / self.n_parameters()
+
+    # ------------------------------------------------------------------
+    def reconstruct(self) -> DenseTensor:
+        """Dense reconstruction ``G x_0 U_0 ... x_{N-1} U_{N-1}``."""
+        return multi_ttm(self.core, list(self.factors))
+
+    def rel_error(self, reference: DenseTensor | np.ndarray) -> float:
+        """Normwise relative error ``||X - X_hat|| / ||X||`` (float64 accumulation)."""
+        if not isinstance(reference, DenseTensor):
+            reference = DenseTensor(reference)
+        if reference.shape != self.shape:
+            raise ShapeError(
+                f"reference shape {reference.shape} does not match {self.shape}"
+            )
+        approx = self.reconstruct()
+        diff = reference.data.astype(np.float64) - approx.data.astype(np.float64)
+        denom = reference.norm()
+        if denom == 0:
+            return 0.0
+        return float(np.linalg.norm(diff.reshape(-1)) / denom)
+
+    def reconstruct_slice(self, slices) -> DenseTensor:
+        """Reconstruct only a subtensor, without expanding the whole tensor.
+
+        ``slices`` is one slice (or integer array) per mode, applied to
+        the *rows* of each factor before the multi-TTM — so the work and
+        memory scale with the requested region, not the full shape.  This
+        is how compressed archives are queried in practice (e.g. one
+        time step of a simulation, one video frame).
+
+        >>> frame = tk.reconstruct_slice((slice(None), slice(None), 0))
+        """
+        if len(slices) != self.ndim:
+            raise ShapeError(f"need one slice per mode ({self.ndim})")
+        sliced_factors = []
+        for n, (U, s) in enumerate(zip(self.factors, slices)):
+            rows = U[s, :]
+            if rows.ndim == 1:  # integer index: keep the mode, length 1
+                rows = rows[None, :]
+            sliced_factors.append(np.ascontiguousarray(rows))
+        return multi_ttm(self.core, sliced_factors)
+
+    def astype(self, dtype) -> "TuckerTensor":
+        """Convert core and factors to another working precision."""
+        from ..precision import resolve_precision
+
+        prec = resolve_precision(dtype)
+        return TuckerTensor(
+            core=self.core.astype(prec.dtype),
+            factors=tuple(U.astype(prec.dtype) for U in self.factors),
+        )

@@ -1,0 +1,33 @@
+"""Dataset generators: prescribed-spectrum synthetics, application surrogates, I/O."""
+
+from .spectra import geometric_spectrum, plateau_spectrum, step_spectrum
+from .synthetic import (
+    random_orthonormal,
+    matrix_with_spectrum,
+    tensor_with_mode_spectra,
+    low_rank_tensor,
+)
+from .applications import hcci_surrogate, sp_surrogate, video_surrogate, PAPER_SHAPES
+from .io import save_raw, load_raw
+from .outofcore import OutOfCoreTensor
+from .timeseries import save_timesteps, assemble_timesteps, list_timesteps
+
+__all__ = [
+    "geometric_spectrum",
+    "plateau_spectrum",
+    "step_spectrum",
+    "random_orthonormal",
+    "matrix_with_spectrum",
+    "tensor_with_mode_spectra",
+    "low_rank_tensor",
+    "hcci_surrogate",
+    "sp_surrogate",
+    "video_surrogate",
+    "PAPER_SHAPES",
+    "save_raw",
+    "load_raw",
+    "OutOfCoreTensor",
+    "save_timesteps",
+    "assemble_timesteps",
+    "list_timesteps",
+]

@@ -1,0 +1,136 @@
+"""Laptop-scale surrogates for the paper's application datasets (Sec. 4.5).
+
+The original data is not redistributable (HCCI and SP are DOE combustion
+simulations; the video tensor is 40 GB), so each surrogate is a
+synthetic tensor whose **per-mode singular spectra reproduce the shapes
+of Figs. 5-7** at reduced dimensions:
+
+* **HCCI** (627 x 627 x 33 x 627): spatial/time modes decay geometrically
+  over ~10-11 orders of magnitude; the 33-variable mode decays faster
+  per index but bottoms out similarly.
+* **SP** (500 x 500 x 500 x 11 x 100): similar, more compressible (the
+  spectra fall faster at the head).
+* **Video** (1080 x 1920 x 3 x 2200): three modes drop ~2 orders quickly
+  then flatten; the 3-channel mode is essentially full rank.
+
+What the substitution preserves: every qualitative claim in Tables 2-3
+and Figs. 5-10 is a function of where each mode's spectrum sits relative
+to the four precision noise floors (sqrt(eps_single) ~ 3e-4,
+eps_single ~ 1e-7, sqrt(eps_double) ~ 1e-8, eps_double ~ 2e-16) — the
+surrogates span the same ranges, so the same methods succeed and fail at
+the same tolerances.  Absolute compression ratios differ because the
+surrogate dimensions are smaller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.dense import DenseTensor
+from .spectra import geometric_spectrum, plateau_spectrum
+from .synthetic import tensor_with_mode_spectra
+
+__all__ = [
+    "hcci_surrogate",
+    "sp_surrogate",
+    "video_surrogate",
+    "PAPER_SHAPES",
+]
+
+# The real datasets' dimensions, used by the performance model to
+# regenerate the paper's time breakdowns at full scale.
+PAPER_SHAPES = {
+    "hcci": (627, 627, 33, 627),
+    "sp": (500, 500, 500, 11, 100),
+    "video": (1080, 1920, 3, 2200),
+}
+
+
+def _scaled(paper_shape: tuple[int, ...], scale: float, floor: int = 3) -> tuple[int, ...]:
+    """Paper dimensions scaled down proportionally (min ``floor`` per mode)."""
+    return tuple(max(int(round(s * scale)), floor) for s in paper_shape)
+
+
+def hcci_surrogate(
+    shape: tuple[int, ...] | None = (64, 64, 33, 64),
+    seed: int = 2021,
+    *,
+    scale: float | None = None,
+    dtype=np.float64,
+) -> DenseTensor:
+    """HCCI-like combustion tensor (spectra per Fig. 5).
+
+    Spatial and time modes span 1 -> 1e-11; the variables mode decays to
+    ~1e-9.  The default keeps the real 33-variable mode size.  Pass
+    ``scale=`` to derive dimensions proportionally from the paper's
+    627x627x33x627 (e.g. ``scale=0.1`` -> 63x63x3x63).
+    """
+    if scale is not None:
+        shape = _scaled(PAPER_SHAPES["hcci"], scale)
+    spectra = [
+        geometric_spectrum(shape[0], 1.0, 1e-11),
+        geometric_spectrum(shape[1], 1.0, 1e-11),
+        geometric_spectrum(shape[2], 1.0, 1e-9),
+        geometric_spectrum(shape[3], 1.0, 1e-10),
+    ]
+    return tensor_with_mode_spectra(shape, spectra, rng=seed, dtype=dtype)
+
+
+def sp_surrogate(
+    shape: tuple[int, ...] | None = (40, 40, 40, 11, 24),
+    seed: int = 2022,
+    *,
+    scale: float | None = None,
+    dtype=np.float64,
+) -> DenseTensor:
+    """Stats-Planar-like combustion tensor (spectra per Fig. 6).
+
+    More compressible than HCCI: the spatial spectra fall off steeply at
+    the head (most energy in a few leading components) before the long
+    geometric tail.  ``scale=`` derives dimensions from the paper's
+    500x500x500x11x100.
+    """
+    if scale is not None:
+        shape = _scaled(PAPER_SHAPES["sp"], scale)
+    def steep(n: int, last: float) -> np.ndarray:
+        # Two-regime decay: 3 orders over the first ~15% of indices,
+        # then geometric to `last` — concentrates energy up front like SP.
+        knee = max(n // 7, 1)
+        head = np.geomspace(1.0, 1e-3, knee + 1)
+        tail = np.geomspace(1e-3, last, max(n - knee, 1))
+        return np.concatenate([head, tail[1:]]) if n > 1 else head[:1]
+
+    spectra = [
+        steep(shape[0], 1e-12),
+        steep(shape[1], 1e-12),
+        steep(shape[2], 1e-12),
+        geometric_spectrum(shape[3], 1.0, 1e-8),
+        steep(shape[4], 1e-11),
+    ]
+    return tensor_with_mode_spectra(shape, spectra, rng=seed, dtype=dtype)
+
+
+def video_surrogate(
+    shape: tuple[int, ...] | None = (54, 96, 3, 110),
+    seed: int = 2023,
+    *,
+    scale: float | None = None,
+    dtype=np.float64,
+) -> DenseTensor:
+    """Video-like tensor (spectra per Fig. 7).
+
+    Height/width/frame modes drop ~2 orders then plateau; the 3-channel
+    mode stays O(1) across its whole (tiny) spectrum.  Offers good
+    compression at loose tolerances only.  ``scale=`` derives dimensions
+    from the paper's 1080x1920x3x2200 (channel mode pinned to 3).
+    """
+    if scale is not None:
+        shape = _scaled(PAPER_SHAPES["video"], scale)
+        shape = (shape[0], shape[1], 3, shape[3])
+    spectra = [
+        plateau_spectrum(shape[0], 1.0, knee_value=1e-2, knee_index=max(shape[0] // 10, 2)),
+        plateau_spectrum(shape[1], 1.0, knee_value=1e-2, knee_index=max(shape[1] // 10, 2)),
+        np.array([1.0, 0.5, 0.3][: shape[2]]),
+        plateau_spectrum(shape[3], 1.0, knee_value=1e-2, knee_index=max(shape[3] // 10, 2)),
+    ]
+    return tensor_with_mode_spectra(shape, spectra, rng=seed, dtype=dtype)

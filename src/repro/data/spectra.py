@@ -1,0 +1,71 @@
+"""Singular-spectrum shapes used by the paper's experiments.
+
+Figures 5-7 characterize the application datasets entirely through
+their per-mode singular value profiles: the combustion datasets (HCCI,
+SP) decay geometrically over ~10 orders of magnitude, while the video
+dataset drops ~2 orders quickly and then flattens ("offering little
+compressibility at tight error tolerances").  These generators produce
+those shapes for the synthetic surrogates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["geometric_spectrum", "plateau_spectrum", "step_spectrum"]
+
+
+def geometric_spectrum(n: int, first: float = 1.0, last: float = 1e-18) -> np.ndarray:
+    """``n`` values decaying geometrically from ``first`` to ``last``.
+
+    The Fig. 1 matrix uses exactly this: 80 values from 1 to 1e-18.
+    """
+    if n <= 0:
+        raise ConfigurationError("spectrum length must be positive")
+    if first <= 0 or last <= 0:
+        raise ConfigurationError("spectrum endpoints must be positive")
+    if n == 1:
+        return np.array([first])
+    return np.geomspace(first, last, n)
+
+
+def plateau_spectrum(
+    n: int,
+    first: float = 1.0,
+    knee_value: float = 1e-2,
+    knee_index: int | None = None,
+    last: float | None = None,
+) -> np.ndarray:
+    """Fast geometric drop to ``knee_value``, then a slow tail (video-like).
+
+    ``knee_index`` defaults to ``n // 8``; the tail decays geometrically
+    but only by one further order of magnitude by default
+    (``last = knee_value / 10``), mimicking Fig. 7.
+    """
+    if n <= 0:
+        raise ConfigurationError("spectrum length must be positive")
+    if knee_index is None:
+        knee_index = max(n // 8, 1)
+    knee_index = min(knee_index, n - 1) if n > 1 else 0
+    if last is None:
+        last = knee_value / 10.0
+    if n == 1:
+        return np.array([first])
+    head = np.geomspace(first, knee_value, knee_index + 1)
+    tail = np.geomspace(knee_value, last, n - knee_index)
+    return np.concatenate([head, tail[1:]])
+
+
+def step_spectrum(n: int, rank: int, big: float = 1.0, small: float = 0.0) -> np.ndarray:
+    """Exact-rank spectrum: ``rank`` values at ``big`` then ``small``.
+
+    ``small = 0`` gives an exactly low-rank tensor — useful for tests
+    where the truncation must recover the rank perfectly.
+    """
+    if not 0 < rank <= n:
+        raise ConfigurationError(f"rank {rank} invalid for spectrum of length {n}")
+    out = np.full(n, float(small))
+    out[:rank] = big
+    return out

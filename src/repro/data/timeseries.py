@@ -1,0 +1,117 @@
+"""Time-series dataset handling: per-step files forming the last mode.
+
+Scientific simulations dump one file per time step; the tensor the paper
+compresses is their concatenation along the final mode (HCCI: 627 time
+steps, SP: 100, video: 2200 frames).  These helpers write and assemble
+such collections in the raw natural-order format, including a streaming
+assembly path that never holds more than one step in memory — natural-
+order storage makes the time mode slowest, so concatenation on disk is
+literal file concatenation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..precision import resolve_precision
+from ..tensor import layout
+from ..tensor.dense import DenseTensor
+from .outofcore import OutOfCoreTensor
+
+__all__ = ["save_timesteps", "assemble_timesteps", "list_timesteps"]
+
+
+def _step_path(directory: str, index: int) -> str:
+    return os.path.join(directory, f"step{index:06d}.bin")
+
+
+def save_timesteps(
+    tensor: DenseTensor,
+    directory: str,
+    *,
+    time_mode: int | None = None,
+) -> list[str]:
+    """Split a tensor into per-step raw files along its last mode.
+
+    Returns the written paths.  ``time_mode`` defaults to the last mode
+    and currently must be it (natural order makes only the last mode's
+    slabs contiguous).
+    """
+    if not isinstance(tensor, DenseTensor):
+        tensor = DenseTensor(tensor)
+    last = tensor.ndim - 1
+    if time_mode is None:
+        time_mode = last
+    if time_mode != last:
+        raise ShapeError("time steps must occupy the last (slowest) mode")
+    os.makedirs(directory, exist_ok=True)
+    steps = tensor.shape[last]
+    slab = layout.prod_before(tensor.shape, last)
+    flat = tensor.flat_view()
+    paths = []
+    for t in range(steps):
+        path = _step_path(directory, t)
+        with open(path, "wb") as f:
+            flat[t * slab : (t + 1) * slab].tofile(f)
+        paths.append(path)
+    meta = {
+        "step_shape": list(tensor.shape[:last]),
+        "steps": steps,
+        "dtype": tensor.dtype.name,
+    }
+    with open(os.path.join(directory, "steps.json"), "w") as f:
+        json.dump(meta, f)
+    return paths
+
+
+def list_timesteps(directory: str) -> tuple[list[str], tuple[int, ...], np.dtype]:
+    """Paths (sorted), per-step shape, and dtype of a step directory."""
+    with open(os.path.join(directory, "steps.json")) as f:
+        meta = json.load(f)
+    paths = [_step_path(directory, t) for t in range(meta["steps"])]
+    for p in paths:
+        if not os.path.exists(p):
+            raise ShapeError(f"missing time step file {p}")
+    prec = resolve_precision(meta["dtype"])
+    return paths, tuple(meta["step_shape"]), prec.dtype
+
+
+def assemble_timesteps(
+    directory: str,
+    out_path: str,
+    *,
+    steps: Sequence[int] | None = None,
+) -> OutOfCoreTensor:
+    """Concatenate step files into one raw tensor file, streaming.
+
+    ``steps`` selects a subset (e.g. the paper uses the first 100 of
+    SP's 400 available steps); default is all, in order.  Each step is
+    copied through a bounded buffer — the assembled tensor never exists
+    in memory.
+    """
+    paths, step_shape, dtype = list_timesteps(directory)
+    if steps is not None:
+        paths = [paths[i] for i in steps]
+    if not paths:
+        raise ShapeError("no time steps selected")
+    step_elements = int(np.prod(step_shape))
+    expected_bytes = step_elements * np.dtype(dtype).itemsize
+    with open(out_path, "wb") as out:
+        for p in paths:
+            if os.path.getsize(p) != expected_bytes:
+                raise ShapeError(
+                    f"{p} has {os.path.getsize(p)} bytes, expected {expected_bytes}"
+                )
+            with open(p, "rb") as f:
+                while True:
+                    buf = f.read(1 << 24)
+                    if not buf:
+                        break
+                    out.write(buf)
+    full_shape = tuple(step_shape) + (len(paths),)
+    return OutOfCoreTensor(out_path, full_shape, dtype)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` on wrong argument types
+from NumPy, etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "DistributionError",
+    "CommunicatorError",
+    "ConvergenceError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or tensor has an incompatible shape for the operation."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A distributed object is laid out incompatibly with the operation.
+
+    Raised, for example, when a processor grid does not divide work the
+    way an algorithm requires, or when two distributed tensors on
+    different grids are combined.
+    """
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Misuse of the simulated MPI layer (bad rank, dead communicator...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A numerical routine failed to converge."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid configuration of an algorithm or machine model."""

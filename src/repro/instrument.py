@@ -1,0 +1,100 @@
+"""Lightweight instrumentation: flop counters and phase timers.
+
+Every kernel in :mod:`repro.linalg` accepts an optional
+:class:`FlopCounter`; the parallel drivers thread one through per rank.
+The counters feed two consumers:
+
+* the performance model (:mod:`repro.perf`), which converts flops to
+  modeled time via per-precision flop rates, and
+* the benchmark harness, which reports the per-phase breakdowns
+  (LQ/Gram vs SVD/EVD vs TTM) shown in the paper's stacked-bar figures.
+
+Phases follow the paper's breakdown categories; per-mode attribution is
+kept so reports can mirror "computations of each mode ordered 0..N-1".
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["FlopCounter", "PhaseTimer", "PHASE_LQ", "PHASE_GRAM", "PHASE_SVD", "PHASE_EVD", "PHASE_TTM", "PHASE_COMM"]
+
+PHASE_LQ = "lq"
+PHASE_GRAM = "gram"
+PHASE_SVD = "svd"
+PHASE_EVD = "evd"
+PHASE_TTM = "ttm"
+PHASE_COMM = "comm"
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates floating-point operation counts by (phase, mode).
+
+    ``mode=None`` buckets flops not attributable to a tensor mode.
+    """
+
+    total: int = 0
+    by_phase: dict = field(default_factory=lambda: defaultdict(int))
+    by_phase_mode: dict = field(default_factory=lambda: defaultdict(int))
+
+    def add(self, flops: int, phase: str = "other", mode: int | None = None) -> None:
+        """Record ``flops`` operations under ``phase`` (and optionally a mode)."""
+        flops = int(flops)
+        if flops < 0:
+            raise ValueError("flop count cannot be negative")
+        self.total += flops
+        self.by_phase[phase] += flops
+        self.by_phase_mode[(phase, mode)] += flops
+
+    def phase_total(self, phase: str) -> int:
+        """Flops recorded under one phase."""
+        return self.by_phase.get(phase, 0)
+
+    def merge(self, other: "FlopCounter") -> None:
+        """Fold another counter's tallies into this one."""
+        self.total += other.total
+        for k, v in other.by_phase.items():
+            self.by_phase[k] += v
+        for k, v in other.by_phase_mode.items():
+            self.by_phase_mode[k] += v
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary (for reports / assertions)."""
+        return {
+            "total": self.total,
+            "by_phase": dict(self.by_phase),
+        }
+
+
+@dataclass
+class PhaseTimer:
+    """Wall-clock timer with the same phase/mode bucketing as FlopCounter."""
+
+    by_phase: dict = field(default_factory=lambda: defaultdict(float))
+    by_phase_mode: dict = field(default_factory=lambda: defaultdict(float))
+
+    @contextmanager
+    def phase(self, name: str, mode: int | None = None):
+        """Context manager accumulating elapsed seconds into a bucket."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.by_phase[name] += elapsed
+            self.by_phase_mode[(name, mode)] += elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_phase.values())
+
+    def merge_max(self, other: "PhaseTimer") -> None:
+        """Keep the per-phase maximum (the paper reports the slowest rank)."""
+        for k, v in other.by_phase.items():
+            self.by_phase[k] = max(self.by_phase.get(k, 0.0), v)
+        for k, v in other.by_phase_mode.items():
+            self.by_phase_mode[k] = max(self.by_phase_mode.get(k, 0.0), v)

@@ -1,0 +1,76 @@
+"""Accuracy-floor utilities from the paper's Theorems 1 and 2 (Sec. 3.2).
+
+These quantify when computed singular values stop being trustworthy:
+
+* QR-SVD:   values below ``O(eps * ||A||)`` are roundoff noise;
+* Gram-SVD: values below ``O(sqrt(eps) * ||A||)`` are roundoff noise.
+
+Consequently ST-HOSVD cannot honour an error tolerance tighter than the
+corresponding floor, which is exactly the behaviour Tables 2-3 document
+(Gram-single failing at 1e-4, QR-single at 1e-6, Gram-double at 1e-8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precision import Precision, resolve_precision
+
+__all__ = [
+    "singular_value_floor",
+    "trustworthy_count",
+    "min_reachable_tolerance",
+    "subspace_angle",
+]
+
+
+def singular_value_floor(norm: float, method: str, precision) -> float:
+    """Smallest singular value magnitude the method can resolve.
+
+    Parameters
+    ----------
+    norm:
+        ``||A||`` (spectral or Frobenius — the bounds are big-O either way).
+    method:
+        ``"qr"`` or ``"gram"``.
+    precision:
+        Anything :func:`repro.precision.resolve_precision` accepts.
+    """
+    prec: Precision = resolve_precision(precision)
+    if method == "qr":
+        return prec.qr_svd_floor * norm
+    if method == "gram":
+        return prec.gram_svd_floor * norm
+    raise ValueError(f"method must be 'qr' or 'gram', got {method!r}")
+
+
+def trustworthy_count(sigma: np.ndarray, norm: float, method: str, precision) -> int:
+    """How many leading computed singular values exceed the noise floor."""
+    floor = singular_value_floor(norm, method, precision)
+    return int(np.count_nonzero(np.asarray(sigma, dtype=np.float64) > floor))
+
+
+def min_reachable_tolerance(method: str, precision) -> float:
+    """Tightest relative ST-HOSVD tolerance the method/precision can honour.
+
+    ``O(eps)`` for QR-SVD, ``O(sqrt(eps))`` for Gram-SVD (Sec. 3.2).
+    """
+    prec: Precision = resolve_precision(precision)
+    return prec.qr_svd_floor if method == "qr" else prec.gram_svd_floor
+
+
+def subspace_angle(U: np.ndarray, V: np.ndarray) -> float:
+    """Largest principal angle between the column spaces of U and V (radians).
+
+    Used in tests to check the subspace bounds of Theorems 1-2.  Both
+    inputs are orthonormalized defensively, and the angle is computed
+    through its **sine** — ``sin(theta) = ||(I - U U^T) V||_2`` — because
+    the cosine formula loses half the working digits for small angles
+    (``arccos`` near 1 cannot resolve below ``sqrt(eps)``).
+    """
+    U = np.linalg.qr(np.asarray(U, dtype=np.float64))[0]
+    V = np.linalg.qr(np.asarray(V, dtype=np.float64))[0]
+    residual = V - U @ (U.T @ V)
+    s = np.linalg.svd(residual, compute_uv=False)
+    sin_theta = float(np.clip(s[0] if s.size else 0.0, 0.0, 1.0))
+    return float(np.arcsin(sin_theta))

@@ -1,0 +1,102 @@
+"""Apply an implicit Q without forming it (LAPACK ``ormqr``/``ormlq``).
+
+The factorizations in :mod:`repro.linalg.householder` store reflectors
+in the packed layout; these routines apply the implicit orthogonal
+factor (or its transpose) to another matrix at ``O(m n k)`` cost —
+the right tool whenever a product with Q is needed once, since forming
+Q explicitly costs as much and wastes the memory.
+
+Downstream use: reconstructing from an LQ (``A = L Q``), orthogonal
+projections in iterative refinements, and tests that validate the
+factorizations without materializing Q.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["apply_q", "apply_q_lq"]
+
+
+def _reflectors_qr(packed: np.ndarray, taus: np.ndarray):
+    m, n = packed.shape
+    for j in range(len(taus)):
+        v = np.empty(m - j, dtype=packed.dtype)
+        v[0] = 1
+        v[1:] = packed[j + 1 :, j]
+        yield j, v, taus[j]
+
+
+def apply_q(
+    packed: np.ndarray,
+    taus: np.ndarray,
+    C: np.ndarray,
+    *,
+    trans: bool = False,
+) -> np.ndarray:
+    """Compute ``Q @ C`` (or ``Q^T @ C``) for a ``qr_factor`` result.
+
+    ``Q`` is the implicit ``m x m`` orthogonal factor; ``C`` must have
+    ``m`` rows.  Returns a new array (``C`` is not modified).
+
+    ``Q = H_0 H_1 ... H_{k-1}``: applying ``Q`` uses reflectors in
+    reverse order, ``Q^T`` in forward order.
+    """
+    packed = np.asarray(packed)
+    C = np.array(C, copy=True)
+    if C.ndim == 1:
+        C = C[:, None]
+        squeeze = True
+    else:
+        squeeze = False
+    m = packed.shape[0]
+    if C.shape[0] != m:
+        raise ShapeError(f"C must have {m} rows, got {C.shape[0]}")
+    order = range(len(taus)) if trans else range(len(taus) - 1, -1, -1)
+    refl = {j: (v, t) for j, v, t in _reflectors_qr(packed, taus)}
+    for j in order:
+        v, tau = refl[j]
+        if tau == 0:
+            continue
+        w = v @ C[j:, :]
+        C[j:, :] -= tau * np.outer(v, w)
+    return C[:, 0] if squeeze else C
+
+
+def apply_q_lq(
+    packed: np.ndarray,
+    taus: np.ndarray,
+    C: np.ndarray,
+    *,
+    trans: bool = False,
+) -> np.ndarray:
+    """Compute ``C @ Q`` (or ``C @ Q^T``) for an ``lq_factor`` result.
+
+    ``Q`` is the implicit ``n x n`` row-orthogonal factor of the LQ;
+    ``C`` must have ``n`` columns.  With ``trans=False`` this maps the
+    row space the way ``A = L Q`` requires: ``apply_q_lq(packed, taus,
+    L_padded)`` reconstructs ``A``.
+    """
+    packed = np.asarray(packed)
+    C = np.array(C, copy=True)
+    if C.ndim != 2:
+        raise ShapeError("C must be a matrix")
+    n = packed.shape[1]
+    if C.shape[1] != n:
+        raise ShapeError(f"C must have {n} columns, got {C.shape[1]}")
+    k = len(taus)
+    # lq_factor computes L = A H_0 H_1 ... H_{k-1}, so Q = H_{k-1}...H_0:
+    # C @ Q applies reflectors from k-1 down to 0; C @ Q^T forward.
+    order = range(k - 1, -1, -1) if not trans else range(k)
+    for j in order:
+        tau = taus[j]
+        if tau == 0:
+            continue
+        v = np.empty(n - j, dtype=packed.dtype)
+        v[0] = 1
+        v[1:] = packed[j, j + 1 :]
+        w = C[:, j:] @ v
+        C[:, j:] -= tau * np.outer(w, v)
+    return C

@@ -1,0 +1,166 @@
+"""From-scratch Householder orthogonal factorization kernels.
+
+These implement the LAPACK-style elementary reflector (``larfg``) and
+unblocked QR/LQ factorizations (``geqrf``/``gelqf``) used by the
+TSQR-based algorithms in this package.  The kernels preserve the working
+precision of their inputs (float32 stays float32 throughout), which is
+essential: the paper's entire single-precision pipeline depends on no
+silent upcasting.
+
+Only the triangular factor is ever needed by ST-HOSVD ("neither Q nor
+V_L need be computed", Sec. 3.1), but explicit-Q formation is provided
+for testing and for downstream users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..instrument import FlopCounter, PHASE_LQ
+from .flops import qr_flops, lq_flops
+
+__all__ = [
+    "householder_reflector",
+    "qr_factor",
+    "lq_factor",
+    "qr_r",
+    "lq_l",
+    "form_q",
+    "form_q_lq",
+]
+
+
+def householder_reflector(x: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Compute an elementary reflector annihilating ``x[1:]``.
+
+    Returns ``(v, tau, beta)`` with ``v[0] == 1`` such that
+    ``(I - tau * v v^T) x = beta * e_0``.  Matches LAPACK ``larfg``
+    semantics: if ``x[1:]`` is already zero, ``tau = 0`` and ``beta = x[0]``.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1 or x.size == 0:
+        raise ShapeError("reflector input must be a nonempty vector")
+    dt = x.dtype
+    alpha = x[0]
+    if x.size == 1:
+        return np.ones(1, dtype=dt), dt.type(0.0), alpha
+    signorm = np.linalg.norm(x[1:])
+    if signorm == 0:
+        v = np.zeros_like(x)
+        v[0] = 1
+        return v, dt.type(0.0), alpha
+    full = np.hypot(alpha, signorm)
+    beta = -full if alpha >= 0 else full
+    v0 = alpha - beta
+    v = np.empty_like(x)
+    v[0] = 1
+    np.divide(x[1:], v0, out=v[1:])
+    tau = dt.type((beta - alpha) / beta)
+    return v, tau, dt.type(beta)
+
+
+def qr_factor(A: np.ndarray, *, overwrite: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Unblocked Householder QR.
+
+    Returns ``(packed, taus)`` where ``packed`` holds R in its upper
+    triangle and the reflector vectors (sans the implicit leading 1)
+    below the diagonal — the LAPACK ``geqrf`` storage scheme.
+    """
+    A = np.array(A, copy=not overwrite, order="F")
+    if A.ndim != 2:
+        raise ShapeError("qr_factor expects a matrix")
+    m, n = A.shape
+    k = min(m, n)
+    taus = np.zeros(k, dtype=A.dtype)
+    for j in range(k):
+        v, tau, beta = householder_reflector(A[j:, j])
+        taus[j] = tau
+        A[j, j] = beta
+        A[j + 1 :, j] = v[1:]
+        if tau != 0 and j + 1 < n:
+            w = v @ A[j:, j + 1 :]
+            A[j:, j + 1 :] -= tau * np.outer(v, w)
+    return A, taus
+
+
+def lq_factor(A: np.ndarray, *, overwrite: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Unblocked Householder LQ (``gelqf`` storage: L lower, reflectors upper)."""
+    A = np.array(A, copy=not overwrite, order="C")
+    if A.ndim != 2:
+        raise ShapeError("lq_factor expects a matrix")
+    m, n = A.shape
+    k = min(m, n)
+    taus = np.zeros(k, dtype=A.dtype)
+    for j in range(k):
+        v, tau, beta = householder_reflector(A[j, j:])
+        taus[j] = tau
+        A[j, j] = beta
+        A[j, j + 1 :] = v[1:]
+        if tau != 0 and j + 1 < m:
+            w = A[j + 1 :, j:] @ v
+            A[j + 1 :, j:] -= tau * np.outer(w, v)
+    return A, taus
+
+
+def qr_r(A: np.ndarray, *, counter: FlopCounter | None = None, mode: int | None = None) -> np.ndarray:
+    """R factor of the QR decomposition (upper-trapezoidal ``min(m,n) x n``)."""
+    m, n = np.shape(A)
+    packed, _ = qr_factor(A)
+    if counter is not None:
+        counter.add(qr_flops(max(m, n), min(m, n)), phase=PHASE_LQ, mode=mode)
+    return np.triu(packed[: min(m, n), :])
+
+
+def lq_l(A: np.ndarray, *, counter: FlopCounter | None = None, mode: int | None = None) -> np.ndarray:
+    """L factor of the LQ decomposition (lower-trapezoidal ``m x min(m,n)``)."""
+    m, n = np.shape(A)
+    packed, _ = lq_factor(A)
+    if counter is not None:
+        counter.add(lq_flops(min(m, n), max(m, n)), phase=PHASE_LQ, mode=mode)
+    return np.tril(packed[:, : min(m, n)])
+
+
+def form_q(packed: np.ndarray, taus: np.ndarray, ncols: int | None = None) -> np.ndarray:
+    """Accumulate the explicit Q from ``qr_factor`` output (``orgqr``).
+
+    ``ncols`` selects the thin Q (default ``min(m, n)`` columns).
+    """
+    m, n = packed.shape
+    k = len(taus)
+    if ncols is None:
+        ncols = k
+    if not 0 < ncols <= m:
+        raise ShapeError(f"cannot form {ncols} columns of Q for an {m}-row factorization")
+    Q = np.eye(m, ncols, dtype=packed.dtype)
+    for j in range(k - 1, -1, -1):
+        tau = taus[j]
+        if tau == 0:
+            continue
+        v = np.empty(m - j, dtype=packed.dtype)
+        v[0] = 1
+        v[1:] = packed[j + 1 :, j]
+        w = v @ Q[j:, :]
+        Q[j:, :] -= tau * np.outer(v, w)
+    return Q
+
+
+def form_q_lq(packed: np.ndarray, taus: np.ndarray, nrows: int | None = None) -> np.ndarray:
+    """Accumulate the explicit Q (rows orthonormal) from ``lq_factor`` output."""
+    m, n = packed.shape
+    k = len(taus)
+    if nrows is None:
+        nrows = k
+    if not 0 < nrows <= n:
+        raise ShapeError(f"cannot form {nrows} rows of Q for an {n}-column factorization")
+    Q = np.eye(nrows, n, dtype=packed.dtype)
+    for j in range(k - 1, -1, -1):
+        tau = taus[j]
+        if tau == 0:
+            continue
+        v = np.empty(n - j, dtype=packed.dtype)
+        v[0] = 1
+        v[1:] = packed[j, j + 1 :]
+        w = Q[:, j:] @ v
+        Q[:, j:] -= tau * np.outer(w, v)
+    return Q

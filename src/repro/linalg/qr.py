@@ -1,0 +1,96 @@
+"""QR/LQ driver routines (``geqr`` / ``gelq`` equivalents).
+
+The paper calls LAPACK's driver routines for any row- or column-major
+submatrix and reserves the structured ``tpqrt`` kernel for the tree
+steps (Sec. 4.2.1).  We mirror that split: these drivers delegate to
+LAPACK (through SciPy) by default for performance, with our own
+Householder kernels available as a backend both for validation and for
+platforms where the vendor library is untrusted.  Both backends produce
+a valid triangular factor (they may differ by row/column signs, which is
+immaterial to the SVD that consumes them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from ..errors import ConfigurationError, ShapeError
+from ..instrument import FlopCounter, PHASE_LQ
+from .flops import qr_flops, lq_flops
+from .householder import qr_r, lq_l
+
+__all__ = ["geqr", "gelq", "BACKENDS"]
+
+BACKENDS = ("lapack", "householder", "blocked")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ConfigurationError(f"backend must be one of {BACKENDS}, got {backend!r}")
+
+
+def geqr(
+    A: np.ndarray,
+    *,
+    backend: str = "lapack",
+    counter: FlopCounter | None = None,
+    mode: int | None = None,
+) -> np.ndarray:
+    """R factor of a QR decomposition (``min(m,n) x n`` upper trapezoid).
+
+    Use for tall (or any) matrices where QR of the stored layout is the
+    natural operation — e.g. the transposed row-major last-mode
+    unfolding.
+    """
+    _check_backend(backend)
+    A = np.asarray(A)
+    if A.ndim != 2:
+        raise ShapeError("geqr expects a matrix")
+    m, n = A.shape
+    if backend == "householder":
+        return qr_r(A, counter=counter, mode=mode)
+    if backend == "blocked":
+        from .blocked import qr_r_blocked
+
+        return qr_r_blocked(A, counter=counter, mode=mode)
+    R = scipy.linalg.qr(A, mode="r", check_finite=False)[0]
+    R = np.ascontiguousarray(R[: min(m, n), :])
+    if counter is not None:
+        k = min(m, n)
+        counter.add(qr_flops(max(m, n), k), phase=PHASE_LQ, mode=mode)
+    return R
+
+
+def gelq(
+    A: np.ndarray,
+    *,
+    backend: str = "lapack",
+    counter: FlopCounter | None = None,
+    mode: int | None = None,
+) -> np.ndarray:
+    """L factor of an LQ decomposition (``m x min(m,n)`` lower trapezoid).
+
+    The short-fat case (``m <= n``) returns the ``m x m`` lower triangle
+    whose SVD yields the left singular vectors of ``A`` (Sec. 3.1).
+    """
+    _check_backend(backend)
+    A = np.asarray(A)
+    if A.ndim != 2:
+        raise ShapeError("gelq expects a matrix")
+    m, n = A.shape
+    if backend == "householder":
+        return lq_l(A, counter=counter, mode=mode)
+    if backend == "blocked":
+        from .blocked import qr_r_blocked
+
+        R = qr_r_blocked(A.T, counter=counter, mode=mode)
+        return np.ascontiguousarray(R.T)
+    # LQ(A) = QR(A^T)^T; A.T is a zero-copy view, and LAPACK handles
+    # either memory order.
+    R = scipy.linalg.qr(A.T, mode="r", check_finite=False)[0]
+    L = np.ascontiguousarray(R[: min(m, n), :].T)
+    if counter is not None:
+        k = min(m, n)
+        counter.add(lq_flops(k, max(m, n)), phase=PHASE_LQ, mode=mode)
+    return L

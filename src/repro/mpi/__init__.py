@@ -1,0 +1,43 @@
+"""Simulated MPI runtime: threads-as-ranks, mailboxes, collectives, clocks.
+
+This package stands in for MPI/mpi4py (not available in this
+environment): the parallel algorithms are written in pure
+message-passing style against :class:`Communicator`, and
+:func:`run_spmd` plays the role of ``mpiexec``.  An optional
+alpha-beta-gamma :class:`CostModel` gives every rank a logical clock
+advanced by the actual message schedule, which is what the scaling
+benchmarks report.
+"""
+
+from .communicator import Communicator
+from .context import SpmdContext
+from .costmodel import CommCosts, ComputeRates, CostModel, RankClock
+from .launcher import run_spmd, SpmdResult
+from .request import Request, waitall
+from .tracing import CommTrace
+from .cart import CartComm
+from .algorithms import (
+    allreduce_recursive_doubling,
+    allgather_ring,
+    bcast_scatter_allgather,
+    reduce_scatter_ring,
+)
+
+__all__ = [
+    "Communicator",
+    "SpmdContext",
+    "CommCosts",
+    "ComputeRates",
+    "CostModel",
+    "RankClock",
+    "run_spmd",
+    "SpmdResult",
+    "Request",
+    "waitall",
+    "CommTrace",
+    "CartComm",
+    "allreduce_recursive_doubling",
+    "allgather_ring",
+    "bcast_scatter_allgather",
+    "reduce_scatter_ring",
+]

@@ -1,0 +1,421 @@
+"""Simulated MPI communicator.
+
+Implements the subset of MPI used by parallel ST-HOSVD — blocking
+point-to-point (send/recv/sendrecv) plus the collectives the algorithms
+need (barrier, bcast, reduce, allreduce, gather, allgather, scatter,
+alltoall, split) — on top of the mailbox layer in
+:mod:`repro.mpi.context`.  Ranks run as threads (NumPy releases the GIL,
+so local kernels genuinely overlap) launched by
+:func:`repro.mpi.launcher.run_spmd`.
+
+Semantics mirror MPI where it matters to the algorithms:
+
+* per-(source, tag, communicator) FIFO message ordering;
+* collectives must be entered by every rank of the communicator in the
+  same order (enforced cheaply via an internal sequence number used as
+  the tag space);
+* ``split`` creates disjoint sub-communicators by color, ranked by key.
+
+Array payloads are copied on send, so a sender may immediately reuse its
+buffer — matching the blocking-send contract the algorithms assume.
+
+When a :class:`~repro.mpi.costmodel.CostModel` is attached, every
+operation advances the rank's logical clock through the *actual* message
+schedule, which is what the performance studies measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import CommunicatorError
+from .context import Envelope, SpmdContext
+from .costmodel import RankClock
+
+__all__ = ["Communicator"]
+
+# Internal tag space for collectives: user tags must be >= 0.
+_COLLECTIVE_TAG_BASE = -1
+
+
+def _payload_nbytes(obj: Any) -> int:
+    """Modeled wire size of a payload in bytes."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_nbytes(x) for x in obj) + 16
+    if obj is None:
+        return 0
+    if isinstance(obj, (int, float, np.generic)):
+        return 8
+    return 64  # nominal envelope for small pickled objects
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Snapshot a payload so sender-side mutation cannot race the receiver."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_copy_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(x) for x in obj)
+    return obj
+
+
+class Communicator:
+    """A group of simulated ranks with MPI-style operations.
+
+    Do not construct directly — use :func:`repro.mpi.run_spmd`, which
+    hands each SPMD thread its world communicator, or :meth:`split`.
+    """
+
+    def __init__(
+        self,
+        context: SpmdContext,
+        comm_id: int,
+        members: Sequence[int],
+        rank: int,
+        clock: RankClock | None = None,
+    ) -> None:
+        self._context = context
+        self._comm_id = comm_id
+        self._members = tuple(members)  # comm rank -> world rank
+        self._rank = rank
+        self.clock = clock if clock is not None else (
+            RankClock() if context.cost_model is not None else None
+        )
+        self._coll_seq = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._members)
+
+    @property
+    def world_rank(self) -> int:
+        """Underlying world rank (stable across sub-communicators)."""
+        return self._members[self._rank]
+
+    @property
+    def context(self) -> SpmdContext:
+        return self._context
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Communicator(id={self._comm_id}, rank={self._rank}/{self.size})"
+
+    def _check_rank(self, r: int, what: str) -> None:
+        if not 0 <= r < self.size:
+            raise CommunicatorError(f"{what} {r} out of range for size-{self.size} communicator")
+
+    # ------------------------------------------------------------------
+    # Cost-model hooks
+    # ------------------------------------------------------------------
+    def account_flops(self, flops: int, dtype=np.float64) -> None:
+        """Advance the logical clock by the modeled time of ``flops`` operations."""
+        if self.clock is not None and self._context.cost_model is not None:
+            rates = self._context.cost_model.compute
+            self.clock.advance(rates.flop_time(int(flops), dtype))
+
+    def phase(self, name: str, mode: int | None = None):
+        """Phase-attribution context manager (no-op without a cost model)."""
+        if self.clock is not None:
+            return self.clock.phase(name, mode)
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+    def _message_cost(self, payload: Any) -> float:
+        model = self._context.cost_model
+        if model is None:
+            return 0.0
+        return model.comm.message_cost(_payload_nbytes(payload))
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-semantics send (buffered: returns once payload is copied)."""
+        self._check_rank(dest, "destination")
+        if tag < 0:
+            raise CommunicatorError("user tags must be non-negative")
+        self._send_internal(obj, dest, tag)
+
+    def _send_internal(self, obj: Any, dest: int, tag: int) -> None:
+        self._context.check_alive()
+        if self._context.comm_trace is not None:
+            self._context.comm_trace.record_send(self.world_rank, _payload_nbytes(obj))
+        cost = self._message_cost(obj)
+        if self.clock is not None:
+            arrival = self.clock.now + cost
+            self.clock.advance(cost)
+        else:
+            arrival = 0.0
+        env = Envelope(payload=_copy_payload(obj), send_time=arrival)
+        box = self._context.mailbox(self._comm_id, self._members[dest])
+        box.put(self._rank, tag, env)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive matched on (source, tag) within this communicator."""
+        self._check_rank(source, "source")
+        if tag < 0:
+            raise CommunicatorError("user tags must be non-negative")
+        return self._recv_internal(source, tag)
+
+    def _recv_internal(self, source: int, tag: int) -> Any:
+        self._context.check_alive()
+        box = self._context.mailbox(self._comm_id, self.world_rank)
+        env = box.get(source, tag, self._context.recv_timeout)
+        if self.clock is not None:
+            self.clock.sync_to(env.send_time)
+        return env.payload
+
+    def sendrecv(self, obj: Any, partner: int, tag: int = 0) -> Any:
+        """Exchange payloads with ``partner`` (MPI_Sendrecv, symmetric)."""
+        self._check_rank(partner, "partner")
+        if partner == self._rank:
+            return _copy_payload(obj)
+        self._send_internal(obj, partner, tag)
+        return self._recv_internal(partner, tag)
+
+    # ------------------------------------------------------------------
+    # Nonblocking point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0):
+        """Nonblocking send.  Sends are buffered, so the returned request
+        is already complete; it exists for mpi4py-style code symmetry."""
+        from .request import Request
+
+        self.send(obj, dest, tag)
+        return Request.completed(kind="send")
+
+    def irecv(self, source: int, tag: int = 0):
+        """Nonblocking receive; complete with ``.wait()`` or poll ``.test()``."""
+        from .request import Request
+
+        self._check_rank(source, "source")
+        if tag < 0:
+            raise CommunicatorError("user tags must be non-negative")
+        box = self._context.mailbox(self._comm_id, self.world_rank)
+
+        def complete(blocking: bool):
+            if blocking:
+                env = box.get(source, tag, self._context.recv_timeout)
+            else:
+                env = box.try_get(source, tag)
+                if env is None:
+                    return False, None
+            if self.clock is not None:
+                self.clock.sync_to(env.send_time)
+            return True, env.payload
+
+        return Request("recv", complete_fn=complete)
+
+    # ------------------------------------------------------------------
+    # Collectives (all ranks must call in the same order)
+    # ------------------------------------------------------------------
+    def _next_coll_tag(self) -> int:
+        self._coll_seq += 1
+        return _COLLECTIVE_TAG_BASE - self._coll_seq
+
+    def barrier(self) -> None:
+        """Dissemination barrier (log P rounds of zero-byte exchanges)."""
+        tag = self._next_coll_tag()
+        p, r = self.size, self._rank
+        k = 1
+        while k < p:
+            dest = (r + k) % p
+            src = (r - k) % p
+            self._send_internal(None, dest, tag)
+            self._recv_internal(src, tag)
+            k *= 2
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast; returns the root's payload on every rank."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        p = self.size
+        if p == 1:
+            return _copy_payload(obj)
+        # Shift ranks so the root is virtual rank 0 (MPICH binomial scheme:
+        # receive from the parent across the lowest set bit, then forward
+        # to children across every lower bit).
+        vr = (self._rank - root) % p
+        value = obj
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                value = self._recv_internal((vr - mask + root) % p, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vr + mask < p:
+                self._send_internal(value, (vr + mask + root) % p, tag)
+            mask >>= 1
+        return value
+
+    def reduce(
+        self,
+        value: Any,
+        root: int = 0,
+        op: Callable[[Any, Any], Any] | None = None,
+    ) -> Any:
+        """Binomial-tree reduction; returns the result on ``root``, None elsewhere.
+
+        ``op`` defaults to elementwise addition.  It must be associative;
+        the combine order is deterministic given the communicator size.
+        """
+        self._check_rank(root, "root")
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        tag = self._next_coll_tag()
+        p = self.size
+        vr = (self._rank - root) % p
+        acc = value
+        m = 1
+        while m < p:
+            if vr % (2 * m) == 0:
+                src = vr + m
+                if src < p:
+                    other = self._recv_internal((src + root) % p, tag)
+                    acc = op(acc, other)
+            elif vr % (2 * m) == m:
+                self._send_internal(acc, (vr - m + root) % p, tag)
+                acc = None
+                break
+            m *= 2
+        return acc if vr == 0 else None
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce-then-broadcast all-reduce (result on every rank)."""
+        reduced = self.reduce(value, root=0, op=op)
+        return self.bcast(reduced, root=0)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Gather one payload per rank to ``root`` (list indexed by rank)."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            out = [None] * self.size
+            out[root] = _copy_payload(obj)
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self._recv_internal(r, tag)
+            return out
+        self._send_internal(obj, root, tag)
+        return None
+
+    def allgather(self, obj: Any) -> list:
+        """Gather to rank 0 then broadcast the list to everyone."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one payload per rank from ``root``."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicatorError(
+                    f"scatter root needs exactly {self.size} payloads"
+                )
+            for r in range(self.size):
+                if r != root:
+                    self._send_internal(objs[r], r, tag)
+            return _copy_payload(objs[root])
+        return self._recv_internal(root, tag)
+
+    def alltoall(self, objs: Sequence[Any]) -> list:
+        """Pairwise-exchange all-to-all (the paper's point-to-point algorithm).
+
+        ``objs[r]`` is delivered to rank ``r``; returns the list received,
+        indexed by source rank.  Uses ``P - 1`` rounds of shifted
+        sendrecv, the schedule assumed by the cost analysis (Sec. 3.5).
+        """
+        p = self.size
+        if len(objs) != p:
+            raise CommunicatorError(f"alltoall needs exactly {p} payloads")
+        tag = self._next_coll_tag()
+        result: list = [None] * p
+        result[self._rank] = _copy_payload(objs[self._rank])
+        for shift in range(1, p):
+            dest = (self._rank + shift) % p
+            src = (self._rank - shift) % p
+            self._send_internal(objs[dest], dest, tag)
+            result[src] = self._recv_internal(src, tag)
+        return result
+
+    def reduce_scatter(
+        self,
+        values: Sequence[Any],
+        op: Callable[[Any, Any], Any] | None = None,
+    ) -> Any:
+        """Reduce ``values[q]`` across ranks and deliver slot ``q`` to rank q.
+
+        Pairwise-exchange algorithm (built on :meth:`alltoall`): each
+        rank contributes one payload per destination; rank ``q`` returns
+        the reduction (deterministically folded in source-rank order) of
+        every rank's ``values[q]``.  This is the collective behind the
+        parallel TTM's mode-fiber reduction.
+        """
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        parts = self.alltoall(values)
+        acc = parts[0]
+        for part in parts[1:]:
+            acc = op(acc, part)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Communicator management
+    # ------------------------------------------------------------------
+    def split(self, color: int | None, key: int | None = None) -> "Communicator | None":
+        """Partition the communicator by ``color`` (MPI_Comm_split).
+
+        Ranks passing the same color form a new communicator, ordered by
+        ``(key, old rank)``.  ``color=None`` opts out and returns None.
+        Collective: every rank must call.
+        """
+        self._coll_seq += 1
+        table = self._context.split_barrier(self._comm_id, self._coll_seq, self.size)
+        sort_key = self._rank if key is None else key
+
+        def combine(contributions: dict[int, tuple]) -> dict:
+            groups: dict[int, list] = {}
+            for old_rank, (c, k) in contributions.items():
+                if c is not None:
+                    groups.setdefault(c, []).append((k, old_rank))
+            out = {}
+            for c, members in groups.items():
+                members.sort()
+                new_id = self._context.allocate_comm_id()
+                out[c] = (new_id, [self._members[old] for _, old in members],
+                          [old for _, old in members])
+            return out
+
+        result = table.contribute(
+            self._rank, (color, sort_key), combine, self._context.recv_timeout
+        )
+        if color is None:
+            return None
+        new_id, world_members, old_ranks = result[color]
+        new_rank = old_ranks.index(self._rank)
+        return Communicator(
+            self._context, new_id, world_members, new_rank, clock=self.clock
+        )
+
+    def dup(self) -> "Communicator":
+        """Duplicate into an isolated message space (MPI_Comm_dup)."""
+        child = self.split(color=0)
+        assert child is not None
+        return child

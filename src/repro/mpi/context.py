@@ -1,0 +1,182 @@
+"""Shared state of a simulated SPMD world.
+
+A :class:`SpmdContext` owns the mailboxes through which the ranks of a
+world exchange messages, the coordination structures backing collective
+setup operations (communicator split), and an abort flag so one rank's
+exception unblocks everyone instead of deadlocking the world.
+
+Messages are addressed by ``(comm_id, destination world rank)`` and
+matched on ``(source comm rank, tag)``, giving each (sub)communicator an
+isolated message space with MPI's per-channel FIFO ordering guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import CommunicatorError
+from .costmodel import CostModel
+
+__all__ = ["SpmdContext", "Envelope"]
+
+# Default seconds a blocking receive waits before declaring deadlock.
+# Functional tests run in milliseconds; a stuck match is a bug, not load.
+DEFAULT_RECV_TIMEOUT = 120.0
+
+
+@dataclass
+class Envelope:
+    """A message in flight: payload plus logical-clock send timestamp."""
+
+    payload: Any
+    send_time: float
+
+
+class _Mailbox:
+    """Per-(comm, destination-rank) mailbox with blocking matched receive."""
+
+    def __init__(self, abort_event: threading.Event) -> None:
+        self._cond = threading.Condition()
+        self._queues: dict[tuple[int, int], deque[Envelope]] = defaultdict(deque)
+        self._abort = abort_event
+
+    def put(self, source: int, tag: int, envelope: Envelope) -> None:
+        with self._cond:
+            self._queues[(source, tag)].append(envelope)
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, timeout: float) -> Envelope:
+        key = (source, tag)
+        with self._cond:
+            while True:
+                q = self._queues.get(key)
+                if q:
+                    return q.popleft()
+                if self._abort.is_set():
+                    raise CommunicatorError("SPMD world aborted while receiving")
+                if not self._cond.wait(timeout=timeout):
+                    raise CommunicatorError(
+                        f"receive timed out after {timeout}s waiting for "
+                        f"(source={source}, tag={tag}) — likely deadlock"
+                    )
+
+    def try_get(self, source: int, tag: int) -> Envelope | None:
+        """Non-blocking matched receive; None when no message is ready."""
+        with self._cond:
+            if self._abort.is_set():
+                raise CommunicatorError("SPMD world aborted while receiving")
+            q = self._queues.get((source, tag))
+            if q:
+                return q.popleft()
+            return None
+
+    def wake_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+
+class _SplitBarrier:
+    """Rendezvous used by collective setup ops (split/dup).
+
+    Every member of the parent communicator contributes a value; the
+    last arrival computes the result via ``combine`` and publishes it.
+    A fresh instance serves each collective call, keyed by the parent's
+    per-communicator operation sequence number.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._cond = threading.Condition()
+        self._contributions: dict[int, Any] = {}
+        self._result: Any = None
+        self._done = False
+
+    def contribute(self, rank: int, value: Any, combine, timeout: float):
+        with self._cond:
+            if rank in self._contributions:
+                raise CommunicatorError(f"rank {rank} contributed twice to a split")
+            self._contributions[rank] = value
+            if len(self._contributions) == self._size:
+                self._result = combine(self._contributions)
+                self._done = True
+                self._cond.notify_all()
+            else:
+                while not self._done:
+                    if not self._cond.wait(timeout=timeout):
+                        raise CommunicatorError("collective setup timed out — likely deadlock")
+            return self._result
+
+
+class SpmdContext:
+    """All shared state for one simulated world of ``world_size`` ranks."""
+
+    def __init__(
+        self,
+        world_size: int,
+        *,
+        cost_model: CostModel | None = None,
+        recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+        comm_trace=None,
+    ) -> None:
+        if world_size <= 0:
+            raise CommunicatorError("world size must be positive")
+        self.world_size = world_size
+        self.cost_model = cost_model
+        self.recv_timeout = recv_timeout
+        self.comm_trace = comm_trace
+        self.abort_event = threading.Event()
+        self.abort_reason: str | None = None
+        self._mailboxes: dict[tuple[int, int], _Mailbox] = {}
+        self._mailbox_lock = threading.Lock()
+        self._comm_id_counter = itertools.count(1)
+        self._comm_id_lock = threading.Lock()
+        self._split_tables: dict[tuple[int, int], _SplitBarrier] = {}
+        self._split_lock = threading.Lock()
+
+    # -- mailboxes -----------------------------------------------------
+    def mailbox(self, comm_id: int, world_rank: int) -> _Mailbox:
+        """The (lazily created) mailbox of one rank in one communicator."""
+        key = (comm_id, world_rank)
+        with self._mailbox_lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = _Mailbox(self.abort_event)
+                self._mailboxes[key] = box
+            return box
+
+    # -- abort handling ------------------------------------------------
+    def abort(self, reason: str) -> None:
+        """Mark the world dead and wake every blocked receiver."""
+        self.abort_reason = reason
+        self.abort_event.set()
+        with self._mailbox_lock:
+            boxes = list(self._mailboxes.values())
+        for box in boxes:
+            box.wake_all()
+
+    def check_alive(self) -> None:
+        """Raise CommunicatorError if the world has been aborted."""
+        if self.abort_event.is_set():
+            raise CommunicatorError(
+                f"SPMD world aborted: {self.abort_reason or 'unknown reason'}"
+            )
+
+    # -- collective setup ----------------------------------------------
+    def allocate_comm_id(self) -> int:
+        """Hand out a fresh communicator id (thread-safe)."""
+        with self._comm_id_lock:
+            return next(self._comm_id_counter)
+
+    def split_barrier(self, parent_comm_id: int, seqno: int, size: int) -> _SplitBarrier:
+        """Rendezvous table for the ``seqno``-th collective setup op."""
+        key = (parent_comm_id, seqno)
+        with self._split_lock:
+            table = self._split_tables.get(key)
+            if table is None:
+                table = _SplitBarrier(size)
+                self._split_tables[key] = table
+            return table

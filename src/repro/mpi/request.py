@@ -1,0 +1,77 @@
+"""Nonblocking communication requests for the simulated MPI layer.
+
+``isend`` completes immediately (sends are buffered — the payload is
+snapshotted into the destination mailbox), so its request exists for API
+symmetry.  ``irecv`` returns a request whose :meth:`Request.wait`
+performs the blocking matched receive; :meth:`Request.test` polls
+without blocking.  ``waitall`` completes a batch in order.
+
+These mirror the mpi4py idioms the algorithms' reference implementations
+use for overlapping the TSQR exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import CommunicatorError
+
+__all__ = ["Request", "waitall"]
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation."""
+
+    def __init__(self, kind: str, complete_fn=None, value: Any = None) -> None:
+        self._kind = kind
+        self._complete_fn = complete_fn
+        self._value = value
+        self._done = complete_fn is None
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    def done(self) -> bool:
+        """True once the operation has completed (never un-completes)."""
+        return self._done
+
+    def test(self) -> tuple[bool, Any]:
+        """Poll for completion; returns ``(done, value-or-None)``.
+
+        For receives, a ready message completes the request and returns
+        its payload; an empty mailbox returns ``(False, None)`` without
+        blocking.
+        """
+        if self._done:
+            return True, self._value
+        assert self._complete_fn is not None
+        ok, value = self._complete_fn(blocking=False)
+        if ok:
+            self._value = value
+            self._done = True
+            self._complete_fn = None
+        return self._done, self._value
+
+    def wait(self) -> Any:
+        """Block until completion; returns the payload (None for sends)."""
+        if self._done:
+            return self._value
+        assert self._complete_fn is not None
+        ok, value = self._complete_fn(blocking=True)
+        if not ok:  # pragma: no cover - blocking path always completes
+            raise CommunicatorError("blocking wait failed to complete")
+        self._value = value
+        self._done = True
+        self._complete_fn = None
+        return self._value
+
+    @staticmethod
+    def completed(value: Any = None, kind: str = "send") -> "Request":
+        """An already-complete request (buffered sends)."""
+        return Request(kind, complete_fn=None, value=value)
+
+
+def waitall(requests: Sequence[Request]) -> list:
+    """Complete every request, returning their payloads in order."""
+    return [r.wait() for r in requests]

@@ -1,0 +1,33 @@
+"""Performance model: machine parameters, modeled ST-HOSVD, report formatting."""
+
+from .machine import MachineModel, ANDES, CASCADE_LAKE, KERNELS
+from .simulator import ModeledRun, simulate_sthosvd
+from .grids import STRONG_SCALING_GRIDS, strong_scaling_grid, weak_scaling_config
+from .memory import MemoryModel, simulate_memory
+from .tuner import TunedConfig, enumerate_grids, tune_grid
+from .calibrate import KernelMeasurement, measure_kernel_rates, calibrate_machine
+from .report import breakdown_table, scaling_table, variant_label, PHASE_LABELS
+
+__all__ = [
+    "MachineModel",
+    "ANDES",
+    "CASCADE_LAKE",
+    "KERNELS",
+    "ModeledRun",
+    "simulate_sthosvd",
+    "STRONG_SCALING_GRIDS",
+    "strong_scaling_grid",
+    "weak_scaling_config",
+    "MemoryModel",
+    "simulate_memory",
+    "TunedConfig",
+    "enumerate_grids",
+    "tune_grid",
+    "KernelMeasurement",
+    "measure_kernel_rates",
+    "calibrate_machine",
+    "breakdown_table",
+    "scaling_table",
+    "variant_label",
+    "PHASE_LABELS",
+]

@@ -1,0 +1,62 @@
+"""Processor-grid configurations used by the paper's scaling studies.
+
+Table 1 gives the strong-scaling grids; Sec. 4.3 gives the weak-scaling
+family (forward ``1 x 2k x 4k x 4k^2`` for Gram, backward
+``4k^2 x 4k x 2k x 1`` for QR).  Helpers here return those grids so the
+benchmark harness and tests share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "STRONG_SCALING_GRIDS",
+    "strong_scaling_grid",
+    "weak_scaling_config",
+]
+
+# Table 1: cores -> (QR grid, Gram grid).  32 cores per Andes node.
+STRONG_SCALING_GRIDS: dict[int, dict[str, tuple[int, int, int, int]]] = {
+    32: {"qr": (4, 4, 2, 1), "gram": (1, 1, 2, 16)},
+    64: {"qr": (8, 4, 2, 1), "gram": (1, 1, 4, 16)},
+    128: {"qr": (8, 8, 2, 1), "gram": (1, 1, 8, 16)},
+    256: {"qr": (16, 8, 2, 1), "gram": (1, 1, 16, 16)},
+    512: {"qr": (16, 8, 4, 1), "gram": (1, 2, 16, 16)},
+    1024: {"qr": (16, 16, 4, 1), "gram": (1, 4, 16, 16)},
+    2048: {"qr": (32, 16, 4, 1), "gram": (1, 4, 16, 32)},
+}
+
+
+def strong_scaling_grid(cores: int, method: str) -> tuple[int, int, int, int]:
+    """Table 1 grid for a core count and method ('qr'/'gram')."""
+    if cores not in STRONG_SCALING_GRIDS:
+        raise ConfigurationError(
+            f"no Table-1 grid for {cores} cores "
+            f"(available: {sorted(STRONG_SCALING_GRIDS)})"
+        )
+    if method not in ("qr", "gram"):
+        raise ConfigurationError(f"method must be 'qr' or 'gram', got {method!r}")
+    return STRONG_SCALING_GRIDS[cores][method]
+
+
+def weak_scaling_config(k: int) -> dict:
+    """Sec. 4.3 weak-scaling instance for scale factor ``k`` (1, 2, 3...).
+
+    Tensor ``(250k)^4`` compressed to ``(25k)^4`` on ``k^4`` nodes
+    (32 cores each); QR uses backward ordering on ``4k^2 x 4k x 2k x 1``,
+    Gram forward ordering on ``1 x 2k x 4k x 4k^2``.
+    """
+    if k < 1:
+        raise ConfigurationError("scale factor k must be >= 1")
+    return {
+        "k": k,
+        "shape": (250 * k,) * 4,
+        "ranks": (25 * k,) * 4,
+        "nodes": k**4,
+        "cores": 32 * k**4,
+        "qr_grid": (4 * k * k, 4 * k, 2 * k, 1),
+        "qr_order": "backward",
+        "gram_grid": (1, 2 * k, 4 * k, 4 * k * k),
+        "gram_order": "forward",
+    }

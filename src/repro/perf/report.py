@@ -1,0 +1,74 @@
+"""Report formatting for modeled and measured runs.
+
+Renders the same rows/series the paper's figures show: stacked time
+breakdowns by phase and mode (Figs. 2, 3b, 4, 8b, 9b, 10), scaling
+series (Figs. 3a, 4), and compression/error tables (Tabs. 2-3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..instrument import PHASE_LQ, PHASE_GRAM, PHASE_SVD, PHASE_EVD, PHASE_TTM
+from ..util.tables import format_table
+from .simulator import ModeledRun
+
+__all__ = [
+    "breakdown_table",
+    "scaling_table",
+    "variant_label",
+    "PHASE_LABELS",
+]
+
+PHASE_LABELS = {
+    PHASE_LQ: "LQ",
+    PHASE_GRAM: "Gram",
+    PHASE_SVD: "SVD",
+    PHASE_EVD: "EVD",
+    PHASE_TTM: "TTM",
+}
+
+
+def variant_label(method: str, precision) -> str:
+    """Canonical display name, e.g. 'QR single' / 'Gram double'."""
+    from ..precision import resolve_precision
+
+    name = "QR" if method == "qr" else "Gram"
+    return f"{name} {resolve_precision(precision)}"
+
+
+def breakdown_table(runs: dict[str, ModeledRun], *, title: str | None = None) -> str:
+    """Stacked-breakdown table: one column per run, one row per (phase, mode)."""
+    labels = list(runs)
+    keys = sorted(
+        {k for run in runs.values() for k in run.seconds_by_phase_mode},
+        key=lambda pm: (pm[1] if pm[1] is not None else -1, pm[0]),
+    )
+    rows = []
+    for phase, mode in keys:
+        row = [f"{PHASE_LABELS.get(phase, phase)} (mode {mode})"]
+        row.extend(runs[l].seconds_by_phase_mode.get((phase, mode), 0.0) for l in labels)
+        rows.append(row)
+    rows.append(["TOTAL"] + [runs[l].total_seconds for l in labels])
+    return format_table(["component"] + labels, rows, title=title)
+
+
+def scaling_table(
+    series: dict[str, Sequence[tuple[int, float]]],
+    *,
+    xlabel: str = "cores",
+    ylabel: str = "seconds",
+    title: str | None = None,
+) -> str:
+    """Scaling series table: rows are x-values, one column per variant."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {label: dict(pts) for label, pts in series.items()}
+    rows = []
+    for x in xs:
+        row = [x]
+        for label in series:
+            row.append(lookup[label].get(x, float("nan")))
+        rows.append(row)
+    return format_table(
+        [xlabel] + [f"{l} [{ylabel}]" for l in series], rows, title=title
+    )

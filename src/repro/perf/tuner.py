@@ -1,0 +1,137 @@
+"""Automatic processor-grid and ordering selection.
+
+The paper hand-tunes its grids (Table 1, the weak-scaling family, the
+per-dataset choices) following two rules of thumb from Sec. 4.2: set the
+first-processed mode's grid dimension to 1, and put small grid
+dimensions on early-processed modes.  This tuner replaces the rules of
+thumb with search: it enumerates the factorizations of ``P`` over the
+tensor's modes, evaluates each (together with forward/backward ordering)
+through the performance model, and returns the best configuration — with
+an optional memory-fit constraint from the memory model.
+
+Search space: the number of ordered factorizations of P into N factors
+is modest for practical P (a few thousand for P = 2048, N = 4-5), so
+exhaustive enumeration with an optional beam cap suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import ConfigurationError
+from .machine import MachineModel
+from .memory import simulate_memory
+from .simulator import ModeledRun, simulate_sthosvd
+
+__all__ = ["TunedConfig", "enumerate_grids", "tune_grid"]
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """A ranked grid/ordering choice with its modeled cost."""
+
+    grid: tuple[int, ...]
+    mode_order: str
+    seconds: float
+    peak_bytes: float
+    run: ModeledRun
+
+
+def _factorizations(p: int, slots: int) -> Iterator[tuple[int, ...]]:
+    """All ordered factorizations of ``p`` into ``slots`` positive factors."""
+    if slots == 1:
+        yield (p,)
+        return
+    d = 1
+    while d <= p:
+        if p % d == 0:
+            for rest in _factorizations(p // d, slots - 1):
+                yield (d,) + rest
+        d += 1
+
+
+def enumerate_grids(
+    p: int,
+    shape: Sequence[int],
+    *,
+    max_grids: int | None = None,
+) -> list[tuple[int, ...]]:
+    """Feasible grids: factorizations of ``p`` with ``P_n <= I_n`` per mode."""
+    shape = tuple(int(s) for s in shape)
+    if p < 1:
+        raise ConfigurationError("processor count must be positive")
+    out = []
+    for grid in _factorizations(p, len(shape)):
+        if all(g <= s for g, s in zip(grid, shape)):
+            out.append(grid)
+            if max_grids is not None and len(out) >= max_grids:
+                break
+    if not out:
+        raise ConfigurationError(
+            f"no grid of {p} processors fits tensor shape {shape}"
+        )
+    return out
+
+
+def tune_grid(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    p: int,
+    *,
+    method: str = "qr",
+    precision="double",
+    machine: MachineModel,
+    orders: Sequence[str] = ("forward", "backward"),
+    memory_limit_bytes: float | None = None,
+    top_k: int = 1,
+    max_grids: int | None = None,
+) -> list[TunedConfig]:
+    """Best grid/ordering configurations by modeled time.
+
+    Parameters
+    ----------
+    shape, ranks:
+        Tensor dimensions and target core dimensions.
+    p:
+        Total processor count.
+    memory_limit_bytes:
+        If given, configurations whose modeled per-rank high-water mark
+        exceeds it are discarded (a node's share of RAM, typically).
+    top_k:
+        Number of configurations to return, best first.
+
+    Returns
+    -------
+    list[TunedConfig]
+        At least one entry (raises if nothing fits the memory limit).
+    """
+    shape = tuple(int(s) for s in shape)
+    ranks = tuple(int(r) for r in ranks)
+    candidates = []
+    for grid in enumerate_grids(p, shape, max_grids=max_grids):
+        for order in orders:
+            run = simulate_sthosvd(
+                shape, ranks, grid, method=method, precision=precision,
+                mode_order=order, machine=machine,
+            )
+            mem = simulate_memory(
+                shape, ranks, grid, method=method, precision=precision,
+                mode_order=order,
+            )
+            if memory_limit_bytes is not None and mem.peak_bytes > memory_limit_bytes:
+                continue
+            candidates.append(
+                TunedConfig(
+                    grid=grid, mode_order=order, seconds=run.total_seconds,
+                    peak_bytes=mem.peak_bytes, run=run,
+                )
+            )
+    if not candidates:
+        raise ConfigurationError(
+            "no configuration satisfies the memory limit "
+            f"({memory_limit_bytes} bytes/rank)"
+        )
+    candidates.sort(key=lambda c: c.seconds)
+    return candidates[: max(top_k, 1)]

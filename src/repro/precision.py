@@ -1,0 +1,109 @@
+"""Working-precision handling.
+
+The paper's central performance lever is running the entire ST-HOSVD
+pipeline in either IEEE single or double precision (the C++ code uses
+templates; we use NumPy dtypes).  This module centralizes the mapping
+between a symbolic precision name and its dtype, machine epsilon, word
+size, and the theoretical accuracy floors of the two SVD algorithms
+(Sec. 3.2 of the paper):
+
+* QR-SVD can resolve singular values down to ``eps * ||A||``;
+* Gram-SVD only down to ``sqrt(eps) * ||A||``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "Precision",
+    "PrecisionInfo",
+    "resolve_precision",
+    "SINGLE",
+    "DOUBLE",
+]
+
+
+class Precision(enum.Enum):
+    """Symbolic working precision (``single`` = float32, ``double`` = float64)."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype implementing this precision."""
+        return np.dtype(np.float32 if self is Precision.SINGLE else np.float64)
+
+    @property
+    def eps(self) -> float:
+        """Machine epsilon (unit roundoff ``2**-23`` or ``2**-52``)."""
+        return float(np.finfo(self.dtype).eps)
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per floating-point word (4 or 8)."""
+        return self.dtype.itemsize
+
+    @property
+    def qr_svd_floor(self) -> float:
+        """Relative accuracy floor of QR-SVD singular values: ``O(eps)``."""
+        return self.eps
+
+    @property
+    def gram_svd_floor(self) -> float:
+        """Relative accuracy floor of Gram-SVD singular values: ``O(sqrt(eps))``."""
+        return float(np.sqrt(self.eps))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+SINGLE = Precision.SINGLE
+DOUBLE = Precision.DOUBLE
+
+
+@dataclass(frozen=True)
+class PrecisionInfo:
+    """Resolved precision attributes, convenient for passing around."""
+
+    precision: Precision
+    dtype: np.dtype
+    eps: float
+    word_bytes: int
+
+
+def resolve_precision(precision) -> Precision:
+    """Coerce strings, dtypes, or :class:`Precision` values to a :class:`Precision`.
+
+    Accepts ``"single"``/``"double"``, ``"float32"``/``"float64"``,
+    ``np.float32``/``np.float64`` (types or dtypes), and Precision members.
+
+    Raises
+    ------
+    ConfigurationError
+        If the value does not name a supported precision.
+    """
+    if isinstance(precision, Precision):
+        return precision
+    if isinstance(precision, str):
+        name = precision.lower()
+        if name in ("single", "float32", "f32", "fp32"):
+            return Precision.SINGLE
+        if name in ("double", "float64", "f64", "fp64"):
+            return Precision.DOUBLE
+        raise ConfigurationError(f"unknown precision name: {precision!r}")
+    try:
+        dt = np.dtype(precision)
+    except TypeError as exc:  # not dtype-like at all
+        raise ConfigurationError(f"cannot interpret {precision!r} as a precision") from exc
+    if dt == np.float32:
+        return Precision.SINGLE
+    if dt == np.float64:
+        return Precision.DOUBLE
+    raise ConfigurationError(f"unsupported dtype for working precision: {dt}")

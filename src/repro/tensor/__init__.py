@@ -1,0 +1,20 @@
+"""Dense tensor substrate: natural-layout tensors, unfoldings, and TTM."""
+
+from .dense import DenseTensor
+from .unfold import unfold, fold
+from .ttm import ttm, multi_ttm, ttm_flops
+from .manipulate import permute_modes, concatenate_mode, subtensor
+from . import layout
+
+__all__ = [
+    "DenseTensor",
+    "unfold",
+    "fold",
+    "ttm",
+    "multi_ttm",
+    "ttm_flops",
+    "permute_modes",
+    "concatenate_mode",
+    "subtensor",
+    "layout",
+]

@@ -1,0 +1,106 @@
+"""Unfolding layout arithmetic (Sec. 2.1 and 3.3 of the paper).
+
+A tensor with dimensions ``I_0 x ... x I_{N-1}`` is stored with mode 0
+fastest in memory (TuckerMPI's "natural" / Fortran-style order).  For a
+mode ``n`` the paper defines
+
+* ``I_n^circ``  — product of *all* dimensions (written ``prod_all``),
+* ``I_n^otimes`` — product of dimensions *before* ``n`` (``prod_before``),
+* ``I_n^oslash`` — product of dimensions *after*  ``n`` (``prod_after``).
+
+The mode-``n`` unfolding is the ``I_n x prod_before*prod_after`` matrix
+whose columns are the mode-``n`` fibers.  In natural storage order it is
+a sequence of ``prod_after`` contiguous blocks, each an ``I_n x
+prod_before`` **row-major** matrix (Sec. 3.3 "Data Layout").  Two special
+cases fall out of the formulas: mode 0 is one contiguous column-major
+matrix, and mode N-1 is one contiguous row-major matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..util.validation import check_axis
+
+__all__ = [
+    "prod_all",
+    "prod_before",
+    "prod_after",
+    "unfolding_shape",
+    "num_column_blocks",
+    "block_shape",
+    "column_of_multi_index",
+    "multi_index_of_column",
+]
+
+
+def prod_all(shape: Sequence[int]) -> int:
+    """Product of all dimensions, ``I^circ``."""
+    return math.prod(shape)
+
+
+def prod_before(shape: Sequence[int], n: int) -> int:
+    """Product of dimensions strictly before mode ``n``, ``I_n^otimes``."""
+    n = check_axis(n, len(shape))
+    return math.prod(shape[:n])
+
+
+def prod_after(shape: Sequence[int], n: int) -> int:
+    """Product of dimensions strictly after mode ``n``, ``I_n^oslash``."""
+    n = check_axis(n, len(shape))
+    return math.prod(shape[n + 1 :])
+
+
+def unfolding_shape(shape: Sequence[int], n: int) -> tuple[int, int]:
+    """Shape ``(rows, cols)`` of the mode-``n`` unfolding."""
+    n = check_axis(n, len(shape))
+    return shape[n], prod_before(shape, n) * prod_after(shape, n)
+
+
+def num_column_blocks(shape: Sequence[int], n: int) -> int:
+    """Number of contiguous row-major column blocks of the mode-``n`` unfolding."""
+    return prod_after(shape, n)
+
+
+def block_shape(shape: Sequence[int], n: int) -> tuple[int, int]:
+    """Shape of each contiguous column block: ``(I_n, prod_before)``."""
+    n = check_axis(n, len(shape))
+    return shape[n], prod_before(shape, n)
+
+
+def column_of_multi_index(shape: Sequence[int], n: int, index: Sequence[int]) -> int:
+    """Column of the mode-``n`` unfolding holding tensor element ``index``.
+
+    Columns are ordered with mode 0 varying fastest among the non-``n``
+    modes (the natural-layout convention used throughout the paper).
+    """
+    n = check_axis(n, len(shape))
+    if len(index) != len(shape):
+        raise ValueError(f"index has {len(index)} entries for {len(shape)}-mode tensor")
+    col = 0
+    stride = 1
+    for k, (i_k, d_k) in enumerate(zip(index, shape)):
+        if k == n:
+            continue
+        if not 0 <= i_k < d_k:
+            raise ValueError(f"index {i_k} out of range for mode {k} of size {d_k}")
+        col += i_k * stride
+        stride *= d_k
+    return col
+
+
+def multi_index_of_column(shape: Sequence[int], n: int, col: int) -> tuple[int, ...]:
+    """Inverse of :func:`column_of_multi_index`; the mode-``n`` entry is 0."""
+    n = check_axis(n, len(shape))
+    rows, cols = unfolding_shape(shape, n)
+    if not 0 <= col < cols:
+        raise ValueError(f"column {col} out of range for unfolding with {cols} columns")
+    index = [0] * len(shape)
+    rem = col
+    for k, d_k in enumerate(shape):
+        if k == n:
+            continue
+        index[k] = rem % d_k
+        rem //= d_k
+    return tuple(index)

@@ -1,0 +1,77 @@
+"""Tensor manipulation: mode permutation, concatenation, subtensors.
+
+The paper considers data "in the mode order used to store it on disk"
+(Sec. 4.2.3); when a different processing order is profitable it can pay
+to physically permute the modes once so the hot unfolding becomes the
+contiguous one.  ``permute_modes`` performs that relayout.
+``concatenate_mode`` appends along a mode — the standard way simulation
+time steps accumulate into the last mode — and ``subtensor`` extracts a
+contiguous region.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..util.validation import check_axis
+from .dense import DenseTensor
+
+__all__ = ["permute_modes", "concatenate_mode", "subtensor"]
+
+
+def permute_modes(tensor: DenseTensor, perm: Sequence[int]) -> DenseTensor:
+    """Physically reorder modes so ``out.shape[i] == in.shape[perm[i]]``.
+
+    The result is a fresh natural-layout tensor: its mode 0 (the new
+    fastest-varying axis) is the input's mode ``perm[0]``.  Use before a
+    run whose first-processed mode is not mode 0 and is large enough
+    that the layout-tailored driver (gelq on contiguous data) matters.
+    """
+    if not isinstance(tensor, DenseTensor):
+        tensor = DenseTensor(tensor)
+    perm = tuple(int(p) for p in perm)
+    if sorted(perm) != list(range(tensor.ndim)):
+        raise ShapeError(f"{perm} is not a permutation of 0..{tensor.ndim - 1}")
+    return DenseTensor(np.asfortranarray(np.transpose(tensor.data, perm)))
+
+
+def concatenate_mode(
+    tensors: Sequence[DenseTensor], mode: int
+) -> DenseTensor:
+    """Concatenate tensors along ``mode`` (all other dims must match).
+
+    Typical use: assembling time steps into the last mode, which is how
+    the combustion datasets are built from per-step dumps.
+    """
+    if not tensors:
+        raise ShapeError("need at least one tensor")
+    tensors = [t if isinstance(t, DenseTensor) else DenseTensor(t) for t in tensors]
+    ndim = tensors[0].ndim
+    mode = check_axis(mode, ndim)
+    base = list(tensors[0].shape)
+    for t in tensors[1:]:
+        if t.ndim != ndim:
+            raise ShapeError("all tensors must have the same number of modes")
+        other = list(t.shape)
+        if [d for i, d in enumerate(other) if i != mode] != [
+            d for i, d in enumerate(base) if i != mode
+        ]:
+            raise ShapeError(
+                f"shape {t.shape} incompatible with {tensors[0].shape} along mode {mode}"
+            )
+        if t.dtype != tensors[0].dtype:
+            raise ShapeError("all tensors must share a working precision")
+    out = np.concatenate([t.data for t in tensors], axis=mode)
+    return DenseTensor(np.asfortranarray(out))
+
+
+def subtensor(tensor: DenseTensor, slices: Sequence[slice]) -> DenseTensor:
+    """Contiguous subtensor copy (natural layout preserved)."""
+    if not isinstance(tensor, DenseTensor):
+        tensor = DenseTensor(tensor)
+    if len(slices) != tensor.ndim:
+        raise ShapeError(f"need one slice per mode ({tensor.ndim})")
+    return DenseTensor(np.asfortranarray(tensor.data[tuple(slices)]))

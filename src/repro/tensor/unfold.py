@@ -1,0 +1,58 @@
+"""Standalone unfold/fold between tensors and matricizations.
+
+These complement the view-based accessors on :class:`DenseTensor` for
+cases where an explicit matrix (possibly produced by a kernel) must be
+reshaped back into a tensor, e.g. after a TTM computed as a matrix
+product on the unfolding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..util.validation import check_axis
+from . import layout
+from .dense import DenseTensor
+
+__all__ = ["unfold", "fold"]
+
+
+def unfold(tensor, n: int) -> np.ndarray:
+    """Mode-``n`` unfolding of a :class:`DenseTensor` or array-like.
+
+    Columns are ordered mode-0-fastest among the remaining modes, the
+    natural-layout convention.
+    """
+    if not isinstance(tensor, DenseTensor):
+        tensor = DenseTensor(tensor)
+    return tensor.unfold(n)
+
+
+def fold(matrix: np.ndarray, n: int, shape: Sequence[int]) -> DenseTensor:
+    """Inverse of :func:`unfold`: rebuild the tensor of ``shape`` from ``X_(n)``.
+
+    Parameters
+    ----------
+    matrix:
+        ``(shape[n], prod of other dims)`` array whose columns follow the
+        mode-0-fastest ordering.
+    n:
+        The unfolded mode.
+    shape:
+        Target tensor dimensions.
+    """
+    shape = tuple(int(s) for s in shape)
+    n = check_axis(n, len(shape))
+    matrix = np.asarray(matrix)
+    expected = layout.unfolding_shape(shape, n)
+    if matrix.shape != expected:
+        raise ShapeError(
+            f"mode-{n} unfolding of shape {tuple(shape)} must be {expected}, "
+            f"got {matrix.shape}"
+        )
+    moved_shape = (shape[n],) + shape[:n] + shape[n + 1 :]
+    moved = matrix.reshape(moved_shape, order="F")
+    return DenseTensor(np.moveaxis(moved, 0, n))

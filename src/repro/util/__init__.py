@@ -1,0 +1,22 @@
+"""Shared utilities: validation helpers, seeded RNG, and table formatting."""
+
+from .validation import (
+    check_axis,
+    check_positive_int,
+    check_shape_match,
+    ensure_ndarray,
+    require,
+)
+from .rng import default_rng, spawn_rngs
+from .tables import format_table
+
+__all__ = [
+    "check_axis",
+    "check_positive_int",
+    "check_shape_match",
+    "ensure_ndarray",
+    "require",
+    "default_rng",
+    "spawn_rngs",
+    "format_table",
+]

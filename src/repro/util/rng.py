@@ -1,0 +1,34 @@
+"""Seeded random-number helpers.
+
+Every stochastic routine in the package takes either a seed or a
+``numpy.random.Generator``; these helpers normalize the two and provide
+per-rank independent streams for SPMD code (each simulated MPI rank gets
+its own child stream so results do not depend on rank scheduling order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["default_rng", "spawn_rngs"]
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Return ``seed`` if it is already a Generator, else ``np.random.default_rng(seed)``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are reproducible given the
+    seed and index, independent of how many other streams exist.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive a seed sequence from the generator's own stream so that
+        # repeated calls advance deterministically.
+        seed = int(seed.integers(0, 2**63 - 1))
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,69 @@
+"""Plain-text table formatting for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this formatter keeps those reports aligned and readable
+without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        a = abs(value)
+        if 1e-3 <= a < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells are formatted with a compact
+        numeric format (4 significant digits, scientific when extreme).
+    title:
+        Optional title line printed above the table.
+    align_right:
+        Right-align data cells (natural for numbers).
+    """
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(ncols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        if align_right:
+            return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

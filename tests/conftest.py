@@ -1,0 +1,29 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import DenseTensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20210809)  # the paper's conference date
+
+
+@pytest.fixture
+def tensor4(rng) -> DenseTensor:
+    """A generic 4-mode tensor with unequal dimensions."""
+    return DenseTensor(rng.standard_normal((6, 7, 5, 8)))
+
+
+@pytest.fixture
+def tensor3(rng) -> DenseTensor:
+    return DenseTensor(rng.standard_normal((9, 4, 11)))
+
+
+@pytest.fixture
+def tensor4_f32(tensor4) -> DenseTensor:
+    return tensor4.astype(np.float32)

@@ -1,0 +1,119 @@
+"""Automatic variant selection tests (the Sec. 5 decision table)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import choose_variant, compress
+from repro.data import geometric_spectrum, tensor_with_mode_spectra
+from repro.errors import ConfigurationError
+from repro.precision import SINGLE, DOUBLE
+
+
+class TestChooseVariant:
+    def test_paper_decision_table(self):
+        """Sec. 5: loose -> Gram-single, mid -> QR-single, tight -> QR-double."""
+        assert choose_variant(1e-2).label == "gram-single"
+        assert choose_variant(1e-4).label == "qr-single"
+        assert choose_variant(1e-9).label == "qr-double"
+
+    def test_paper_boundaries_at_relaxed_safety(self):
+        """The paper's exact regime boundaries ('1e-3 or larger' for
+        Gram-single, 'between 1e-3 and 1e-7' for QR-single) sit within
+        ~3x of the floors, so they appear at safety ~ 2.9."""
+        assert choose_variant(1e-3, safety=2.8).label == "gram-single"
+        assert choose_variant(1e-6, safety=2.9).label == "qr-single"
+        # The stricter default margin shifts borderline tolerances to
+        # the next-safer variant — the conservative reading of Tab. 2,
+        # where QR-single already degrades at exactly 1e-6.
+        assert choose_variant(1e-3).label == "qr-single"
+        assert choose_variant(1e-6).label == "gram-double"
+
+    def test_gram_double_window_with_small_safety(self):
+        """The paper's narrow ~1e-7 Gram-double window appears when the
+        safety margin is relaxed."""
+        c = choose_variant(1e-7, safety=3.0)
+        assert c.label == "gram-double"
+        # With the default decade of headroom, the window closes.
+        assert choose_variant(1e-7).label == "qr-double"
+
+    def test_floors_are_derived_not_hardcoded(self):
+        c = choose_variant(1e-4)
+        assert c.floor == pytest.approx(SINGLE.eps)
+        assert c.margin == pytest.approx(1e-4 / SINGLE.eps)
+
+    def test_impossible_tolerance(self):
+        with pytest.raises(ConfigurationError, match="no variant"):
+            choose_variant(1e-16)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            choose_variant(-1e-3)
+        with pytest.raises(ConfigurationError):
+            choose_variant(1e-3, safety=0.5)
+
+
+class TestCompress:
+    @pytest.fixture(scope="class")
+    def decaying(self):
+        shape = (20, 18, 16)
+        spectra = [geometric_spectrum(s, 1.0, 1e-10) for s in shape]
+        return tensor_with_mode_spectra(shape, spectra, rng=41)
+
+    def test_selects_and_honours_tolerance(self, decaying):
+        for tol in (1e-2, 1e-4, 1e-9):
+            res = compress(decaying, tol)
+            expected = choose_variant(tol)
+            assert res.method == expected.method
+            assert res.precision is expected.precision
+            assert res.tucker.rel_error(decaying) <= tol * 1.01
+
+    def test_cheaper_variant_for_looser_tolerance(self, decaying):
+        loose = compress(decaying, 1e-2)
+        tight = compress(decaying, 1e-9)
+        assert loose.precision is SINGLE and tight.precision is DOUBLE
+        # loose run computes in half-precision Gram: fewer bytes, fewer flops
+        assert loose.tucker.core.dtype == np.float32
+        assert tight.tucker.core.dtype == np.float64
+
+    def test_beats_naive_double_gram_at_1em4(self, decaying):
+        """The selected QR-single matches accuracy while the naive
+        TuckerMPI default (Gram-double) does the same job in double."""
+        auto = compress(decaying, 1e-4)
+        from repro.core import sthosvd
+
+        naive = sthosvd(decaying, tol=1e-4, method="gram", precision="double")
+        assert auto.ranks == naive.ranks
+        assert auto.tucker.rel_error(decaying) <= 1.01e-4
+
+
+class TestTensorArithmetic:
+    def test_add_sub_roundtrip(self, tensor3):
+        Z = tensor3 + tensor3 - tensor3
+        assert Z.allclose(tensor3, rtol=1e-14, atol=0)
+
+    def test_scalar_multiply(self, tensor3):
+        Y = 2.0 * tensor3
+        assert Y.norm() == pytest.approx(2 * tensor3.norm())
+        assert (-tensor3).norm() == pytest.approx(tensor3.norm())
+
+    def test_dtype_preserved(self, tensor4_f32):
+        Y = tensor4_f32 * 3 + tensor4_f32
+        assert Y.dtype == np.float32
+
+    def test_shape_mismatch(self, tensor3, tensor4):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            tensor3 + tensor4
+
+    def test_error_tensor_workflow(self, tensor3):
+        """The idiom arithmetic enables: explicit error tensors."""
+        from repro.core import sthosvd
+
+        res = sthosvd(tensor3, tol=0.3)
+        err_tensor = tensor3 - res.tucker.reconstruct()
+        assert err_tensor.norm() / tensor3.norm() == pytest.approx(
+            res.tucker.rel_error(tensor3), rel=1e-10
+        )

@@ -1,0 +1,115 @@
+"""Checkpoint/restart tests for the out-of-core driver."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.core.outofcore as oocmod
+from repro.core import sthosvd, sthosvd_out_of_core
+from repro.core.checkpoint import (
+    _fingerprint,
+    clear_checkpoint,
+    load_checkpoint,
+)
+from repro.data import low_rank_tensor, save_raw
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def raw(tmp_path):
+    X = low_rank_tensor((12, 10, 8, 9), (3, 2, 2, 3), rng=11, noise=1e-9)
+    path = str(tmp_path / "x.bin")
+    save_raw(X, path)
+    return X, path
+
+
+def _crash_after(monkeypatch, n_calls):
+    """Patch the LQ kernel to fail after n successful calls."""
+    orig = oocmod.ooc_tensor_lq
+    state = {"n": 0}
+
+    def failing(*a, **k):
+        state["n"] += 1
+        if state["n"] > n_calls:
+            raise RuntimeError("simulated crash")
+        return orig(*a, **k)
+
+    monkeypatch.setattr(oocmod, "ooc_tensor_lq", failing)
+
+
+class TestResume:
+    def test_resume_after_crash_matches_clean_run(self, raw, tmp_path, monkeypatch):
+        X, path = raw
+        ck = str(tmp_path / "ckpt")
+        _crash_after(monkeypatch, 2)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            sthosvd_out_of_core(path, X.shape, tol=1e-6, checkpoint_dir=ck)
+        monkeypatch.undo()
+
+        fp = _fingerprint(X.shape, np.float64, 1e-6, None, "qr", (0, 1, 2, 3))
+        state = load_checkpoint(ck, fp)
+        assert state is not None
+        assert state.completed_steps == 2
+        assert sorted(state.factors) == [0, 1]
+
+        res = sthosvd_out_of_core(path, X.shape, tol=1e-6, checkpoint_dir=ck)
+        mem = sthosvd(X, tol=1e-6)
+        assert res.ranks == mem.ranks
+        assert res.tucker.rel_error(X) <= 1.2e-6
+
+    def test_checkpoint_cleared_on_success(self, raw, tmp_path):
+        X, path = raw
+        ck = str(tmp_path / "ck2")
+        sthosvd_out_of_core(path, X.shape, tol=1e-4, checkpoint_dir=ck)
+        fp = _fingerprint(X.shape, np.float64, 1e-4, None, "qr", (0, 1, 2, 3))
+        assert load_checkpoint(ck, fp) is None
+
+    def test_mismatched_config_refused(self, raw, tmp_path, monkeypatch):
+        X, path = raw
+        ck = str(tmp_path / "ck3")
+        _crash_after(monkeypatch, 1)
+        with pytest.raises(RuntimeError):
+            sthosvd_out_of_core(path, X.shape, tol=1e-6, checkpoint_dir=ck)
+        monkeypatch.undo()
+        with pytest.raises(ConfigurationError):
+            sthosvd_out_of_core(path, X.shape, tol=1e-4, checkpoint_dir=ck)
+
+    def test_clear_checkpoint_allows_new_config(self, raw, tmp_path, monkeypatch):
+        X, path = raw
+        ck = str(tmp_path / "ck4")
+        _crash_after(monkeypatch, 1)
+        with pytest.raises(RuntimeError):
+            sthosvd_out_of_core(path, X.shape, tol=1e-6, checkpoint_dir=ck)
+        monkeypatch.undo()
+        clear_checkpoint(ck)
+        res = sthosvd_out_of_core(path, X.shape, tol=1e-4, checkpoint_dir=ck)
+        assert res.tucker.rel_error(X) <= 2e-4
+
+    def test_resume_preserves_backward_order(self, raw, tmp_path, monkeypatch):
+        X, path = raw
+        ck = str(tmp_path / "ck5")
+        _crash_after(monkeypatch, 2)
+        with pytest.raises(RuntimeError):
+            sthosvd_out_of_core(path, X.shape, tol=1e-6, mode_order="backward",
+                                checkpoint_dir=ck)
+        monkeypatch.undo()
+        res = sthosvd_out_of_core(path, X.shape, tol=1e-6, mode_order="backward",
+                                  checkpoint_dir=ck)
+        mem = sthosvd(X, tol=1e-6, mode_order="backward")
+        assert res.ranks == mem.ranks
+        assert res.mode_order == (3, 2, 1, 0)
+
+    def test_no_checkpoint_dir_is_unchanged_behaviour(self, raw):
+        X, path = raw
+        res = sthosvd_out_of_core(path, X.shape, tol=1e-6)
+        assert res.tucker.rel_error(X) <= 1.2e-6
+
+    def test_load_missing_returns_none(self, tmp_path):
+        fp = _fingerprint((2, 2), np.float64, 0.1, None, "qr", (0, 1))
+        assert load_checkpoint(str(tmp_path / "nope"), fp) is None
+
+    def test_clear_missing_is_noop(self, tmp_path):
+        clear_checkpoint(str(tmp_path / "absent"))

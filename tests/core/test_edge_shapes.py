@@ -1,0 +1,106 @@
+"""Degenerate and extreme tensor shapes through the full pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import hooi, hosvd, sthosvd
+from repro.tensor import DenseTensor
+
+
+class TestOneModeTensors:
+    def test_sthosvd_vector(self):
+        X = DenseTensor(np.arange(1.0, 9.0))
+        res = sthosvd(X, tol=0.1)
+        assert res.ranks == (1,)
+        assert res.tucker.rel_error(X) < 1e-12  # a vector is rank 1
+
+    def test_methods_agree(self):
+        X = DenseTensor(np.arange(1.0, 9.0))
+        for method in ("qr", "gram"):
+            res = sthosvd(X, tol=0.5, method=method)
+            assert res.ranks == (1,)
+
+
+class TestSizeOneModes:
+    def test_middle_singleton(self, rng):
+        X = DenseTensor(rng.standard_normal((5, 1, 7)))
+        res = sthosvd(X, tol=1e-8)
+        assert res.ranks[1] == 1
+        assert res.tucker.rel_error(X) < 1e-8
+
+    def test_all_singletons(self):
+        X = DenseTensor(np.array([[[2.0]]]))
+        res = sthosvd(X, tol=0.1)
+        assert res.ranks == (1, 1, 1)
+        assert res.tucker.rel_error(X) < 1e-14
+
+    def test_leading_singleton_gram(self, rng):
+        X = DenseTensor(rng.standard_normal((1, 6, 5)))
+        res = sthosvd(X, tol=1e-6, method="gram")
+        assert res.tucker.rel_error(X) <= 1e-6
+
+
+class TestExtremeAspect:
+    def test_needle(self, rng):
+        """One huge mode, several tiny ones."""
+        X = DenseTensor(rng.standard_normal((500, 2, 2)))
+        res = sthosvd(X, tol=0.5)
+        assert res.tucker.rel_error(X) <= 0.5
+        assert res.ranks[0] <= 4  # rank bounded by the product of others
+
+    def test_pancake_backward(self, rng):
+        X = DenseTensor(rng.standard_normal((2, 2, 300)))
+        res = sthosvd(X, tol=0.3, mode_order="backward")
+        assert res.tucker.rel_error(X) <= 0.3
+
+    def test_two_mode_is_matrix_svd(self, rng):
+        """A 2-mode ST-HOSVD at rank (k, full) is a truncated matrix SVD."""
+        A = rng.standard_normal((12, 30))
+        X = DenseTensor(A)
+        res = sthosvd(X, ranks=(4, 30))
+        s = np.linalg.svd(A, compute_uv=False)
+        optimal = np.sqrt(np.sum(s[4:] ** 2)) / np.linalg.norm(A)
+        assert res.tucker.rel_error(X) == pytest.approx(optimal, rel=1e-8)
+
+
+class TestDegenerateRankRequests:
+    def test_rank_one_everywhere(self, rng):
+        X = DenseTensor(rng.standard_normal((6, 7, 8)))
+        res = sthosvd(X, ranks=(1, 1, 1))
+        assert res.tucker.core.size == 1
+
+    def test_full_rank_everywhere_is_exact(self, rng):
+        X = DenseTensor(rng.standard_normal((5, 6, 4)))
+        res = sthosvd(X, ranks=(5, 6, 4))
+        assert res.tucker.rel_error(X) < 1e-12
+
+    def test_hosvd_and_hooi_on_singletons(self, rng):
+        X = DenseTensor(rng.standard_normal((4, 1, 5)))
+        assert hosvd(X, tol=1e-8).tucker.rel_error(X) < 1e-8
+        assert hooi(X, ranks=(2, 1, 2)).tucker.rel_error(X) < 1.0
+
+
+class TestHugeToleranceAndZero:
+    def test_huge_tolerance_collapses_to_rank_one(self, rng):
+        # The per-mode budget is tol^2 ||X||^2 / N, so full collapse
+        # needs tol >= sqrt(N) (each mode may only discard its share).
+        X = DenseTensor(rng.standard_normal((6, 6, 6)))
+        res = sthosvd(X, tol=2.0)
+        assert res.ranks == (1, 1, 1)
+        # At tol = 1 the error is still bounded by 1 but ranks are mixed.
+        res1 = sthosvd(X, tol=1.0)
+        assert res1.tucker.rel_error(X) <= 1.0
+
+    def test_zero_tensor(self):
+        X = DenseTensor(np.zeros((4, 5, 6)))
+        res = sthosvd(X, tol=0.1)
+        assert res.tucker.rel_error(X) == 0.0
+        assert res.ranks == (1, 1, 1)
+
+    def test_constant_tensor_is_rank_one(self):
+        X = DenseTensor(np.full((5, 6, 7), 3.14))
+        res = sthosvd(X, tol=1e-10)
+        assert res.ranks == (1, 1, 1)
+        assert res.tucker.rel_error(X) < 1e-10

@@ -1,0 +1,114 @@
+"""Classic HOSVD and HOOI tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import hooi, hosvd, sthosvd
+from repro.data import low_rank_tensor, geometric_spectrum, tensor_with_mode_spectra
+from repro.errors import ConfigurationError
+from repro.tensor import DenseTensor
+
+
+@pytest.fixture(scope="module")
+def lowrank():
+    return low_rank_tensor((12, 14, 10), (3, 4, 2), rng=3, noise=1e-10)
+
+
+class TestHosvd:
+    def test_recovers_ranks(self, lowrank):
+        res = hosvd(lowrank, tol=1e-6)
+        assert res.ranks == (3, 4, 2)
+        assert res.tucker.rel_error(lowrank) <= 1e-6
+
+    def test_tolerance_honoured_random_data(self, rng):
+        X = DenseTensor(rng.standard_normal((8, 9, 7)))
+        res = hosvd(X, tol=0.3)
+        assert res.tucker.rel_error(X) <= 0.3
+
+    def test_factors_from_original_tensor(self, lowrank):
+        """HOSVD sigmas are the original unfolding's singular values for
+        every mode (ST-HOSVD's later modes see the truncated tensor)."""
+        res = hosvd(lowrank)
+        for n in range(3):
+            sref = np.linalg.svd(lowrank.unfold(n), compute_uv=False)
+            np.testing.assert_allclose(res.sigmas[n], sref, atol=1e-9)
+
+    def test_more_flops_than_sthosvd(self, lowrank):
+        h = hosvd(lowrank, ranks=(3, 4, 2))
+        s = sthosvd(lowrank, ranks=(3, 4, 2))
+        assert h.flops.total > s.flops.total
+
+    def test_gram_variant(self, lowrank):
+        res = hosvd(lowrank, tol=1e-6, method="gram")
+        assert res.ranks == (3, 4, 2)
+
+    def test_validation(self, lowrank):
+        with pytest.raises(ConfigurationError):
+            hosvd(lowrank, tol=0.1, ranks=(1, 1, 1))
+        with pytest.raises(ConfigurationError):
+            hosvd(lowrank, method="nope")
+        with pytest.raises(ConfigurationError):
+            hosvd(lowrank, ranks=(99, 1, 1))
+
+
+class TestHooi:
+    def test_exact_on_lowrank(self, lowrank):
+        res = hooi(lowrank, ranks=(3, 4, 2))
+        assert res.tucker.rel_error(lowrank) < 1e-8
+        assert res.converged
+
+    def test_fit_monotone(self, rng):
+        X = DenseTensor(rng.standard_normal((10, 12, 8)))
+        res = hooi(X, ranks=(3, 3, 3), max_iters=8, fit_tol=0.0)
+        fits = np.array(res.fits)
+        assert np.all(np.diff(fits) >= -1e-12)
+
+    def test_never_worse_than_sthosvd(self, rng):
+        """HOOI refines the ST-HOSVD initialization: its error estimate
+        cannot exceed the quasi-optimal starting point's."""
+        X = DenseTensor(rng.standard_normal((12, 10, 14)))
+        ranks = (4, 3, 5)
+        st = sthosvd(X, ranks=ranks)
+        ho = hooi(X, ranks=ranks, max_iters=10)
+        assert ho.tucker.rel_error(X) <= st.tucker.rel_error(X) * (1 + 1e-10)
+
+    def test_improves_on_hard_data(self):
+        """On data with coupled modes HOOI strictly improves the fit."""
+        shape = (14, 14, 14)
+        spectra = [geometric_spectrum(s, 1.0, 1e-2) for s in shape]
+        X = tensor_with_mode_spectra(shape, spectra, rng=6)
+        ranks = (4, 4, 4)
+        st_err = sthosvd(X, ranks=ranks).tucker.rel_error(X)
+        ho = hooi(X, ranks=ranks, max_iters=15)
+        assert ho.tucker.rel_error(X) <= st_err
+
+    def test_random_init_converges(self, lowrank):
+        res = hooi(lowrank, ranks=(3, 4, 2), init="random", max_iters=25)
+        assert res.tucker.rel_error(lowrank) < 1e-6
+
+    def test_rel_error_estimate_matches(self, rng):
+        X = DenseTensor(rng.standard_normal((9, 9, 9)))
+        res = hooi(X, ranks=(3, 3, 3))
+        actual = res.tucker.rel_error(X)
+        assert res.rel_error_estimate() == pytest.approx(actual, rel=1e-5)
+
+    def test_gram_method(self, lowrank):
+        res = hooi(lowrank, ranks=(3, 4, 2), method="gram")
+        assert res.tucker.rel_error(lowrank) < 1e-8
+
+    def test_single_precision(self, lowrank):
+        res = hooi(lowrank, ranks=(3, 4, 2), precision="single")
+        assert res.tucker.core.dtype == np.float32
+        assert res.tucker.rel_error(lowrank) < 1e-4
+
+    def test_validation(self, lowrank):
+        with pytest.raises(ConfigurationError):
+            hooi(lowrank, ranks=(1, 1))
+        with pytest.raises(ConfigurationError):
+            hooi(lowrank, ranks=(99, 1, 1))
+        with pytest.raises(ConfigurationError):
+            hooi(lowrank, ranks=(2, 2, 2), init="magic")
+        with pytest.raises(ConfigurationError):
+            hooi(lowrank, ranks=(2, 2, 2), max_iters=0)

@@ -1,0 +1,88 @@
+"""Tucker diagnostics, core statistics, and partial reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import core_statistics, sthosvd, validate_tucker, TuckerTensor
+from repro.data import low_rank_tensor
+from repro.errors import ShapeError
+from repro.tensor import DenseTensor
+
+
+@pytest.fixture(scope="module")
+def result():
+    X = low_rank_tensor((10, 12, 8, 6), (3, 4, 2, 2), rng=4, noise=1e-9)
+    return X, sthosvd(X, tol=1e-6)
+
+
+class TestDiagnostics:
+    def test_clean_decomposition_passes(self, result):
+        _, res = result
+        diag = validate_tucker(res.tucker)
+        assert diag.factors_orthonormal()
+        assert diag.core_all_orthogonal(rtol=1e-8)
+        assert diag.core_norm == pytest.approx(res.tucker.core.norm())
+        assert diag.compression_ratio > 1
+
+    def test_detects_broken_factor(self, result):
+        _, res = result
+        bad_factors = list(res.tucker.factors)
+        bad_factors[0] = bad_factors[0] * 2.0  # no longer orthonormal
+        bad = TuckerTensor(core=res.tucker.core, factors=tuple(bad_factors))
+        diag = validate_tucker(bad)
+        assert not diag.factors_orthonormal()
+
+    def test_detects_non_hosvd_core(self, rng):
+        """A random core is not all-orthogonal."""
+        core = DenseTensor(rng.standard_normal((4, 4, 4)))
+        factors = tuple(np.linalg.qr(rng.standard_normal((8, 4)))[0] for _ in range(3))
+        diag = validate_tucker(TuckerTensor(core=core, factors=factors))
+        assert not diag.core_all_orthogonal(rtol=1e-6)
+
+
+class TestCoreStatistics:
+    def test_fields(self, result):
+        _, res = result
+        stats = core_statistics(res.tucker)
+        assert stats["n_entries"] == res.tucker.core.size
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["norm"] == pytest.approx(res.tucker.core.norm())
+        assert 0 < stats["energy_top1pct"] <= 1
+
+    def test_compressed_core_concentrates_energy(self, result):
+        """ST-HOSVD cores front-load energy into few entries."""
+        _, res = result
+        stats = core_statistics(res.tucker)
+        uniform_share = max(0.01, 1 / stats["n_entries"])
+        assert stats["energy_top1pct"] > uniform_share
+
+
+class TestPartialReconstruction:
+    def test_matches_full_reconstruction(self, result):
+        _, res = result
+        full = res.tucker.reconstruct()
+        region = (slice(2, 5), slice(None), slice(1, 3), slice(0, 4))
+        part = res.tucker.reconstruct_slice(region)
+        np.testing.assert_allclose(part.data, full.data[region], atol=1e-12)
+
+    def test_integer_index_keeps_mode(self, result):
+        _, res = result
+        part = res.tucker.reconstruct_slice((slice(None), 3, slice(None), 0))
+        assert part.shape == (10, 1, 8, 1)
+        full = res.tucker.reconstruct()
+        np.testing.assert_allclose(
+            part.data[:, 0, :, 0], full.data[:, 3, :, 0], atol=1e-12
+        )
+
+    def test_work_scales_with_region(self, result):
+        """A single-fiber request touches only sliced factors."""
+        _, res = result
+        part = res.tucker.reconstruct_slice((0, 0, 0, slice(None)))
+        assert part.size == 6
+
+    def test_wrong_slice_count(self, result):
+        _, res = result
+        with pytest.raises(ShapeError):
+            res.tucker.reconstruct_slice((slice(None),))

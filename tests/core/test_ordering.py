@@ -1,0 +1,45 @@
+"""Mode-ordering policy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import greedy_order, resolve_mode_order
+from repro.errors import ConfigurationError
+
+
+class TestResolve:
+    def test_forward(self):
+        assert resolve_mode_order("forward", 4) == (0, 1, 2, 3)
+        assert resolve_mode_order(None, 3) == (0, 1, 2)
+
+    def test_backward(self):
+        assert resolve_mode_order("backward", 4) == (3, 2, 1, 0)
+
+    def test_explicit(self):
+        assert resolve_mode_order((2, 0, 1), 3) == (2, 0, 1)
+
+    def test_not_permutation(self):
+        with pytest.raises(ConfigurationError):
+            resolve_mode_order((0, 0, 1), 3)
+        with pytest.raises(ConfigurationError):
+            resolve_mode_order((0, 1), 3)
+
+    def test_garbage(self):
+        with pytest.raises(ConfigurationError):
+            resolve_mode_order(3.14, 3)
+
+
+class TestGreedy:
+    def test_biggest_reduction_first(self):
+        # reductions: 10/1=10, 8/4=2, 6/6=1
+        assert greedy_order((10, 8, 6), (1, 4, 6)) == (0, 1, 2)
+        assert greedy_order((6, 8, 10), (6, 4, 1)) == (2, 1, 0)
+
+    def test_is_permutation(self):
+        order = greedy_order((5, 5, 5, 5), (2, 3, 1, 4))
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            greedy_order((5, 5), (2,))

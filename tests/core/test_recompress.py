@@ -1,0 +1,81 @@
+"""Tucker recompression (rounding) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import recompress, sthosvd, validate_tucker
+from repro.data import geometric_spectrum, tensor_with_mode_spectra
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def master():
+    """A tight-tolerance 'master archive' of a compressible tensor."""
+    shape = (24, 22, 20)
+    spectra = [geometric_spectrum(s, 1.0, 1e-9) for s in shape]
+    X = tensor_with_mode_spectra(shape, spectra, rng=61)
+    res = sthosvd(X, tol=1e-7)
+    return X, res
+
+
+class TestRecompress:
+    def test_loosened_tolerance_matches_direct(self, master):
+        """Recompressing the 1e-7 master to 1e-3 gives the same ranks
+        and comparable error as compressing the original at 1e-3."""
+        X, res = master
+        rt, bound = recompress(res.tucker, tol=1e-3,
+                               prior_rel_error=res.estimated_rel_error())
+        direct = sthosvd(X, tol=1e-3)
+        assert rt.ranks == direct.ranks
+        actual = rt.rel_error(X)
+        assert actual <= bound * 1.1
+        assert actual <= 1.2e-3
+
+    def test_fixed_ranks(self, master):
+        X, res = master
+        target = tuple(max(r - 2, 1) for r in res.tucker.ranks)
+        rt, _ = recompress(res.tucker, ranks=target)
+        assert rt.ranks == target
+        assert rt.shape == X.shape
+
+    def test_factors_stay_orthonormal(self, master):
+        """Merged factors U @ V inherit orthonormal columns."""
+        X, res = master
+        rt, _ = recompress(res.tucker, tol=1e-4)
+        assert validate_tucker(rt).factors_orthonormal()
+
+    def test_error_bound_is_sound(self, master):
+        X, res = master
+        prior = res.tucker.rel_error(X)
+        for tol in (1e-2, 1e-4):
+            rt, bound = recompress(res.tucker, tol=tol, prior_rel_error=prior)
+            assert rt.rel_error(X) <= bound * 1.05
+
+    def test_noop_recompression(self, master):
+        """Recompressing at the current ranks changes nothing material."""
+        X, res = master
+        rt, _ = recompress(res.tucker, ranks=res.tucker.ranks)
+        assert rt.ranks == res.tucker.ranks
+        assert rt.rel_error(X) == pytest.approx(res.tucker.rel_error(X), rel=1e-6)
+
+    def test_growth_rejected(self, master):
+        _, res = master
+        bigger = tuple(r + 1 for r in res.tucker.ranks)
+        with pytest.raises(ConfigurationError):
+            recompress(res.tucker, ranks=bigger)
+
+    def test_rank_count_validated(self, master):
+        _, res = master
+        with pytest.raises(ConfigurationError):
+            recompress(res.tucker, ranks=(1, 1))
+
+    def test_chained_recompression(self, master):
+        """master -> 1e-4 -> 1e-2 accumulates errors orthogonally."""
+        X, res = master
+        mid, b1 = recompress(res.tucker, tol=1e-4,
+                             prior_rel_error=res.tucker.rel_error(X))
+        final, b2 = recompress(mid, tol=1e-2, prior_rel_error=b1)
+        assert final.rel_error(X) <= b2 * 1.05
+        assert final.compression_ratio() > mid.compression_ratio()

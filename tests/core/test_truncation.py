@@ -1,0 +1,79 @@
+"""Rank-selection rule tests (Alg. 1, line 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import choose_rank, error_budget_per_mode, tail_energy
+from repro.errors import ConfigurationError
+
+
+class TestBudget:
+    def test_formula(self):
+        assert error_budget_per_mode(100.0, 0.1, 4) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            error_budget_per_mode(1.0, -0.1, 3)
+        with pytest.raises(ConfigurationError):
+            error_budget_per_mode(1.0, 0.1, 0)
+        with pytest.raises(ConfigurationError):
+            error_budget_per_mode(-1.0, 0.1, 3)
+
+
+class TestTailEnergy:
+    def test_values(self):
+        t = tail_energy(np.array([2.0, 1.0]))
+        np.testing.assert_allclose(t, [5.0, 1.0, 0.0])
+
+    def test_float64_accumulation(self):
+        s = np.full(1000, 1e-3, dtype=np.float32)
+        t = tail_energy(s)
+        assert t[0] == pytest.approx(1000 * 1e-6, rel=1e-6)
+        assert t.dtype == np.float64
+
+
+class TestChooseRank:
+    def test_exact_cutoff(self):
+        sigma = np.array([2.0, 1.0, 0.5, 0.1])
+        # tails: r=0:5.26, r=1:1.26, r=2:0.26, r=3:0.01, r=4:0
+        assert choose_rank(sigma, 0.26) == 2
+        assert choose_rank(sigma, 0.25) == 3
+        assert choose_rank(sigma, 10.0) == 1  # never below rank 1
+        assert choose_rank(sigma, 0.0) == 4
+
+    def test_zero_tail_allows_truncation_at_zero_budget(self):
+        sigma = np.array([1.0, 0.0, 0.0])
+        assert choose_rank(sigma, 0.0) == 1
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choose_rank(np.array([1.0, 2.0]), 0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choose_rank(np.array([]), 0.1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choose_rank(np.array([1.0]), -1.0)
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(1, 40),
+    budget=st.floats(0, 100, allow_nan=False),
+)
+@settings(max_examples=150, deadline=None)
+def test_choose_rank_is_minimal_property(seed, n, budget):
+    """The chosen rank satisfies the budget and rank-1 fewer would not."""
+    rng = np.random.default_rng(seed)
+    sigma = np.sort(np.abs(rng.standard_normal(n)))[::-1]
+    r = choose_rank(sigma, budget)
+    tails = tail_energy(sigma)
+    assert 1 <= r <= n
+    assert tails[r] <= budget or r == n
+    if r > 1:
+        assert tails[r - 1] > budget

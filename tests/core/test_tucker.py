@@ -1,0 +1,69 @@
+"""TuckerTensor container tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TuckerTensor
+from repro.data import low_rank_tensor, random_orthonormal
+from repro.errors import ShapeError
+from repro.tensor import DenseTensor, multi_ttm
+
+
+@pytest.fixture
+def tk(rng):
+    core = DenseTensor(rng.standard_normal((2, 3, 2)))
+    factors = tuple(
+        random_orthonormal(d, r, rng) for d, r in zip((5, 7, 4), (2, 3, 2))
+    )
+    return TuckerTensor(core=core, factors=factors)
+
+
+class TestBasics:
+    def test_shapes(self, tk):
+        assert tk.shape == (5, 7, 4)
+        assert tk.ranks == (2, 3, 2)
+        assert tk.ndim == 3
+
+    def test_parameters_and_compression(self, tk):
+        n_params = 2 * 3 * 2 + 5 * 2 + 7 * 3 + 4 * 2
+        assert tk.n_parameters() == n_params
+        assert tk.compression_ratio() == pytest.approx(5 * 7 * 4 / n_params)
+
+    def test_factor_count_validation(self, rng):
+        core = DenseTensor(rng.standard_normal((2, 2)))
+        with pytest.raises(ShapeError):
+            TuckerTensor(core=core, factors=(np.eye(2),))
+
+    def test_factor_shape_validation(self, rng):
+        core = DenseTensor(rng.standard_normal((2, 2)))
+        with pytest.raises(ShapeError):
+            TuckerTensor(core=core, factors=(np.eye(2), np.ones((4, 3))))
+
+
+class TestReconstruction:
+    def test_matches_multi_ttm(self, tk):
+        ref = multi_ttm(tk.core, list(tk.factors))
+        assert tk.reconstruct() == ref
+
+    def test_exact_for_exactly_lowrank(self, rng):
+        X = low_rank_tensor((6, 5, 7), (2, 2, 3), rng)
+        from repro.core import sthosvd
+
+        res = sthosvd(X, ranks=(2, 2, 3))
+        assert res.tucker.rel_error(X) < 1e-12
+
+    def test_rel_error_zero_reference(self):
+        core = DenseTensor(np.zeros((1, 1)))
+        tkz = TuckerTensor(core=core, factors=(np.zeros((3, 1)), np.zeros((2, 1))))
+        assert tkz.rel_error(np.zeros((3, 2))) == 0.0
+
+    def test_rel_error_shape_check(self, tk):
+        with pytest.raises(ShapeError):
+            tk.rel_error(np.zeros((1, 2, 3)))
+
+    def test_astype(self, tk):
+        tks = tk.astype("single")
+        assert tks.core.dtype == np.float32
+        assert all(U.dtype == np.float32 for U in tks.factors)

@@ -1,0 +1,96 @@
+"""Application surrogate tests: the Fig. 5-7 spectral signatures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import sthosvd
+from repro.data import hcci_surrogate, sp_surrogate, video_surrogate, PAPER_SHAPES
+
+
+@pytest.fixture(scope="module")
+def hcci():
+    return hcci_surrogate(shape=(32, 32, 16, 32))
+
+
+@pytest.fixture(scope="module")
+def video():
+    return video_surrogate(shape=(28, 48, 3, 56))
+
+
+class TestShapes:
+    def test_paper_shapes_recorded(self):
+        assert PAPER_SHAPES["hcci"] == (627, 627, 33, 627)
+        assert PAPER_SHAPES["sp"] == (500, 500, 500, 11, 100)
+        assert PAPER_SHAPES["video"] == (1080, 1920, 3, 2200)
+
+    def test_default_shapes(self):
+        assert hcci_surrogate(shape=(8, 8, 6, 8)).shape == (8, 8, 6, 8)
+        assert sp_surrogate(shape=(8, 8, 8, 5, 6)).ndim == 5
+        assert video_surrogate(shape=(8, 12, 3, 10)).shape[2] == 3
+
+
+class TestCombustionSignature:
+    def test_wide_spectral_range(self, hcci):
+        """Fig. 5: singular values span many orders of magnitude."""
+        res = sthosvd(hcci, method="qr")
+        for n, s in res.sigmas.items():
+            s = s / s[0]
+            assert s[-1] < 1e-7, f"mode {n} tail too flat"
+
+    def test_compressible_at_loose_tolerance(self, hcci):
+        res = sthosvd(hcci, tol=1e-2, method="qr")
+        assert res.tucker.compression_ratio() > 20
+
+    def test_barely_compressible_at_tight_tolerance(self, hcci):
+        res = sthosvd(hcci, tol=1e-8, method="qr")
+        assert res.tucker.compression_ratio() < 10
+
+
+class TestVideoSignature:
+    def test_plateau_spectrum(self, video):
+        """Fig. 7: ~2 orders of fast decay then a slow tail."""
+        res = sthosvd(video, method="qr")
+        for n in (0, 1, 3):
+            s = res.sigmas[n] / res.sigmas[n][0]
+            # fast initial drop
+            knee = max(len(s) // 6, 2)
+            assert s[knee] < 0.15
+            # then slow: the tail is far above combustion-style decay
+            assert s[-1] > 1e-6
+
+    def test_channel_mode_full_rank(self, video):
+        res = sthosvd(video, tol=1e-3, method="qr")
+        assert res.ranks[2] == 3
+
+    def test_fixed_rank_compression(self, video):
+        """The paper's video experiment fixes ranks instead of tolerance."""
+        ranks = (10, 10, 3, 10)
+        res = sthosvd(video, ranks=ranks, method="gram", precision="single")
+        err32 = res.tucker.rel_error(video)
+        res64 = sthosvd(video, ranks=ranks, method="qr", precision="double")
+        err64 = res64.tucker.rel_error(video)
+        # All variants achieve essentially the same error (Sec. 4.5.3).
+        assert err32 == pytest.approx(err64, rel=0.05)
+        assert 0.001 < err64 < 0.9
+
+
+class TestScaleParameter:
+    def test_hcci_scale(self):
+        X = hcci_surrogate(scale=0.05)
+        assert X.shape == (31, 31, 3, 31)
+
+    def test_sp_scale(self):
+        X = sp_surrogate(scale=0.04)
+        assert X.shape == (20, 20, 20, 3, 4)
+
+    def test_video_scale_pins_channels(self):
+        X = video_surrogate(scale=0.02)
+        assert X.shape[2] == 3
+        # aspect ratio of the paper's 1080x1920 preserved
+        assert abs(X.shape[1] / X.shape[0] - 1920 / 1080) < 0.2
+
+    def test_floor_prevents_degenerate_modes(self):
+        X = hcci_surrogate(scale=0.001)
+        assert min(X.shape) >= 3

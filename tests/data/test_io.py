@@ -1,0 +1,48 @@
+"""Raw binary tensor I/O tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_raw, save_raw
+from repro.errors import ShapeError
+from repro.tensor import DenseTensor
+
+
+class TestRoundtrip:
+    def test_with_sidecar(self, tmp_path, tensor4):
+        path = str(tmp_path / "t.bin")
+        save_raw(tensor4, path)
+        back = load_raw(path)
+        assert back == tensor4
+
+    def test_float32(self, tmp_path, tensor4_f32):
+        path = str(tmp_path / "t32.bin")
+        save_raw(tensor4_f32, path)
+        back = load_raw(path)
+        assert back.dtype == np.float32
+        assert back == tensor4_f32
+
+    def test_explicit_shape_dtype(self, tmp_path, rng):
+        """Reading a TuckerMPI-style file with no sidecar."""
+        X = DenseTensor(rng.standard_normal((3, 4, 5)))
+        path = str(tmp_path / "raw.bin")
+        with open(path, "wb") as f:
+            X.flat_view().tofile(f)
+        back = load_raw(path, shape=(3, 4, 5), dtype="double")
+        assert back == X
+
+    def test_missing_sidecar_raises(self, tmp_path):
+        path = str(tmp_path / "nometa.bin")
+        np.zeros(6).tofile(path)
+        with pytest.raises(ShapeError):
+            load_raw(path)
+
+    def test_natural_order_on_disk(self, tmp_path):
+        """Mode 0 must vary fastest in the file (TuckerMPI convention)."""
+        X = DenseTensor(np.arange(6, dtype=np.float64).reshape(2, 3, order="F"))
+        path = str(tmp_path / "order.bin")
+        save_raw(X, path)
+        raw = np.fromfile(path)
+        np.testing.assert_array_equal(raw, np.arange(6))

@@ -1,0 +1,62 @@
+"""Spectrum-shape generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import geometric_spectrum, plateau_spectrum, step_spectrum
+from repro.errors import ConfigurationError
+
+
+class TestGeometric:
+    def test_endpoints(self):
+        s = geometric_spectrum(80, 1.0, 1e-18)
+        assert s[0] == pytest.approx(1.0)
+        assert s[-1] == pytest.approx(1e-18)
+        assert len(s) == 80
+
+    def test_constant_ratio(self):
+        s = geometric_spectrum(10, 1.0, 1e-9)
+        ratios = s[1:] / s[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_single_value(self):
+        np.testing.assert_allclose(geometric_spectrum(1, 3.0), [3.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            geometric_spectrum(0)
+        with pytest.raises(ConfigurationError):
+            geometric_spectrum(5, -1.0, 1e-3)
+
+
+class TestPlateau:
+    def test_shape(self):
+        s = plateau_spectrum(100, 1.0, knee_value=1e-2, knee_index=10)
+        assert s[0] == pytest.approx(1.0)
+        assert s[10] == pytest.approx(1e-2)
+        # tail decays much slower than head
+        head_drop = s[0] / s[10]
+        tail_drop = s[10] / s[-1]
+        assert head_drop > tail_drop
+
+    def test_monotone_decreasing(self):
+        s = plateau_spectrum(50)
+        assert np.all(np.diff(s) <= 0)
+
+    def test_tiny_lengths(self):
+        assert len(plateau_spectrum(1)) == 1
+        assert len(plateau_spectrum(2)) == 2
+
+
+class TestStep:
+    def test_exact_rank(self):
+        s = step_spectrum(6, 2, big=3.0)
+        np.testing.assert_array_equal(s, [3, 3, 0, 0, 0, 0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            step_spectrum(4, 0)
+        with pytest.raises(ConfigurationError):
+            step_spectrum(4, 5)

@@ -1,0 +1,121 @@
+"""Synthetic generator tests: prescribed spectra must actually materialize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    geometric_spectrum,
+    low_rank_tensor,
+    matrix_with_spectrum,
+    random_orthonormal,
+    tensor_with_mode_spectra,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+class TestRandomOrthonormal:
+    def test_orthonormal_columns(self, rng):
+        Q = random_orthonormal(8, 3, rng)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(3), atol=1e-12)
+
+    def test_reproducible_from_seed(self):
+        a = random_orthonormal(5, 2, 42)
+        b = random_orthonormal(5, 2, 42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_many_columns(self):
+        with pytest.raises(ShapeError):
+            random_orthonormal(3, 4)
+
+
+class TestMatrixWithSpectrum:
+    def test_exact_singular_values(self, rng):
+        s = np.array([5.0, 2.0, 0.5, 0.01])
+        A = matrix_with_spectrum(10, 8, s, rng)
+        np.testing.assert_allclose(
+            np.linalg.svd(A, compute_uv=False)[:4], s, rtol=1e-12
+        )
+
+    def test_dtype(self, rng):
+        A = matrix_with_spectrum(5, 5, [1.0, 0.1], rng, dtype="single")
+        assert A.dtype == np.float32
+
+    def test_too_many_values(self, rng):
+        with pytest.raises(ShapeError):
+            matrix_with_spectrum(3, 3, [1, 1, 1, 1], rng)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            matrix_with_spectrum(3, 3, [1.0, -1.0], rng)
+
+
+class TestTensorWithModeSpectra:
+    def test_spectra_shapes_realized(self):
+        shape = (20, 16, 18)
+        spectra = [geometric_spectrum(s, 1.0, 1e-8) for s in shape]
+        X = tensor_with_mode_spectra(shape, spectra, rng=0)
+        for n in range(3):
+            sv = np.linalg.svd(X.unfold(n), compute_uv=False)
+            sv = sv / sv[0]
+            target = spectra[n] / spectra[n][0]
+            # log-space correlation: shape tracks the prescription
+            corr = np.corrcoef(np.log10(sv), np.log10(target))[0, 1]
+            assert corr > 0.98
+
+    def test_entries_not_graded(self):
+        """The orthogonal mixing must spread scales across all entries
+        (otherwise the Gram noise-floor experiments are invalid)."""
+        shape = (16, 14, 12)
+        spectra = [geometric_spectrum(s, 1.0, 1e-10) for s in shape]
+        X = tensor_with_mode_spectra(shape, spectra, rng=1)
+        row_norms = np.linalg.norm(X.unfold(0), axis=1)
+        # After mixing, every slice's norm is within a few orders of the
+        # largest (pre-mixing they span 10 orders of magnitude).
+        assert row_norms.max() / row_norms.min() < 1e3
+
+    def test_wrong_spectrum_count(self):
+        with pytest.raises(ConfigurationError):
+            tensor_with_mode_spectra((4, 4), [np.ones(4)], rng=0)
+
+    def test_wrong_spectrum_length(self):
+        with pytest.raises(ShapeError):
+            tensor_with_mode_spectra((4, 4), [np.ones(4), np.ones(3)], rng=0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tensor_with_mode_spectra((2, 2), [np.ones(2), np.zeros(2)], rng=0)
+
+    def test_float32_output(self):
+        X = tensor_with_mode_spectra(
+            (5, 5), [np.ones(5), np.ones(5)], rng=0, dtype="single"
+        )
+        assert X.dtype == np.float32
+
+    def test_leading_values_order_one(self):
+        shape = (12, 10, 14)
+        spectra = [geometric_spectrum(s, 1.0, 1e-12) for s in shape]
+        X = tensor_with_mode_spectra(shape, spectra, rng=2)
+        sv0 = np.linalg.svd(X.unfold(0), compute_uv=False)[0]
+        assert 0.05 < sv0 < 50
+
+
+class TestLowRankTensor:
+    def test_exact_rank(self):
+        X = low_rank_tensor((8, 9, 7), (2, 3, 2), rng=0)
+        for n, r in enumerate((2, 3, 2)):
+            sv = np.linalg.svd(X.unfold(n), compute_uv=False)
+            assert sv[r - 1] > 1e-8
+            np.testing.assert_allclose(sv[r:], 0, atol=1e-10)
+
+    def test_noise_floor(self):
+        X = low_rank_tensor((8, 9, 7), (2, 3, 2), rng=0, noise=1e-3)
+        sv = np.linalg.svd(X.unfold(0), compute_uv=False)
+        assert sv[-1] > 1e-5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            low_rank_tensor((4, 4), (5, 1), rng=0)
+        with pytest.raises(ConfigurationError):
+            low_rank_tensor((4, 4), (1,), rng=0)

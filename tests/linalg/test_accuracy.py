@@ -1,0 +1,83 @@
+"""Tests for the Theorem 1/2 accuracy-floor utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    min_reachable_tolerance,
+    singular_value_floor,
+    subspace_angle,
+    trustworthy_count,
+)
+from repro.precision import SINGLE, DOUBLE
+
+
+class TestFloors:
+    def test_qr_floor_is_eps(self):
+        assert singular_value_floor(1.0, "qr", DOUBLE) == pytest.approx(2**-52)
+        assert singular_value_floor(1.0, "qr", SINGLE) == pytest.approx(2**-23)
+
+    def test_gram_floor_is_sqrt_eps(self):
+        assert singular_value_floor(1.0, "gram", DOUBLE) == pytest.approx(2**-26)
+        assert singular_value_floor(1.0, "gram", SINGLE) == pytest.approx(2**-11.5)
+
+    def test_scales_with_norm(self):
+        assert singular_value_floor(100.0, "qr", DOUBLE) == pytest.approx(100 * 2**-52)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            singular_value_floor(1.0, "randomized", DOUBLE)
+
+    def test_floor_ordering_matches_fig1(self):
+        """gram-f32 > {qr-f32, gram-f64} > qr-f64."""
+        f = {
+            ("gram", SINGLE): singular_value_floor(1.0, "gram", SINGLE),
+            ("qr", SINGLE): singular_value_floor(1.0, "qr", SINGLE),
+            ("gram", DOUBLE): singular_value_floor(1.0, "gram", DOUBLE),
+            ("qr", DOUBLE): singular_value_floor(1.0, "qr", DOUBLE),
+        }
+        assert f[("gram", SINGLE)] > f[("qr", SINGLE)] > f[("gram", DOUBLE)] > f[("qr", DOUBLE)]
+
+
+class TestTrustworthyCount:
+    def test_counts_above_floor(self):
+        sigma = np.array([1.0, 1e-3, 1e-6, 1e-9, 1e-12])
+        assert trustworthy_count(sigma, 1.0, "gram", DOUBLE) == 3  # floor ~1.5e-8
+        assert trustworthy_count(sigma, 1.0, "qr", DOUBLE) == 5
+        assert trustworthy_count(sigma, 1.0, "gram", SINGLE) == 2  # floor ~3.5e-4
+
+
+class TestMinReachableTolerance:
+    def test_values(self):
+        assert min_reachable_tolerance("qr", DOUBLE) == pytest.approx(2**-52)
+        assert min_reachable_tolerance("gram", SINGLE) == pytest.approx(
+            np.sqrt(2**-23)
+        )
+
+    def test_paper_tolerance_claims(self):
+        """Sec. 5: 1e-8 requires QR double; 1e-4 is QR-single territory."""
+        assert min_reachable_tolerance("qr", DOUBLE) < 1e-8
+        assert min_reachable_tolerance("gram", DOUBLE) > 1e-9
+        assert min_reachable_tolerance("qr", SINGLE) < 1e-4
+        assert min_reachable_tolerance("gram", SINGLE) > 1e-4
+
+
+class TestSubspaceAngle:
+    def test_same_space_is_zero(self, rng):
+        U = np.linalg.qr(rng.standard_normal((10, 3)))[0]
+        # Any basis of the same space, e.g. rotated columns.
+        Q = np.linalg.qr(rng.standard_normal((3, 3)))[0]
+        assert subspace_angle(U, U @ Q) == pytest.approx(0.0, abs=1e-7)
+
+    def test_orthogonal_spaces(self):
+        U = np.eye(4)[:, :2]
+        V = np.eye(4)[:, 2:]
+        assert subspace_angle(U, V) == pytest.approx(np.pi / 2)
+
+    def test_known_angle(self):
+        theta = 0.3
+        U = np.array([[1.0], [0.0]])
+        V = np.array([[np.cos(theta)], [np.sin(theta)]])
+        assert subspace_angle(U, V) == pytest.approx(theta, rel=1e-9)

@@ -1,0 +1,106 @@
+"""Implicit-Q application (ormqr/ormlq) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.linalg import apply_q, apply_q_lq, form_q, form_q_lq, lq_factor, qr_factor
+
+
+class TestApplyQ:
+    @pytest.fixture()
+    def factorization(self, rng):
+        A = rng.standard_normal((12, 5))
+        packed, taus = qr_factor(A)
+        Q = form_q(packed, taus, ncols=12)
+        return A, packed, taus, Q
+
+    def test_q_times_c(self, factorization, rng):
+        _, packed, taus, Q = factorization
+        C = rng.standard_normal((12, 4))
+        np.testing.assert_allclose(apply_q(packed, taus, C), Q @ C, atol=1e-12)
+
+    def test_qt_times_c(self, factorization, rng):
+        _, packed, taus, Q = factorization
+        C = rng.standard_normal((12, 4))
+        np.testing.assert_allclose(
+            apply_q(packed, taus, C, trans=True), Q.T @ C, atol=1e-12
+        )
+
+    def test_reconstructs_a(self, factorization):
+        A, packed, taus, _ = factorization
+        R = np.triu(packed[:5, :])
+        RC = np.vstack([R, np.zeros((7, 5))])
+        np.testing.assert_allclose(apply_q(packed, taus, RC), A, atol=1e-12)
+
+    def test_roundtrip_q_qt(self, factorization, rng):
+        _, packed, taus, _ = factorization
+        C = rng.standard_normal((12, 3))
+        back = apply_q(packed, taus, apply_q(packed, taus, C, trans=True))
+        np.testing.assert_allclose(back, C, atol=1e-12)
+
+    def test_vector_input(self, factorization, rng):
+        _, packed, taus, Q = factorization
+        c = rng.standard_normal(12)
+        out = apply_q(packed, taus, c)
+        assert out.ndim == 1
+        np.testing.assert_allclose(out, Q @ c, atol=1e-12)
+
+    def test_input_not_modified(self, factorization, rng):
+        _, packed, taus, _ = factorization
+        C = rng.standard_normal((12, 2))
+        before = C.copy()
+        apply_q(packed, taus, C)
+        np.testing.assert_array_equal(C, before)
+
+    def test_row_mismatch(self, factorization):
+        _, packed, taus, _ = factorization
+        with pytest.raises(ShapeError):
+            apply_q(packed, taus, np.zeros((5, 2)))
+
+
+class TestApplyQLq:
+    @pytest.fixture()
+    def factorization(self, rng):
+        A = rng.standard_normal((4, 11))
+        packed, taus = lq_factor(A)
+        Q = form_q_lq(packed, taus, nrows=11)
+        return A, packed, taus, Q
+
+    def test_c_times_q(self, factorization, rng):
+        _, packed, taus, Q = factorization
+        C = rng.standard_normal((3, 11))
+        np.testing.assert_allclose(apply_q_lq(packed, taus, C), C @ Q, atol=1e-12)
+
+    def test_c_times_qt(self, factorization, rng):
+        _, packed, taus, Q = factorization
+        C = rng.standard_normal((3, 11))
+        np.testing.assert_allclose(
+            apply_q_lq(packed, taus, C, trans=True), C @ Q.T, atol=1e-12
+        )
+
+    def test_reconstructs_a(self, factorization):
+        A, packed, taus, _ = factorization
+        L = np.tril(packed[:, :4])
+        Lp = np.hstack([L, np.zeros((4, 7))])
+        np.testing.assert_allclose(apply_q_lq(packed, taus, Lp), A, atol=1e-12)
+
+    def test_column_mismatch(self, factorization):
+        _, packed, taus, _ = factorization
+        with pytest.raises(ShapeError):
+            apply_q_lq(packed, taus, np.zeros((2, 5)))
+
+
+@given(m=st.integers(2, 12), n=st.integers(1, 10), seed=st.integers(0, 10**5))
+@settings(max_examples=40, deadline=None)
+def test_apply_q_orthogonality_property(m, n, seed):
+    """Q application preserves norms (orthogonal operator)."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, n))
+    packed, taus = qr_factor(A)
+    c = rng.standard_normal(m)
+    out = apply_q(packed, taus, c)
+    assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(c), rel=1e-10)

@@ -1,0 +1,98 @@
+"""Blocked (compact WY) Householder QR tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.linalg import build_t_factor, qr_factor_blocked, qr_r, qr_r_blocked
+
+
+class TestBlockedQr:
+    @pytest.mark.parametrize("m,n,block", [
+        (40, 16, 8), (16, 16, 32), (64, 5, 2), (7, 25, 4), (33, 17, 16),
+    ])
+    def test_gram_identity(self, rng, m, n, block):
+        A = rng.standard_normal((m, n))
+        R = qr_r_blocked(A, block=block)
+        np.testing.assert_allclose(R.T @ R, A.T @ A, atol=1e-10 * max(m, n))
+
+    def test_matches_unblocked_up_to_signs(self, rng):
+        A = rng.standard_normal((30, 12))
+        np.testing.assert_allclose(
+            np.abs(qr_r_blocked(A, block=5)), np.abs(qr_r(A)), atol=1e-10
+        )
+
+    def test_block_size_independent(self, rng):
+        A = rng.standard_normal((25, 10))
+        results = [np.abs(qr_r_blocked(A, block=b)) for b in (1, 3, 10, 64)]
+        for R in results[1:]:
+            np.testing.assert_allclose(R, results[0], atol=1e-10)
+
+    def test_q_reconstruction_via_panels(self, rng):
+        A = rng.standard_normal((20, 8))
+        packed, panels = qr_factor_blocked(A, block=3)
+        Q = np.eye(20)
+        for off, V, T in reversed(panels):
+            W = V.T @ Q[off:, :]
+            Q[off:, :] -= V @ (T @ W)
+        R = np.triu(packed[:8, :])
+        np.testing.assert_allclose(Q[:, :8] @ R, A, atol=1e-11)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(20), atol=1e-11)
+
+    def test_float32(self, rng):
+        A = rng.standard_normal((30, 10)).astype(np.float32)
+        R = qr_r_blocked(A)
+        assert R.dtype == np.float32
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            qr_factor_blocked(np.ones(4))
+        with pytest.raises(ShapeError):
+            qr_factor_blocked(rng.standard_normal((4, 4)), block=0)
+
+
+class TestTFactor:
+    def test_block_reflector_equals_product(self, rng):
+        """I - V T V^T must equal the product of the reflectors."""
+        m, k = 12, 4
+        A = rng.standard_normal((m, k))
+        from repro.linalg import qr_factor
+
+        packed, taus = qr_factor(A)
+        V = np.zeros((m, k))
+        for c in range(k):
+            V[c, c] = 1
+            V[c + 1 :, c] = packed[c + 1 :, c]
+        T = build_t_factor(V, taus)
+        block_q = np.eye(m) - V @ T @ V.T
+        ref = np.eye(m)
+        for c in range(k):
+            v = V[:, c]
+            ref = ref @ (np.eye(m) - taus[c] * np.outer(v, v))
+        np.testing.assert_allclose(block_q, ref, atol=1e-12)
+
+    def test_zero_tau_handled(self):
+        V = np.eye(3, 2)
+        T = build_t_factor(V, np.array([0.5, 0.0]))
+        assert T[1, 1] == 0.0
+
+    def test_tau_shape_checked(self):
+        with pytest.raises(ShapeError):
+            build_t_factor(np.eye(3, 2), np.array([0.5]))
+
+
+@given(
+    m=st.integers(1, 30),
+    n=st.integers(1, 12),
+    block=st.integers(1, 8),
+    seed=st.integers(0, 10**5),
+)
+@settings(max_examples=40, deadline=None)
+def test_blocked_gram_property(m, n, block, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, n))
+    R = qr_r_blocked(A, block=block)
+    np.testing.assert_allclose(R.T @ R, A.T @ A, atol=1e-8)

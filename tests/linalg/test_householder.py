@@ -1,0 +1,149 @@
+"""Tests for the from-scratch Householder QR/LQ kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.instrument import FlopCounter
+from repro.linalg import (
+    form_q,
+    form_q_lq,
+    householder_reflector,
+    lq_factor,
+    lq_l,
+    qr_factor,
+    qr_r,
+)
+
+
+class TestReflector:
+    def test_annihilates_tail(self, rng):
+        x = rng.standard_normal(7)
+        v, tau, beta = householder_reflector(x)
+        Hx = x - tau * v * (v @ x)
+        assert Hx[0] == pytest.approx(beta, rel=1e-12)
+        np.testing.assert_allclose(Hx[1:], 0, atol=1e-12)
+        assert abs(beta) == pytest.approx(np.linalg.norm(x), rel=1e-12)
+
+    def test_already_annihilated(self):
+        x = np.array([3.0, 0.0, 0.0])
+        v, tau, beta = householder_reflector(x)
+        assert tau == 0.0
+        assert beta == 3.0
+
+    def test_single_element(self):
+        v, tau, beta = householder_reflector(np.array([-2.5]))
+        assert tau == 0.0
+        assert beta == -2.5
+
+    def test_float32_stays_float32(self, rng):
+        x = rng.standard_normal(5).astype(np.float32)
+        v, tau, beta = householder_reflector(x)
+        assert v.dtype == np.float32
+        assert np.asarray(tau).dtype == np.float32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            householder_reflector(np.array([]))
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            householder_reflector(np.zeros((2, 2)))
+
+
+class TestQrFactor:
+    @pytest.mark.parametrize("m,n", [(8, 5), (5, 5), (5, 8), (20, 3), (1, 4), (4, 1)])
+    def test_reconstruction(self, rng, m, n):
+        A = rng.standard_normal((m, n))
+        packed, taus = qr_factor(A)
+        k = min(m, n)
+        Q = form_q(packed, taus)
+        R = np.triu(packed[:k, :])
+        np.testing.assert_allclose(Q @ R, A, atol=1e-12)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(k), atol=1e-12)
+
+    def test_matches_numpy_r_up_to_signs(self, rng):
+        A = rng.standard_normal((10, 4))
+        R_ours = qr_r(A)
+        R_np = np.linalg.qr(A)[1]
+        np.testing.assert_allclose(np.abs(R_ours), np.abs(R_np), atol=1e-12)
+
+    def test_counter_charged(self, rng):
+        A = rng.standard_normal((10, 4))
+        c = FlopCounter()
+        qr_r(A, counter=c, mode=2)
+        assert c.total > 0
+        assert c.by_phase_mode[("lq", 2)] == c.total
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            qr_factor(np.zeros(5))
+
+
+class TestLqFactor:
+    @pytest.mark.parametrize("m,n", [(5, 8), (5, 5), (8, 5), (3, 20), (1, 4)])
+    def test_reconstruction(self, rng, m, n):
+        A = rng.standard_normal((m, n))
+        packed, taus = lq_factor(A)
+        k = min(m, n)
+        Q = form_q_lq(packed, taus)
+        L = np.tril(packed[:, :k])
+        np.testing.assert_allclose(L @ Q, A, atol=1e-12)
+        np.testing.assert_allclose(Q @ Q.T, np.eye(k), atol=1e-12)
+
+    def test_lq_transpose_consistency(self, rng):
+        """LQ of A and QR of A^T give transposed triangles (up to signs)."""
+        A = rng.standard_normal((4, 9))
+        L = lq_l(A)
+        R = qr_r(A.T)
+        np.testing.assert_allclose(np.abs(L), np.abs(R.T), atol=1e-12)
+
+    def test_gram_invariant(self, rng):
+        A = rng.standard_normal((4, 50))
+        L = lq_l(A)
+        np.testing.assert_allclose(L @ L.T, A @ A.T, atol=1e-10)
+
+
+class TestFormQ:
+    def test_thin_q_shape(self, rng):
+        A = rng.standard_normal((9, 4))
+        packed, taus = qr_factor(A)
+        Q = form_q(packed, taus, ncols=2)
+        assert Q.shape == (9, 2)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(2), atol=1e-12)
+
+    def test_bad_ncols(self, rng):
+        A = rng.standard_normal((5, 3))
+        packed, taus = qr_factor(A)
+        with pytest.raises(ShapeError):
+            form_q(packed, taus, ncols=6)
+
+
+@given(
+    m=st.integers(1, 12),
+    n=st.integers(1, 12),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_qr_gram_identity_property(m, n, seed):
+    """R^T R == A^T A regardless of shape: the invariant TSQR relies on."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, n))
+    R = qr_r(A)
+    np.testing.assert_allclose(R.T @ R, A.T @ A, atol=1e-10)
+
+
+@given(
+    m=st.integers(1, 10),
+    n=st.integers(1, 10),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_lq_gram_identity_property(m, n, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, n))
+    L = lq_l(A)
+    np.testing.assert_allclose(L @ L.T, A @ A.T, atol=1e-10)

@@ -1,0 +1,112 @@
+"""One-sided Jacobi SVD tests (sequential kernel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConvergenceError, ShapeError
+from repro.instrument import FlopCounter
+from repro.linalg import jacobi_left_svd, jacobi_orthogonalize_pairs
+from repro.data import matrix_with_spectrum, geometric_spectrum
+
+
+class TestOrthogonalizePairs:
+    def test_single_pair_orthogonalizes(self, rng):
+        W = rng.standard_normal((6, 2))
+        rot = jacobi_orthogonalize_pairs(W)
+        assert rot == 1
+        assert abs(W[:, 0] @ W[:, 1]) < 1e-10 * np.linalg.norm(W)
+
+    def test_orthogonal_input_no_rotation(self):
+        W = np.eye(4)[:, :3].copy()
+        assert jacobi_orthogonalize_pairs(W) == 0
+
+    def test_norm_preserved(self, rng):
+        W = rng.standard_normal((5, 4))
+        before = np.linalg.norm(W)
+        jacobi_orthogonalize_pairs(W)
+        assert np.linalg.norm(W) == pytest.approx(before, rel=1e-12)
+
+    def test_zero_column_skipped(self, rng):
+        W = rng.standard_normal((5, 3))
+        W[:, 1] = 0
+        jacobi_orthogonalize_pairs(W)  # must not divide by zero
+        np.testing.assert_array_equal(W[:, 1], 0)
+
+    def test_explicit_pairs(self, rng):
+        W = rng.standard_normal((6, 4))
+        rot = jacobi_orthogonalize_pairs(W, pairs=[(0, 1)])
+        assert rot <= 1
+        assert abs(W[:, 0] @ W[:, 1]) < 1e-10 * np.linalg.norm(W)
+
+    def test_vector_rejected(self):
+        with pytest.raises(ShapeError):
+            jacobi_orthogonalize_pairs(np.ones(4))
+
+
+class TestJacobiLeftSvd:
+    def test_matches_lapack(self, rng):
+        A = rng.standard_normal((10, 8))
+        U, s = jacobi_left_svd(A)
+        np.testing.assert_allclose(s, np.linalg.svd(A, compute_uv=False), atol=1e-12)
+        np.testing.assert_allclose(U.T @ U, np.eye(8), atol=1e-12)
+        np.testing.assert_allclose(U.T @ (A @ A.T) @ U, np.diag(s**2), atol=1e-10)
+
+    def test_triangular_input(self, rng):
+        L = np.tril(rng.standard_normal((12, 12)))
+        _, s = jacobi_left_svd(L)
+        np.testing.assert_allclose(s, np.linalg.svd(L, compute_uv=False), atol=1e-11)
+
+    def test_input_not_modified(self, rng):
+        A = rng.standard_normal((6, 6))
+        before = A.copy()
+        jacobi_left_svd(A)
+        np.testing.assert_array_equal(A, before)
+
+    def test_exactly_rank_deficient(self, rng):
+        A = rng.standard_normal((8, 2)) @ rng.standard_normal((2, 6))
+        U, s = jacobi_left_svd(A)
+        np.testing.assert_allclose(s[2:], 0, atol=1e-10)
+
+    def test_float32(self, rng):
+        A = rng.standard_normal((8, 8)).astype(np.float32)
+        U, s = jacobi_left_svd(A)
+        assert U.dtype == np.float32 and s.dtype == np.float32
+        np.testing.assert_allclose(
+            s, np.linalg.svd(A.astype(np.float64), compute_uv=False),
+            rtol=2e-5, atol=1e-5,
+        )
+
+    def test_high_relative_accuracy(self):
+        """Jacobi's selling point: tiny singular values to high relative
+        accuracy on well-scaled matrices."""
+        true = geometric_spectrum(20, 1.0, 1e-12)
+        A = matrix_with_spectrum(20, 20, true, rng=1)
+        _, s = jacobi_left_svd(A)
+        rel = np.abs(s - true) / true
+        assert rel.max() < 1e-3
+
+    def test_convergence_error(self, rng):
+        with pytest.raises(ConvergenceError):
+            jacobi_left_svd(rng.standard_normal((20, 20)), max_sweeps=1)
+
+    def test_counter(self, rng):
+        c = FlopCounter()
+        jacobi_left_svd(rng.standard_normal((6, 6)), counter=c)
+        assert c.phase_total("svd") > 0
+
+
+@given(
+    m=st.integers(1, 9),
+    n=st.integers(1, 9),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=50, deadline=None)
+def test_jacobi_singular_values_property(m, n, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, n))
+    _, s = jacobi_left_svd(A)
+    ref = np.linalg.svd(A, compute_uv=False)
+    np.testing.assert_allclose(s[: len(ref)], ref, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for the geqr/gelq driver routines and backend agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.instrument import FlopCounter
+from repro.linalg import geqr, gelq
+
+
+class TestGeqr:
+    @pytest.mark.parametrize("backend", ["lapack", "householder"])
+    @pytest.mark.parametrize("m,n", [(12, 5), (5, 5), (5, 12)])
+    def test_gram_identity(self, rng, backend, m, n):
+        A = rng.standard_normal((m, n))
+        R = geqr(A, backend=backend)
+        assert R.shape == (min(m, n), n)
+        np.testing.assert_allclose(R.T @ R, A.T @ A, atol=1e-10)
+
+    def test_backends_agree_up_to_signs(self, rng):
+        A = rng.standard_normal((10, 4))
+        R1 = geqr(A, backend="lapack")
+        R2 = geqr(A, backend="householder")
+        np.testing.assert_allclose(np.abs(R1), np.abs(R2), atol=1e-10)
+
+    def test_float32(self, rng):
+        A = rng.standard_normal((20, 4)).astype(np.float32)
+        R = geqr(A)
+        assert R.dtype == np.float32
+
+    def test_counter(self, rng):
+        c = FlopCounter()
+        geqr(rng.standard_normal((10, 4)), counter=c)
+        assert c.total > 0
+
+    def test_bad_backend(self, rng):
+        with pytest.raises(ConfigurationError):
+            geqr(rng.standard_normal((3, 3)), backend="cuda")
+
+    def test_vector_rejected(self):
+        with pytest.raises(ShapeError):
+            geqr(np.ones(4))
+
+
+class TestGelq:
+    @pytest.mark.parametrize("backend", ["lapack", "householder"])
+    @pytest.mark.parametrize("m,n", [(4, 15), (5, 5), (9, 4)])
+    def test_gram_identity(self, rng, backend, m, n):
+        A = rng.standard_normal((m, n))
+        L = gelq(A, backend=backend)
+        assert L.shape == (m, min(m, n))
+        np.testing.assert_allclose(L @ L.T, A @ A.T, atol=1e-10)
+
+    def test_lower_triangular(self, rng):
+        L = gelq(rng.standard_normal((5, 20)))
+        np.testing.assert_array_equal(np.triu(L, 1), 0)
+
+    def test_on_transposed_view(self, rng):
+        """The drivers must accept non-contiguous (transposed) views."""
+        A = rng.standard_normal((30, 4))
+        L = gelq(A.T)
+        np.testing.assert_allclose(L @ L.T, A.T @ A, atol=1e-10)
+
+    def test_singular_values_preserved(self, rng):
+        A = rng.standard_normal((6, 40))
+        L = gelq(A)
+        np.testing.assert_allclose(
+            np.linalg.svd(L, compute_uv=False),
+            np.linalg.svd(A, compute_uv=False),
+            atol=1e-10,
+        )
+
+
+class TestBlockedBackend:
+    @pytest.mark.parametrize("m,n", [(40, 10), (10, 40), (12, 12)])
+    def test_geqr_blocked(self, rng, m, n):
+        A = rng.standard_normal((m, n))
+        R = geqr(A, backend="blocked")
+        np.testing.assert_allclose(R.T @ R, A.T @ A, atol=1e-10)
+
+    @pytest.mark.parametrize("m,n", [(6, 30), (30, 6)])
+    def test_gelq_blocked(self, rng, m, n):
+        A = rng.standard_normal((m, n))
+        L = gelq(A, backend="blocked")
+        np.testing.assert_allclose(L @ L.T, A @ A.T, atol=1e-10)
+
+    def test_counter_charged(self, rng):
+        c = FlopCounter()
+        geqr(rng.standard_normal((20, 5)), backend="blocked", counter=c)
+        assert c.total > 0
+
+    def test_sthosvd_with_blocked_backend(self, rng):
+        from repro.core import sthosvd
+        from repro.tensor import DenseTensor
+
+        X = DenseTensor(rng.standard_normal((8, 9, 7)))
+        a = sthosvd(X, tol=0.2, method="qr", backend="blocked")
+        b = sthosvd(X, tol=0.2, method="qr", backend="lapack")
+        assert a.ranks == b.ranks

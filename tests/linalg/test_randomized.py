@@ -1,0 +1,102 @@
+"""Randomized SVD tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.data import geometric_spectrum, matrix_with_spectrum, low_rank_tensor
+from repro.instrument import FlopCounter
+from repro.linalg import randomized_left_svd, tensor_randomized_svd
+
+
+class TestRandomizedLeftSvd:
+    def test_exact_on_low_rank(self, rng):
+        A = rng.standard_normal((20, 5)) @ rng.standard_normal((5, 300))
+        U, s = randomized_left_svd(A, 5, rng=0)
+        sref = np.linalg.svd(A, compute_uv=False)[:5]
+        np.testing.assert_allclose(s, sref, rtol=1e-10)
+        np.testing.assert_allclose(U.T @ U, np.eye(5), atol=1e-10)
+
+    def test_decaying_spectrum_accurate(self):
+        true = geometric_spectrum(30, 1.0, 1e-8)
+        A = matrix_with_spectrum(30, 400, true, rng=3)
+        _, s = randomized_left_svd(A, 8, rng=1, power_iters=1)
+        np.testing.assert_allclose(s, true[:8], rtol=1e-6)
+
+    def test_output_shapes(self, rng):
+        A = rng.standard_normal((12, 80))
+        U, s = randomized_left_svd(A, 4, rng=0)
+        assert U.shape == (12, 4)
+        assert s.shape == (4,)
+
+    def test_subspace_captures_energy(self, rng):
+        A = rng.standard_normal((15, 6)) @ rng.standard_normal((6, 200))
+        U, _ = randomized_left_svd(A, 6, rng=0)
+        residual = A - U @ (U.T @ A)
+        assert np.linalg.norm(residual) < 1e-8 * np.linalg.norm(A)
+
+    def test_reproducible_given_seed(self, rng):
+        A = rng.standard_normal((10, 50))
+        s1 = randomized_left_svd(A, 3, rng=7)[1]
+        s2 = randomized_left_svd(A, 3, rng=7)[1]
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_dtype_follows_input(self, rng):
+        A = rng.standard_normal((10, 50)).astype(np.float32)
+        U, s = randomized_left_svd(A, 3, rng=0)
+        assert U.dtype == np.float32
+
+    def test_power_iterations_help_flat_tails(self, rng):
+        true = np.concatenate([np.ones(5), np.full(45, 0.5)])
+        A = matrix_with_spectrum(50, 500, true, rng=5)
+        sref = np.linalg.svd(A, compute_uv=False)[:5]
+        err0 = np.abs(randomized_left_svd(A, 5, rng=1, power_iters=0)[1] - sref).max()
+        err2 = np.abs(randomized_left_svd(A, 5, rng=1, power_iters=3)[1] - sref).max()
+        assert err2 <= err0 + 1e-12
+
+    def test_validation(self, rng):
+        A = rng.standard_normal((10, 20))
+        with pytest.raises(ConfigurationError):
+            randomized_left_svd(A, 0)
+        with pytest.raises(ConfigurationError):
+            randomized_left_svd(A, 11)
+        with pytest.raises(ConfigurationError):
+            randomized_left_svd(A, 3, oversample=-1)
+        with pytest.raises(ShapeError):
+            randomized_left_svd(np.ones(5), 1)
+
+    def test_counter(self, rng):
+        c = FlopCounter()
+        randomized_left_svd(rng.standard_normal((10, 60)), 3, rng=0, counter=c)
+        assert c.total > 0
+
+
+class TestTensorRandomizedSvd:
+    def test_matches_leading_singular_values(self):
+        X = low_rank_tensor((14, 12, 10), (3, 4, 2), rng=2, noise=1e-10)
+        for n, r in enumerate((3, 4, 2)):
+            _, s = tensor_randomized_svd(X, n, r, rng=0)
+            sref = np.linalg.svd(X.unfold(n), compute_uv=False)[:r]
+            np.testing.assert_allclose(s, sref, rtol=1e-5)
+
+    def test_in_sthosvd(self):
+        from repro.core import sthosvd
+
+        X = low_rank_tensor((16, 14, 12), (3, 3, 3), rng=4, noise=1e-10)
+        res = sthosvd(X, ranks=(3, 3, 3), method="randomized")
+        assert res.tucker.rel_error(X) < 1e-6
+
+    def test_sthosvd_requires_ranks(self):
+        from repro.core import sthosvd
+        from repro.errors import ConfigurationError
+
+        X = low_rank_tensor((8, 8, 8), (2, 2, 2), rng=0)
+        with pytest.raises(ConfigurationError):
+            sthosvd(X, tol=1e-4, method="randomized")
+
+    def test_rank_validation(self):
+        X = low_rank_tensor((8, 8, 8), (2, 2, 2), rng=0)
+        with pytest.raises(ConfigurationError):
+            tensor_randomized_svd(X, 0, 99)

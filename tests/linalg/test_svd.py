@@ -1,0 +1,137 @@
+"""Tests for the Gram-SVD and QR-SVD algorithms, including the paper's
+Sec. 3.2 accuracy separation between them."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.data import geometric_spectrum, matrix_with_spectrum
+from repro.linalg import (
+    gram_matrix,
+    gram_svd,
+    qr_svd,
+    svd_from_gram,
+    tensor_gram,
+    tensor_gram_svd,
+    tensor_qr_svd,
+)
+
+
+class TestGramMatrix:
+    def test_matches_definition(self, rng):
+        A = rng.standard_normal((5, 40))
+        np.testing.assert_allclose(gram_matrix(A), A @ A.T, atol=1e-12)
+
+    def test_symmetric(self, rng):
+        G = gram_matrix(rng.standard_normal((6, 30)))
+        np.testing.assert_array_equal(G, G.T)
+
+    def test_tensor_gram_all_modes(self, tensor4):
+        for n in range(4):
+            Y = tensor4.unfold(n)
+            np.testing.assert_allclose(tensor_gram(tensor4, n), Y @ Y.T, atol=1e-10)
+
+    def test_tensor_gram_float32(self, tensor4_f32):
+        G = tensor_gram(tensor4_f32, 1)
+        assert G.dtype == np.float32
+
+
+class TestSvdFromGram:
+    def test_sorted_descending(self, rng):
+        A = rng.standard_normal((6, 50))
+        _, s = svd_from_gram(gram_matrix(A))
+        assert np.all(np.diff(s) <= 0)
+
+    def test_negative_eigenvalues_folded(self):
+        # A Gram matrix polluted with a small negative eigenvalue (as
+        # happens when accuracy is lost) must still yield sorted sigmas.
+        G = np.diag([4.0, 1.0, -1e-12])
+        _, s = svd_from_gram(G)
+        assert s[0] == pytest.approx(2.0)
+        assert np.all(s >= 0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            svd_from_gram(np.zeros((3, 4)))
+
+
+class TestAgainstLapack:
+    @pytest.mark.parametrize("fn", [qr_svd, gram_svd])
+    def test_singular_values(self, rng, fn):
+        A = rng.standard_normal((8, 100))
+        _, s = fn(A)
+        np.testing.assert_allclose(
+            s, np.linalg.svd(A, compute_uv=False), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("fn", [qr_svd, gram_svd])
+    def test_left_vectors_span(self, rng, fn):
+        A = rng.standard_normal((6, 80))
+        U, s = fn(A)
+        # U must diagonalize A A^T.
+        np.testing.assert_allclose(U.T @ (A @ A.T) @ U, np.diag(s**2), atol=1e-8)
+
+    def test_tensor_variants(self, tensor4):
+        for n in range(4):
+            sref = np.linalg.svd(tensor4.unfold(n), compute_uv=False)
+            for fn in (tensor_qr_svd, tensor_gram_svd):
+                _, s = fn(tensor4, n)
+                np.testing.assert_allclose(s, sref, atol=1e-10)
+
+
+class TestAccuracySeparation:
+    """The heart of Sec. 3.2: QR-SVD resolves to eps, Gram-SVD to sqrt(eps)."""
+
+    @pytest.fixture(scope="class")
+    def decaying_matrix(self):
+        s = geometric_spectrum(60, 1.0, 1e-12)
+        return matrix_with_spectrum(60, 60, s, rng=11), s
+
+    @staticmethod
+    def _accurate_count(computed, true, tol_orders=1.0):
+        computed = np.maximum(np.asarray(computed, dtype=np.float64), 1e-300)
+        good = np.abs(np.log10(computed) - np.log10(true)) <= tol_orders
+        # count the leading run of accurate values
+        bad = np.nonzero(~good)[0]
+        return int(bad[0]) if bad.size else len(true)
+
+    def test_double_precision_ordering(self, decaying_matrix):
+        A, s = decaying_matrix
+        _, s_qr = qr_svd(A)
+        _, s_gram = gram_svd(A)
+        n_qr = self._accurate_count(s_qr, s)
+        n_gram = self._accurate_count(s_gram, s)
+        # QR resolves strictly deeper than Gram.
+        assert n_qr > n_gram
+        # Gram's floor is near sqrt(eps_d) ~ 1e-8: it cannot resolve 1e-11.
+        assert s[n_gram - 1] > 1e-10
+        # QR resolves everything here (floor eps_d ~ 1e-16 << 1e-12).
+        assert n_qr == len(s)
+
+    def test_single_precision_ordering(self, decaying_matrix):
+        A, s = decaying_matrix
+        Af = A.astype(np.float32)
+        _, s_qr = qr_svd(Af)
+        _, s_gram = gram_svd(Af)
+        n_qr = self._accurate_count(s_qr, s)
+        n_gram = self._accurate_count(s_gram, s)
+        assert n_qr > n_gram
+        # Gram single loses accuracy around sqrt(eps_s) ~ 3e-4.
+        assert 1e-6 < s[n_gram - 1] < 1e-1
+
+    def test_four_variant_ordering(self, decaying_matrix):
+        """Fig. 1's ordering: Gram-f32 < QR-f32 <= Gram-f64 < QR-f64."""
+        A, s = decaying_matrix
+        Af = A.astype(np.float32)
+        counts = {
+            "gram32": self._accurate_count(gram_svd(Af)[1], s),
+            "qr32": self._accurate_count(qr_svd(Af)[1], s),
+            "gram64": self._accurate_count(gram_svd(A)[1], s),
+            "qr64": self._accurate_count(qr_svd(A)[1], s),
+        }
+        assert counts["gram32"] < counts["qr32"]
+        assert counts["gram32"] < counts["gram64"]
+        assert counts["qr32"] <= counts["gram64"] + 5  # close, per Fig. 1
+        assert counts["qr64"] == max(counts.values())

@@ -1,0 +1,134 @@
+"""Tests for the sequential TensorLQ (paper Alg. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.instrument import FlopCounter
+from repro.tensor import DenseTensor
+from repro.linalg import tensor_lq
+
+
+class TestTensorLq:
+    @pytest.mark.parametrize("backend", ["lapack", "householder"])
+    def test_gram_identity_all_modes(self, tensor4, backend):
+        for n in range(4):
+            L = tensor_lq(tensor4, n, backend=backend)
+            Y = tensor4.unfold(n)
+            np.testing.assert_allclose(L @ L.T, Y @ Y.T, atol=1e-10)
+
+    def test_lower_triangular_square(self, tensor4):
+        for n in range(4):
+            L = tensor_lq(tensor4, n)
+            rows = tensor4.shape[n]
+            assert L.shape == (rows, rows)
+            np.testing.assert_array_equal(np.triu(L, 1), 0)
+
+    def test_singular_values_match_unfolding(self, tensor4):
+        for n in range(4):
+            L = tensor_lq(tensor4, n)
+            np.testing.assert_allclose(
+                np.linalg.svd(L, compute_uv=False),
+                np.linalg.svd(tensor4.unfold(n), compute_uv=False),
+                atol=1e-10,
+            )
+
+    def test_mode_out_of_range(self, tensor4):
+        with pytest.raises(ShapeError):
+            tensor_lq(tensor4, 4)
+
+    def test_two_mode_tensor(self, rng):
+        X = DenseTensor(rng.standard_normal((5, 30)))
+        for n in range(2):
+            L = tensor_lq(X, n)
+            Y = X.unfold(n)
+            np.testing.assert_allclose(L @ L.T, Y @ Y.T, atol=1e-10)
+
+    def test_tall_mode_needs_block_combining(self, rng):
+        # Mode-1 blocks are (8 x 2): the first LQ must combine 4 blocks.
+        X = DenseTensor(rng.standard_normal((2, 8, 12)))
+        L = tensor_lq(X, 1)
+        Y = X.unfold(1)
+        np.testing.assert_allclose(L @ L.T, Y @ Y.T, atol=1e-10)
+
+    def test_degenerate_unfolding_taller_than_wide(self, rng):
+        # Mode-1 unfolding is 10 x 6: fewer columns than rows overall.
+        X = DenseTensor(rng.standard_normal((2, 10, 3)))
+        L = tensor_lq(X, 1)
+        Y = X.unfold(1)
+        np.testing.assert_allclose(L @ L.T, Y @ Y.T, atol=1e-10)
+
+    def test_float32_pipeline(self, tensor4_f32):
+        for n in range(4):
+            L = tensor_lq(tensor4_f32, n)
+            assert L.dtype == np.float32
+            Y = tensor4_f32.unfold(n)
+            np.testing.assert_allclose(
+                L @ L.T, Y @ Y.T, rtol=2e-3, atol=2e-3
+            )
+
+    def test_input_not_mutated(self, tensor4):
+        before = tensor4.copy()
+        for n in range(4):
+            tensor_lq(tensor4, n)
+        assert tensor4 == before
+
+    def test_counter_attributes_to_mode(self, tensor4):
+        c = FlopCounter()
+        tensor_lq(tensor4, 2, counter=c)
+        assert c.total > 0
+        assert sum(v for (ph, m), v in c.by_phase_mode.items() if m == 2) == c.total
+
+    def test_accepts_raw_array(self, rng):
+        arr = rng.standard_normal((4, 5, 6))
+        L = tensor_lq(arr, 1)
+        assert L.shape == (5, 5)
+
+
+@given(
+    shape=st.lists(st.integers(1, 6), min_size=2, max_size=4).map(tuple),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_tensor_lq_gram_property(shape, seed):
+    rng = np.random.default_rng(seed)
+    X = DenseTensor(rng.standard_normal(shape))
+    for n in range(len(shape)):
+        L = tensor_lq(X, n)
+        Y = X.unfold(n)
+        np.testing.assert_allclose(L @ L.T, Y @ Y.T, atol=1e-8)
+
+
+class TestBinaryTreeVariant:
+    def test_matches_flat_tree_gram(self, tensor4):
+        from repro.linalg import tensor_lq_binary_tree
+
+        for n in range(4):
+            L1 = tensor_lq(tensor4, n)
+            L2 = tensor_lq_binary_tree(tensor4, n, leaf_cols=16)
+            np.testing.assert_allclose(L1 @ L1.T, L2 @ L2.T, atol=1e-9)
+
+    def test_leaf_width_independent(self, tensor4):
+        from repro.linalg import tensor_lq_binary_tree
+
+        ref = tensor_lq(tensor4, 1)
+        for leaf in (8, 32, 1024):
+            L = tensor_lq_binary_tree(tensor4, 1, leaf_cols=leaf)
+            np.testing.assert_allclose(L @ L.T, ref @ ref.T, atol=1e-9)
+
+    def test_tall_unfolding(self, rng):
+        from repro.linalg import tensor_lq_binary_tree
+
+        X = DenseTensor(rng.standard_normal((9, 2, 3)))
+        L = tensor_lq_binary_tree(X, 0)
+        Y = X.unfold(0)
+        np.testing.assert_allclose(L @ L.T, Y @ Y.T, atol=1e-9)
+
+    def test_float32(self, tensor4_f32):
+        from repro.linalg import tensor_lq_binary_tree
+
+        L = tensor_lq_binary_tree(tensor4_f32, 2)
+        assert L.dtype == np.float32

@@ -1,0 +1,117 @@
+"""Quantitative verification of the paper's Theorems 1 and 2 (Sec. 3.2).
+
+Rather than only checking which method fails where (Fig. 1's shape),
+these tests measure the actual error quantities the theorems bound —
+singular value errors, per-vector angles, subspace angles, and low-rank
+approximation errors — and verify each sits within a modest constant of
+its bound, and that Gram-SVD's errors exhibit the extra ||A||/sigma
+amplification factor relative to QR-SVD's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import geometric_spectrum, matrix_with_spectrum, random_orthonormal
+from repro.linalg import gram_svd, qr_svd, subspace_angle
+
+# A comfortably-resolvable spectrum for double precision with known gaps.
+N = 40
+SIGMA = geometric_spectrum(N, 1.0, 1e-10)
+EPS_D = 2.0**-52
+EPS_S = 2.0**-23
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(77)
+    U = random_orthonormal(N, N, rng)
+    V = random_orthonormal(N, N, rng)
+    A = (U * SIGMA) @ V.T
+    return A, U
+
+
+class TestTheorem1QrSvd:
+    def test_singular_value_absolute_error(self, problem):
+        """|sigma_i~ - sigma_i| = O(eps ||A||) for every i (eq. 1)."""
+        A, _ = problem
+        _, s = qr_svd(A)
+        err = np.abs(s - SIGMA)
+        assert err.max() < 100 * EPS_D * SIGMA[0]
+
+    def test_subspace_angle_bound(self, problem):
+        """theta(U_k, U_k~) = O(eps ||A|| / gap_k) (eq. 3)."""
+        A, U = problem
+        Uc, s = qr_svd(A)
+        for k in (5, 10, 20):
+            gap = SIGMA[k - 1] - SIGMA[k]
+            theta = subspace_angle(U[:, :k], Uc[:, :k])
+            assert theta < 1000 * EPS_D * SIGMA[0] / gap
+
+    def test_low_rank_error_matches_exact_truncation(self, problem):
+        """eq. (4): computed projector error ~ exact truncated-SVD error."""
+        A, _ = problem
+        Uc, _ = qr_svd(A)
+        for k in (5, 15):
+            exact = np.sqrt(np.sum(SIGMA[k:] ** 2))  # Frobenius tail
+            P = Uc[:, :k]
+            resid = np.linalg.norm(A - P @ (P.T @ A))
+            assert resid == pytest.approx(exact, rel=1e-6)
+
+    def test_single_precision_scales_with_eps(self, problem):
+        A, _ = problem
+        _, s32 = qr_svd(A.astype(np.float32))
+        err32 = np.abs(np.asarray(s32, dtype=np.float64) - SIGMA).max()
+        _, s64 = qr_svd(A)
+        err64 = np.abs(s64 - SIGMA).max()
+        # errors scale roughly like the machine epsilons (huge ratio)
+        assert err32 > 1e4 * err64
+        assert err32 < 1e4 * EPS_S * SIGMA[0]
+
+
+class TestTheorem2GramSvd:
+    def test_amplification_factor_on_singular_values(self, problem):
+        """Gram's sigma_i error carries the extra ||A||/sigma_i factor
+        (eq. 5): small values degrade dramatically faster than QR's."""
+        A, _ = problem
+        _, s_qr = qr_svd(A)
+        _, s_gram = gram_svd(A)
+        err_qr = np.abs(s_qr - SIGMA)
+        err_gram = np.abs(s_gram - SIGMA)
+        # At sigma_i ~ 1e-6, the amplification ||A||/sigma_i ~ 1e6.
+        idx = int(np.argmin(np.abs(SIGMA - 1e-6)))
+        assert err_gram[idx] > 10 * err_qr[idx]
+        # Leading values are fine for both.
+        assert err_gram[0] < 100 * EPS_D
+
+    def test_relative_error_blows_up_at_sqrt_eps(self, problem):
+        """Values below sqrt(eps)||A|| have O(1)+ relative error (Sec. 3.2)."""
+        A, _ = problem
+        _, s_gram = gram_svd(A)
+        rel = np.abs(s_gram - SIGMA) / SIGMA
+        below_floor = SIGMA < np.sqrt(EPS_D) * SIGMA[0] / 10
+        above_floor = SIGMA > np.sqrt(EPS_D) * SIGMA[0] * 100
+        assert rel[below_floor].min() > 0.5  # noise
+        assert rel[above_floor].max() < 1e-2  # fine
+
+    def test_subspace_angle_amplified(self, problem):
+        """eq. (7): the subspace bound carries ||A||/sigma_k too."""
+        A, U = problem
+        Uq, _ = qr_svd(A)
+        Ug, _ = gram_svd(A)
+        # Choose k where sigma_k ~ 1e-7: QR fine, Gram noisy.
+        k = int(np.argmin(np.abs(SIGMA - 1e-7)))
+        th_qr = subspace_angle(U[:, :k], Uq[:, :k])
+        th_gram = subspace_angle(U[:, :k], Ug[:, :k])
+        assert th_gram > 100 * th_qr
+
+    def test_both_fine_for_well_conditioned_leading_space(self, problem):
+        """Where ||A||/sigma_k is modest the two methods agree — the
+        reason Gram-SVD is usable at all for loose tolerances."""
+        A, U = problem
+        Uq, _ = qr_svd(A)
+        Ug, _ = gram_svd(A)
+        k = 4  # sigma_4 ~ 0.1
+        assert subspace_angle(U[:, :k], Ug[:, :k]) < 1e-11
+        assert subspace_angle(Uq[:, :k], Ug[:, :k]) < 1e-11

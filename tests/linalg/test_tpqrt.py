@@ -1,0 +1,140 @@
+"""Tests for the structured triangle-on-pentagon QR kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.instrument import FlopCounter
+from repro.linalg import tpqrt, tpqrt_reduce_triangles
+from repro.linalg.flops import tpqrt_flops
+
+
+def _gram(R):
+    return R.T @ R
+
+
+class TestRectangular:
+    @pytest.mark.parametrize("n,m", [(4, 7), (4, 4), (4, 1), (1, 5), (6, 20)])
+    def test_matches_dense_qr(self, rng, n, m):
+        R = np.triu(rng.standard_normal((n, n)))
+        B = rng.standard_normal((m, n))
+        ref = np.linalg.qr(np.vstack([R, B]))[1]
+        out = tpqrt(R.copy(), B.copy(), structure="rect")
+        np.testing.assert_allclose(_gram(out), _gram(ref), atol=1e-10)
+
+    def test_r_stays_upper_triangular(self, rng):
+        R = np.triu(rng.standard_normal((5, 5)))
+        B = rng.standard_normal((3, 5))
+        out = tpqrt(R.copy(), B.copy())
+        np.testing.assert_array_equal(np.tril(out, -1), 0)
+
+    def test_b_annihilated_in_place(self, rng):
+        R = np.triu(rng.standard_normal((4, 4)))
+        B = rng.standard_normal((3, 4))
+        tpqrt(R, B)
+        np.testing.assert_array_equal(B, 0)
+
+    def test_keep_reflectors(self, rng):
+        R = np.triu(rng.standard_normal((4, 4)))
+        B = rng.standard_normal((3, 4))
+        tpqrt(R, B, keep_reflectors=True)
+        assert np.any(B != 0)
+
+    def test_zero_b_is_noop(self, rng):
+        R = np.triu(rng.standard_normal((4, 4)))
+        out = tpqrt(R.copy(), np.zeros((3, 4)))
+        np.testing.assert_array_equal(out, R)
+
+    def test_float32(self, rng):
+        R = np.triu(rng.standard_normal((4, 4))).astype(np.float32)
+        B = rng.standard_normal((5, 4)).astype(np.float32)
+        out = tpqrt(R.copy(), B.copy())
+        assert out.dtype == np.float32
+        ref = np.linalg.qr(np.vstack([R, B]).astype(np.float64))[1]
+        np.testing.assert_allclose(_gram(out), _gram(ref), rtol=1e-3, atol=1e-4)
+
+
+class TestTriangular:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_matches_dense_qr(self, rng, n):
+        R1 = np.triu(rng.standard_normal((n, n)))
+        R2 = np.triu(rng.standard_normal((n, n)))
+        ref = np.linalg.qr(np.vstack([R1, R2]))[1]
+        out = tpqrt_reduce_triangles(R1, R2)
+        np.testing.assert_allclose(_gram(out), _gram(ref), atol=1e-10)
+
+    def test_inputs_not_modified(self, rng):
+        R1 = np.triu(rng.standard_normal((4, 4)))
+        R2 = np.triu(rng.standard_normal((4, 4)))
+        c1, c2 = R1.copy(), R2.copy()
+        tpqrt_reduce_triangles(R1, R2)
+        np.testing.assert_array_equal(R1, c1)
+        np.testing.assert_array_equal(R2, c2)
+
+    def test_deterministic(self, rng):
+        R1 = np.triu(rng.standard_normal((5, 5)))
+        R2 = np.triu(rng.standard_normal((5, 5)))
+        a = tpqrt_reduce_triangles(R1, R2)
+        b = tpqrt_reduce_triangles(R1, R2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            tpqrt_reduce_triangles(np.zeros((3, 3)), np.zeros((4, 4)))
+
+
+class TestValidation:
+    def test_r_must_be_square(self):
+        with pytest.raises(ShapeError):
+            tpqrt(np.zeros((3, 4)), np.zeros((2, 4)))
+
+    def test_column_mismatch(self):
+        with pytest.raises(ShapeError):
+            tpqrt(np.zeros((3, 3)), np.zeros((2, 4)))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(ShapeError):
+            tpqrt(np.zeros((3, 3)), np.zeros((2, 3), dtype=np.float32))
+
+    def test_tri_structure_must_be_square(self):
+        with pytest.raises(ShapeError):
+            tpqrt(np.zeros((3, 3)), np.zeros((2, 3)), structure="tri")
+
+    def test_unknown_structure(self):
+        with pytest.raises(ShapeError):
+            tpqrt(np.zeros((3, 3)), np.zeros((3, 3)), structure="hexagonal")
+
+
+class TestFlops:
+    def test_counter_uses_structured_count(self, rng):
+        n = 6
+        R = np.triu(rng.standard_normal((n, n)))
+        B = np.triu(rng.standard_normal((n, n)))
+        c = FlopCounter()
+        tpqrt(R, B, structure="tri", counter=c)
+        assert c.total == tpqrt_flops(n, n, n)
+        # Structured triangular reduction must be cheaper than rectangular.
+        assert tpqrt_flops(n, n, n) < tpqrt_flops(n, n, 0)
+
+    def test_flops_validation(self):
+        with pytest.raises(ValueError):
+            tpqrt_flops(4, 3, 5)
+
+
+@given(
+    n=st.integers(1, 8),
+    m=st.integers(1, 10),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_tpqrt_gram_invariant_property(n, m, seed):
+    """[R; B]'s Gram is preserved by the structured elimination."""
+    rng = np.random.default_rng(seed)
+    R = np.triu(rng.standard_normal((n, n)))
+    B = rng.standard_normal((m, n))
+    stacked_gram = R.T @ R + B.T @ B
+    out = tpqrt(R.copy(), B.copy())
+    np.testing.assert_allclose(out.T @ out, stacked_gram, atol=1e-9)

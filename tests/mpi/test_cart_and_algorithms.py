@@ -1,0 +1,158 @@
+"""Cartesian communicator and alternative collective algorithm tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, DistributionError
+from repro.mpi import (
+    CartComm,
+    allgather_ring,
+    allreduce_recursive_doubling,
+    bcast_scatter_allgather,
+    reduce_scatter_ring,
+    run_spmd,
+)
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+class TestCartTopology:
+    def test_coords_roundtrip(self):
+        def prog(comm):
+            cart = CartComm(comm, (2, 3, 2))
+            ok = all(
+                cart.rank_of(cart.coords_of(r)) == r for r in range(cart.size)
+            )
+            return ok, cart.coords == cart.coords_of(comm.rank)
+
+        assert all(all(v) for v in run_spmd(prog, 12).values)
+
+    def test_size_mismatch(self):
+        def prog(comm):
+            CartComm(comm, (2, 3))
+
+        with pytest.raises(DistributionError):
+            run_spmd(prog, 4)
+
+    def test_shift_non_periodic_edges(self):
+        def prog(comm):
+            cart = CartComm(comm, (comm.size,))
+            return cart.shift(0, 1)
+
+        res = run_spmd(prog, 4)
+        assert res[0] == (None, 1)
+        assert res[3] == (2, None)
+        assert res[1] == (0, 2)
+
+    def test_shift_periodic(self):
+        def prog(comm):
+            cart = CartComm(comm, (comm.size,), periodic=[True])
+            return cart.shift(0, 2)
+
+        res = run_spmd(prog, 5)
+        for r, (src, dst) in enumerate(res):
+            assert src == (r - 2) % 5 and dst == (r + 2) % 5
+
+    def test_sub_produces_fibers(self):
+        def prog(comm):
+            cart = CartComm(comm, (2, 4))
+            fib1 = cart.fiber(1)
+            # each mode-1 fiber has the 4 ranks sharing coords[0]
+            total = fib1.comm.allreduce(np.array([cart.coords[0]]))
+            return fib1.size, float(total[0]), fib1.rank == cart.coords[1]
+
+        res = run_spmd(prog, 8)
+        for r, (size, total, rank_ok) in enumerate(res):
+            assert size == 4 and rank_ok
+            c0 = r % 2
+            assert total == 4 * c0
+
+    def test_sub_keeps_multiple_dims(self):
+        def prog(comm):
+            cart = CartComm(comm, (2, 2, 3))
+            plane = cart.sub([True, False, True])
+            return plane.size, plane.dims
+
+        res = run_spmd(prog, 12)
+        assert all(v == (6, (2, 3)) for v in res.values)
+
+    def test_cannot_drop_all_dims(self):
+        def prog(comm):
+            CartComm(comm, (2,)).sub([False])
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(prog, 2)
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestAlternativeCollectives:
+    def test_recursive_doubling_allreduce(self, p):
+        def prog(comm):
+            v = np.array([2.0 ** comm.rank, comm.rank])
+            out = allreduce_recursive_doubling(comm, v)
+            ref = comm.allreduce(v)
+            return np.allclose(out, ref) and out[0] == 2.0**comm.size - 1
+
+        assert all(run_spmd(prog, p).values)
+
+    def test_ring_allgather(self, p):
+        def prog(comm):
+            out = allgather_ring(comm, np.array([comm.rank * 3.0]))
+            return [float(x[0]) for x in out]
+
+        for vals in run_spmd(prog, p):
+            assert vals == [r * 3.0 for r in range(p)]
+
+    def test_scatter_allgather_bcast(self, p):
+        def prog(comm):
+            root = comm.size - 1
+            payload = np.arange(17.0) if comm.rank == root else None
+            return bcast_scatter_allgather(comm, payload, root=root).tolist()
+
+        for vals in run_spmd(prog, p):
+            assert vals == list(map(float, range(17)))
+
+    def test_ring_reduce_scatter(self, p):
+        def prog(comm):
+            vals = [np.array([comm.rank + 100.0 * q]) for q in range(comm.size)]
+            out = reduce_scatter_ring(comm, vals)
+            ref = comm.reduce_scatter(vals)
+            return float(out[0]), float(ref[0])
+
+        for r, (out, ref) in enumerate(run_spmd(prog, p)):
+            assert out == ref == sum(q + 100.0 * r for q in range(p))
+
+
+class TestAlgorithmEdgeCases:
+    def test_bcast_payload_shorter_than_ranks(self):
+        """Fewer elements than ranks: some scatter pieces are empty."""
+
+        def prog(comm):
+            payload = np.array([1.0, 2.0]) if comm.rank == 0 else None
+            return bcast_scatter_allgather(comm, payload, root=0).tolist()
+
+        for vals in run_spmd(prog, 5):
+            assert vals == [1.0, 2.0]
+
+    def test_bcast_requires_1d(self):
+        def prog(comm):
+            bcast_scatter_allgather(comm, np.zeros((2, 2)), root=0)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(prog, 2)
+
+    def test_reduce_scatter_wrong_count(self):
+        def prog(comm):
+            reduce_scatter_ring(comm, [np.zeros(1)] * (comm.size + 1))
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(prog, 3)
+
+    def test_custom_op_max(self):
+        def prog(comm):
+            v = np.array([float(comm.rank)])
+            return float(allreduce_recursive_doubling(comm, v, op=np.maximum)[0])
+
+        assert all(v == 4.0 for v in run_spmd(prog, 5).values)

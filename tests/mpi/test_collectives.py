@@ -1,0 +1,144 @@
+"""Collective operations across a range of communicator sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import run_spmd
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12]
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestBcast:
+    def test_from_every_root(self, p):
+        def prog(comm):
+            out = []
+            for root in range(comm.size):
+                payload = np.arange(root + 1) if comm.rank == root else None
+                val = comm.bcast(payload, root=root)
+                out.append(val.tolist())
+            return out
+
+        res = run_spmd(prog, p)
+        expected = [list(range(root + 1)) for root in range(p)]
+        for vals in res:
+            assert vals == expected
+
+    def test_python_object(self, p):
+        def prog(comm):
+            obj = {"a": 1} if comm.rank == 0 else None
+            return comm.bcast(obj, root=0)
+
+        for v in run_spmd(prog, p):
+            assert v == {"a": 1}
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestReduceAllreduce:
+    def test_sum_reduce(self, p):
+        def prog(comm):
+            return comm.reduce(np.array([comm.rank, 1.0]), root=0)
+
+        res = run_spmd(prog, p)
+        np.testing.assert_allclose(res[0], [p * (p - 1) / 2, p])
+        assert all(v is None for v in res.values[1:])
+
+    def test_allreduce_everywhere(self, p):
+        def prog(comm):
+            return comm.allreduce(np.array([2.0**comm.rank]))
+
+        for v in run_spmd(prog, p):
+            assert v[0] == pytest.approx(2.0**p - 1)
+
+    def test_custom_op(self, p):
+        def prog(comm):
+            return comm.allreduce(np.array([comm.rank]), op=np.maximum)
+
+        for v in run_spmd(prog, p):
+            assert v[0] == p - 1
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestGatherScatter:
+    def test_gather(self, p):
+        def prog(comm):
+            root = comm.size - 1
+            return comm.gather(comm.rank * 10, root=root)
+
+        res = run_spmd(prog, p)
+        assert res[p - 1] == [r * 10 for r in range(p)]
+
+    def test_scatter(self, p):
+        def prog(comm):
+            objs = [np.array([i, i * i]) for i in range(comm.size)] if comm.rank == 0 else None
+            got = comm.scatter(objs, root=0)
+            return got.tolist()
+
+        res = run_spmd(prog, p)
+        for r, v in enumerate(res):
+            assert v == [r, r * r]
+
+    def test_allgather(self, p):
+        def prog(comm):
+            return comm.allgather(comm.rank + 0.5)
+
+        for v in run_spmd(prog, p):
+            assert v == [r + 0.5 for r in range(p)]
+
+    def test_scatter_wrong_count(self, p):
+        def prog(comm):
+            objs = [0] * (comm.size + 1) if comm.rank == 0 else None
+            comm.scatter(objs, root=0)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(prog, p)
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestAlltoall:
+    def test_permutation(self, p):
+        def prog(comm):
+            sends = [np.array([comm.rank, d]) for d in range(comm.size)]
+            recvd = comm.alltoall(sends)
+            # recvd[s] came from rank s and targeted me
+            return all(
+                int(recvd[s][0]) == s and int(recvd[s][1]) == comm.rank
+                for s in range(comm.size)
+            )
+
+        assert all(run_spmd(prog, p).values)
+
+    def test_wrong_count(self, p):
+        def prog(comm):
+            comm.alltoall([None] * (comm.size + 2))
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(prog, p)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_barrier_completes(p):
+    def prog(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    assert all(run_spmd(prog, p).values)
+
+
+def test_interleaved_collectives_and_p2p():
+    """Collectives use a reserved tag space: user p2p cannot collide."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(np.array([123.0]), 1, tag=0)
+        total = comm.allreduce(np.array([1.0]))
+        got = comm.recv(0, tag=0) if comm.rank == 1 else None
+        return float(total[0]), None if got is None else float(got[0])
+
+    res = run_spmd(prog, 2)
+    assert res[0] == (2.0, None)
+    assert res[1] == (2.0, 123.0)

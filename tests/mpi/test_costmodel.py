@@ -1,0 +1,136 @@
+"""Logical-clock cost model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import CommCosts, ComputeRates, CostModel, RankClock, run_spmd
+
+
+class TestCommCosts:
+    def test_message_cost(self):
+        c = CommCosts(alpha=1e-6, beta=1e-9)
+        assert c.message_cost(1000) == pytest.approx(1e-6 + 1e-6)
+
+
+class TestComputeRates:
+    def test_single_twice_double(self):
+        r = ComputeRates(double=5e9, single=10e9)
+        assert r.flop_time(1e9, np.float64) == pytest.approx(0.2)
+        assert r.flop_time(1e9, np.float32) == pytest.approx(0.1)
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            ComputeRates().rate(np.int32)
+
+
+class TestRankClock:
+    def test_advance_and_phase(self):
+        clk = RankClock()
+        with clk.phase("lq", 0):
+            clk.advance(1.0)
+        with clk.phase("ttm", 0):
+            clk.advance(0.5)
+        assert clk.now == pytest.approx(1.5)
+        assert clk.by_phase["lq"] == pytest.approx(1.0)
+        assert clk.by_phase["ttm"] == pytest.approx(0.5)
+
+    def test_sync_charges_idle_to_phase(self):
+        clk = RankClock()
+        with clk.phase("lq"):
+            clk.sync_to(2.0)
+        assert clk.now == 2.0
+        assert clk.by_phase["lq"] == pytest.approx(2.0)
+
+    def test_sync_to_past_is_noop(self):
+        clk = RankClock()
+        clk.advance(1.0)
+        clk.sync_to(0.5)
+        assert clk.now == 1.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            RankClock().advance(-1.0)
+
+    def test_nested_phases_restore(self):
+        clk = RankClock()
+        with clk.phase("outer"):
+            with clk.phase("inner"):
+                clk.advance(1.0)
+            clk.advance(2.0)
+        assert clk.by_phase["inner"] == pytest.approx(1.0)
+        assert clk.by_phase["outer"] == pytest.approx(2.0)
+
+
+class TestModeledRuns:
+    def test_clock_present_only_with_model(self):
+        res = run_spmd(lambda c: c.clock, 2)
+        assert res.clocks == [None, None]
+        with pytest.raises(CommunicatorError):
+            res.slowest_time
+
+    def test_compute_advances_clock(self):
+        model = CostModel(compute=ComputeRates(double=1e9, single=2e9))
+
+        def prog(comm):
+            comm.account_flops(10**9, np.float64)
+            return comm.clock.now
+
+        res = run_spmd(prog, 2, cost_model=model)
+        assert res.values == [pytest.approx(1.0)] * 2
+        assert res.slowest_time == pytest.approx(1.0)
+
+    def test_single_precision_faster(self):
+        model = CostModel()
+
+        def prog(comm, dtype):
+            comm.account_flops(10**8, dtype)
+            return comm.clock.now
+
+        t64 = run_spmd(prog, 1, np.float64, cost_model=model).slowest_time
+        t32 = run_spmd(prog, 1, np.float32, cost_model=model).slowest_time
+        assert t32 < t64
+
+    def test_message_synchronizes_clocks(self):
+        model = CostModel(comm=CommCosts(alpha=1.0, beta=0.0))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.account_flops(0)
+                comm.send(np.zeros(1), 1)
+            else:
+                comm.recv(0)
+            return comm.clock.now
+
+        res = run_spmd(prog, 2, cost_model=model)
+        # Receiver cannot finish before the sender's message exists.
+        assert res.values[1] >= res.values[0]
+        assert res.values[1] >= 1.0  # at least one alpha
+
+    def test_straggler_dominates_barrier(self):
+        model = CostModel()
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.account_flops(10**9, np.float64)  # straggler
+            comm.barrier()
+            return comm.clock.now
+
+        res = run_spmd(prog, 4, cost_model=model)
+        t0 = 10**9 / model.compute.double
+        for t in res.values:
+            assert t >= t0
+
+    def test_breakdown_from_slowest_rank(self):
+        model = CostModel()
+
+        def prog(comm):
+            with comm.phase("lq", 0):
+                comm.account_flops((comm.rank + 1) * 10**7, np.float64)
+            return None
+
+        res = run_spmd(prog, 3, cost_model=model)
+        bd = res.slowest_rank_breakdown()
+        assert bd["lq"] == pytest.approx(3 * 10**7 / model.compute.double)

@@ -1,0 +1,88 @@
+"""Communicator split/dup semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+
+
+class TestSplit:
+    def test_even_odd_groups(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            total = sub.allreduce(np.array([comm.rank]))
+            return sub.size, float(total[0])
+
+        res = run_spmd(prog, 6)
+        for r, (size, total) in enumerate(res):
+            assert size == 3
+            assert total == (0 + 2 + 4 if r % 2 == 0 else 1 + 3 + 5)
+
+    def test_key_controls_new_rank(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        res = run_spmd(prog, 4)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_color_none_opts_out(self):
+        def prog(comm):
+            color = 0 if comm.rank < 2 else None
+            sub = comm.split(color=color)
+            if sub is None:
+                return None
+            return sub.allgather(comm.rank)
+
+        res = run_spmd(prog, 4)
+        assert res[0] == [0, 1]
+        assert res[2] is None and res[3] is None
+
+    def test_sub_communicator_isolated_from_parent(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank // 2)
+            # messages in sub must not be visible to parent receives
+            if sub.rank == 0:
+                sub.send(np.array([sub.rank + 100]), 1, tag=0)
+                return None
+            return int(sub.recv(0, tag=0)[0])
+
+        res = run_spmd(prog, 4)
+        assert res[1] == 100 and res[3] == 100
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = comm.split(color=comm.rank // 2)
+            solo = half.split(color=half.rank)
+            return solo.size
+
+        assert run_spmd(prog, 4).values == [1, 1, 1, 1]
+
+    def test_repeated_splits_get_fresh_comms(self):
+        def prog(comm):
+            a = comm.split(color=0)
+            b = comm.split(color=0)
+            # send in a, receive in b would deadlock if they shared a space;
+            # verify isolation by exchanging distinct values concurrently.
+            if comm.rank == 0:
+                a.send(np.array([1.0]), 1, tag=0)
+                b.send(np.array([2.0]), 1, tag=0)
+                return None
+            va = a.recv(0, tag=0)
+            vb = b.recv(0, tag=0)
+            return float(va[0]), float(vb[0])
+
+        res = run_spmd(prog, 2)
+        assert res[1] == (1.0, 2.0)
+
+
+class TestDup:
+    def test_dup_preserves_rank_order(self):
+        def prog(comm):
+            d = comm.dup()
+            return d.rank, d.size
+
+        res = run_spmd(prog, 3)
+        assert res.values == [(0, 3), (1, 3), (2, 3)]

@@ -1,0 +1,158 @@
+"""Stress and property tests for the MPI runtime: random schedules,
+failure injection, and cross-collective invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicatorError
+from repro.mpi import run_spmd
+
+
+class TestRandomizedSchedules:
+    @given(
+        seed=st.integers(0, 10**6),
+        p=st.integers(2, 6),
+        nmsg=st.integers(1, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_point_to_point_traffic(self, seed, p, nmsg):
+        """A random but matched send/recv schedule always delivers every
+        payload to the right (destination, tag) with FIFO per channel."""
+        rng = np.random.default_rng(seed)
+        # schedule[i] = (src, dst, tag, value)
+        schedule = [
+            (int(rng.integers(p)), int(rng.integers(p)), int(rng.integers(3)), i)
+            for i in range(nmsg)
+        ]
+
+        def prog(comm):
+            me = comm.rank
+            for src, dst, tag, val in schedule:
+                if src == me:
+                    comm.send(np.array([val]), dst, tag=tag)
+            got = []
+            for src, dst, tag, val in schedule:
+                if dst == me:
+                    got.append((src, tag, int(comm.recv(src, tag=tag)[0])))
+            return got
+
+        res = run_spmd(prog, p)
+        for me in range(p):
+            expected = [
+                (src, tag, val) for src, dst, tag, val in schedule if dst == me
+            ]
+            assert res[me] == expected
+
+    @given(
+        seed=st.integers(0, 10**6),
+        p=st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_collective_sequences(self, seed, p):
+        """Any uniform sequence of collectives completes and agrees."""
+        rng = np.random.default_rng(seed)
+        ops = [rng.choice(["bcast", "allreduce", "allgather", "barrier", "alltoall"])
+               for _ in range(6)]
+        roots = [int(rng.integers(p)) for _ in ops]
+
+        def prog(comm):
+            out = []
+            for op, root in zip(ops, roots):
+                if op == "bcast":
+                    v = comm.bcast(np.array([root * 1.0]) if comm.rank == root else None,
+                                   root=root)
+                    out.append(float(v[0]))
+                elif op == "allreduce":
+                    out.append(float(comm.allreduce(np.array([1.0]))[0]))
+                elif op == "allgather":
+                    out.append(tuple(comm.allgather(comm.rank)))
+                elif op == "alltoall":
+                    r = comm.alltoall([np.array([comm.rank])] * comm.size)
+                    out.append(tuple(int(x[0]) for x in r))
+                else:
+                    comm.barrier()
+                    out.append("b")
+            return out
+
+        res = run_spmd(prog, p)
+        for vals in res.values[1:]:
+            assert vals == res[0]
+
+
+class TestFailureInjection:
+    @pytest.mark.parametrize("failing_rank", [0, 2])
+    def test_failure_during_collective_unblocks_world(self, failing_rank):
+        def prog(comm):
+            if comm.rank == failing_rank:
+                raise RuntimeError("injected fault")
+            # Everyone else enters a collective that can never complete.
+            comm.allreduce(np.array([1.0]))
+
+        with pytest.raises(RuntimeError, match="injected fault"):
+            run_spmd(prog, 4, recv_timeout=5.0)
+
+    def test_failure_during_butterfly(self):
+        from repro.dist import butterfly_tsqr_reduce
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("mid-tree fault")
+            R = np.triu(np.ones((3, 3)))
+            butterfly_tsqr_reduce(comm, R)
+
+        with pytest.raises(ValueError, match="mid-tree fault"):
+            run_spmd(prog, 4, recv_timeout=5.0)
+
+    def test_first_error_wins_reporting(self):
+        """Whichever real exception occurred is reported, not the
+        secondary CommunicatorErrors it causes on other ranks."""
+
+        def prog(comm):
+            if comm.rank == comm.size - 1:
+                raise KeyError("root cause")
+            comm.recv((comm.rank + 1) % comm.size)
+
+        with pytest.raises(KeyError, match="root cause"):
+            run_spmd(prog, 3, recv_timeout=5.0)
+
+    def test_world_not_reusable_after_abort(self):
+        holder = {}
+
+        def prog(comm):
+            holder["comm"] = comm
+            if comm.rank == 0:
+                raise RuntimeError("die")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError):
+            run_spmd(prog, 2, recv_timeout=5.0)
+        with pytest.raises(CommunicatorError):
+            holder["comm"].send(np.zeros(1), 0)
+
+
+class TestScaleSmoke:
+    def test_many_ranks(self):
+        """32 simulated ranks through a full collective battery."""
+
+        def prog(comm):
+            total = comm.allreduce(np.array([comm.rank + 1.0]))
+            sub = comm.split(color=comm.rank % 4)
+            subtotal = sub.allreduce(np.array([1.0]))
+            comm.barrier()
+            return float(total[0]), float(subtotal[0])
+
+        res = run_spmd(prog, 32)
+        assert all(v == (32 * 33 / 2, 8.0) for v in res.values)
+
+    def test_large_payload_integrity(self):
+        payload = np.random.default_rng(0).standard_normal(200_000)
+
+        def prog(comm):
+            got = comm.bcast(payload if comm.rank == 0 else None, root=0)
+            return float(np.abs(got - payload).max())
+
+        res = run_spmd(prog, 4)
+        assert all(v == 0.0 for v in res.values)

@@ -1,0 +1,123 @@
+"""Communication-trace tests: assert the paper's message-count formulas
+against the real execution of the parallel kernels."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    DistributedTensor,
+    GridComms,
+    ProcessorGrid,
+    butterfly_tsqr_reduce,
+    par_tensor_gram,
+    redistribute_unfolding_to_columns,
+)
+from repro.mpi import run_spmd, CommTrace
+
+
+class TestTraceBasics:
+    def test_counts_and_bytes(self):
+        trace = CommTrace()
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), 1)  # 80 bytes
+                comm.send(np.zeros(5, dtype=np.float32), 1)  # 20 bytes
+            elif comm.rank == 1:
+                comm.recv(0)
+                comm.recv(0)
+
+        run_spmd(prog, 2, comm_trace=trace)
+        assert trace.sent_messages(0) == 2
+        assert trace.sent_bytes(0) == 100
+        assert trace.sent_messages(1) == 0
+
+    def test_contexts_attribute_traffic(self):
+        trace = CommTrace()
+
+        def prog(comm):
+            trace.set_context("phase-a")
+            comm.sendrecv(np.zeros(4), comm.rank ^ 1)
+            trace.set_context("phase-b")
+            comm.sendrecv(np.zeros(2), comm.rank ^ 1)
+            trace.set_context(None)
+
+        run_spmd(prog, 2, comm_trace=trace)
+        assert trace.total_messages("phase-a") == 2
+        assert trace.total_messages("phase-b") == 2
+        assert trace.total_bytes("phase-a") == 2 * 32
+        assert "phase-a" in trace.contexts()
+
+
+class TestPaperMessageCounts:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_butterfly_log_p_messages(self, p):
+        """Alg. 3's tree: log2(P) exchanges per rank (power-of-two P)."""
+        trace = CommTrace()
+
+        def prog(comm):
+            R = np.triu(np.ones((4, 4)))
+            butterfly_tsqr_reduce(comm, R)
+
+        run_spmd(prog, p, comm_trace=trace)
+        expected = int(math.log2(p))
+        for r in range(p):
+            assert trace.sent_messages(r) == expected
+
+    @pytest.mark.parametrize("grid", [(4, 1, 1), (2, 3, 1)])
+    def test_redistribution_pn_minus_1_messages(self, grid):
+        """Sec. 3.5: the all-to-all sends P_n - 1 messages per processor."""
+        X = np.random.default_rng(0).standard_normal((8, 9, 6))
+        trace = CommTrace()
+        n = 0
+        p_n = grid[n]
+
+        def prog(comm):
+            comms = GridComms(comm, ProcessorGrid(grid))
+            dt = DistributedTensor.from_full(comms, X)
+            trace.set_context("redist")
+            redistribute_unfolding_to_columns(dt, n)
+            trace.set_context(None)
+
+        run_spmd(prog, int(np.prod(grid)), comm_trace=trace)
+        for r in range(int(np.prod(grid))):
+            assert trace.sent_messages(r, "redist") == p_n - 1
+
+    def test_redistribution_volume_matches_model(self):
+        """Per-rank redistribution volume ~ local tensor size * (P_n-1)/P_n."""
+        X = np.random.default_rng(1).standard_normal((12, 10, 8))
+        grid = (4, 1, 1)
+        trace = CommTrace()
+
+        def prog(comm):
+            comms = GridComms(comm, ProcessorGrid(grid))
+            dt = DistributedTensor.from_full(comms, X)
+            trace.set_context("redist")
+            redistribute_unfolding_to_columns(dt, 0)
+            trace.set_context(None)
+
+        run_spmd(prog, 4, comm_trace=trace)
+        local_bytes = X.nbytes / 4
+        expected = local_bytes * 3 / 4
+        for r in range(4):
+            assert trace.sent_bytes(r, "redist") == pytest.approx(expected, rel=0.15)
+
+    def test_gram_cheaper_in_messages_when_pn_1(self):
+        """With P_n = 1 the Gram path skips redistribution entirely."""
+        X = np.random.default_rng(2).standard_normal((6, 8, 10))
+        t1, t2 = CommTrace(), CommTrace()
+
+        def prog_mode(comm, mode, trace):
+            comms = GridComms(comm, ProcessorGrid((1, 1, 4)))
+            dt = DistributedTensor.from_full(comms, X)
+            trace.set_context("gram")
+            par_tensor_gram(dt, mode)
+            trace.set_context(None)
+
+        run_spmd(prog_mode, 4, 0, t1, comm_trace=t1)  # P_0 = 1
+        run_spmd(prog_mode, 4, 2, t2, comm_trace=t2)  # P_2 = 4
+        assert t1.total_bytes("gram") < t2.total_bytes("gram")

@@ -1,0 +1,57 @@
+"""Grid-configuration helper tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import STRONG_SCALING_GRIDS, strong_scaling_grid, weak_scaling_config
+
+
+class TestStrongScalingGrids:
+    def test_grids_multiply_to_cores(self):
+        for cores, by_method in STRONG_SCALING_GRIDS.items():
+            for method, grid in by_method.items():
+                assert math.prod(grid) == cores, (cores, method)
+
+    def test_qr_grids_backloaded(self):
+        """QR grids put P=1 in the last mode (Table 1) so geqr applies."""
+        for cores in STRONG_SCALING_GRIDS:
+            assert strong_scaling_grid(cores, "qr")[-1] == 1
+
+    def test_gram_grids_frontloaded(self):
+        for cores in STRONG_SCALING_GRIDS:
+            assert strong_scaling_grid(cores, "gram")[0] == 1
+
+    def test_unknown_cores(self):
+        with pytest.raises(ConfigurationError):
+            strong_scaling_grid(96, "qr")
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            strong_scaling_grid(32, "svd")
+
+
+class TestWeakScaling:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_grid_sizes(self, k):
+        cfg = weak_scaling_config(k)
+        assert math.prod(cfg["qr_grid"]) == cfg["cores"]
+        assert math.prod(cfg["gram_grid"]) == cfg["cores"]
+        assert cfg["cores"] == 32 * cfg["nodes"]
+
+    def test_local_data_constant(self):
+        """The local tensor stays ~1 GB as k grows (weak scaling)."""
+        sizes = []
+        for k in (1, 2, 3):
+            cfg = weak_scaling_config(k)
+            total = math.prod(cfg["shape"])
+            sizes.append(total / cfg["cores"])
+        assert sizes[0] == pytest.approx(sizes[1], rel=1e-12)
+        assert sizes[1] == pytest.approx(sizes[2], rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            weak_scaling_config(0)

@@ -1,0 +1,52 @@
+"""Machine-model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import ANDES, CASCADE_LAKE, MachineModel
+
+
+class TestMachineModel:
+    def test_peak_by_precision(self):
+        assert ANDES.peak(np.float64) == pytest.approx(48e9)
+        assert ANDES.peak(np.float32) == pytest.approx(96e9)
+
+    def test_single_rate_doubles(self):
+        for kernel in ("geqr", "syrk", "gemm"):
+            assert ANDES.rate(kernel, np.float32) == pytest.approx(
+                2 * ANDES.rate(kernel, np.float64)
+            )
+
+    def test_kernel_time(self):
+        t = ANDES.kernel_time("geqr", 6.48e9, np.float64)
+        assert t == pytest.approx(1.0)  # 0.135 * 48e9 = 6.48e9 flops/s
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            ANDES.rate("fft", np.float64)
+        with pytest.raises(ConfigurationError):
+            MachineModel("x", 1, 1e9, 2e9, efficiency={"warp": 0.5})
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ConfigurationError):
+            ANDES.peak(np.int64)
+
+
+class TestCalibration:
+    def test_andes_qr_gflops_match_paper(self):
+        """Paper: QR-SVD gets 6.4 GFLOPS/core double, 13 single on 1 node."""
+        assert ANDES.rate("geqr", np.float64) == pytest.approx(6.48e9, rel=0.05)
+        assert ANDES.rate("geqr", np.float32) == pytest.approx(12.96e9, rel=0.05)
+
+    def test_andes_symmetric_qr_lq(self):
+        """Sec. 4.2.1: geqr ~ gelq on Andes."""
+        assert ANDES.rate("geqr", np.float64) == ANDES.rate("gelq", np.float64)
+
+    def test_cascade_lake_gelq_penalty(self):
+        """Sec. 4.2.1: gelq markedly slower than geqr on Cascade Lake."""
+        assert CASCADE_LAKE.rate("gelq", np.float64) < 0.6 * CASCADE_LAKE.rate(
+            "geqr", np.float64
+        )

@@ -1,0 +1,58 @@
+"""Report-formatting tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf import (
+    ANDES,
+    breakdown_table,
+    scaling_table,
+    simulate_sthosvd,
+    variant_label,
+)
+
+
+class TestVariantLabel:
+    def test_labels(self):
+        assert variant_label("qr", "single") == "QR single"
+        assert variant_label("gram", np.float64) == "Gram double"
+        assert variant_label("qr", np.dtype(np.float32)) == "QR single"
+
+
+class TestBreakdownTable:
+    def test_contains_all_components(self):
+        run = simulate_sthosvd(
+            (32,) * 3, (4,) * 3, (2, 2, 1), method="qr", machine=ANDES
+        )
+        txt = breakdown_table({"QR double": run}, title="demo")
+        assert "demo" in txt
+        assert "LQ (mode 0)" in txt
+        assert "TTM (mode 2)" in txt
+        assert "TOTAL" in txt
+
+    def test_multiple_columns(self):
+        runs = {}
+        for prec in ("single", "double"):
+            runs[f"QR {prec}"] = simulate_sthosvd(
+                (32,) * 3, (4,) * 3, (2, 2, 1), method="qr", precision=prec,
+                machine=ANDES,
+            )
+        txt = breakdown_table(runs)
+        assert "QR single" in txt and "QR double" in txt
+
+
+class TestScalingTable:
+    def test_rows_sorted_by_x(self):
+        txt = scaling_table(
+            {"a": [(64, 1.0), (32, 2.0)], "b": [(32, 3.0), (64, 1.5)]},
+            xlabel="cores",
+        )
+        lines = txt.splitlines()
+        assert lines[0].startswith("cores")
+        first_data = lines[2].split("|")[0]
+        assert "32" in first_data
+
+    def test_missing_points_are_nan(self):
+        txt = scaling_table({"a": [(1, 1.0)], "b": [(2, 2.0)]})
+        assert "nan" in txt

@@ -1,0 +1,215 @@
+"""Modeled ST-HOSVD tests: the paper's qualitative performance claims."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import (
+    ANDES,
+    CASCADE_LAKE,
+    simulate_sthosvd,
+    strong_scaling_grid,
+    weak_scaling_config,
+)
+
+
+def _variants(shape, ranks, cores):
+    out = {}
+    for method in ("qr", "gram"):
+        grid = strong_scaling_grid(cores, method)
+        order = "backward" if method == "qr" else "forward"
+        for prec in ("single", "double"):
+            run = simulate_sthosvd(
+                shape, ranks, grid, method=method, precision=prec,
+                mode_order=order, machine=ANDES,
+            )
+            out[(method, prec)] = run
+    return out
+
+
+class TestBasics:
+    def test_phase_breakdown_present(self):
+        run = simulate_sthosvd(
+            (64,) * 4, (8,) * 4, (2, 2, 1, 1), method="qr", machine=ANDES
+        )
+        phases = run.seconds_by_phase()
+        assert phases["lq"] > 0 and phases["svd"] > 0 and phases["ttm"] > 0
+        assert run.total_seconds == pytest.approx(sum(phases.values()))
+
+    def test_gram_phases(self):
+        run = simulate_sthosvd(
+            (64,) * 4, (8,) * 4, (2, 2, 1, 1), method="gram", machine=ANDES
+        )
+        phases = run.seconds_by_phase()
+        assert phases["gram"] > 0 and phases["evd"] > 0
+        assert "lq" not in phases
+
+    def test_mode_attribution_sums(self):
+        run = simulate_sthosvd(
+            (64,) * 3, (8,) * 3, (2, 2, 1), method="qr", machine=ANDES
+        )
+        assert sum(run.seconds_by_mode().values()) == pytest.approx(run.total_seconds)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_sthosvd((8, 8), (9, 1), (1, 1), machine=ANDES)
+        with pytest.raises(ConfigurationError):
+            simulate_sthosvd((8, 8), (1, 1), (1,), machine=ANDES)
+        with pytest.raises(ConfigurationError):
+            simulate_sthosvd((8, 8), (1, 1), (1, 1), method="magic", machine=ANDES)
+
+
+class TestPaperClaims:
+    def test_variant_time_ordering(self):
+        """Figs. 3-4: Gram-single < QR-single < Gram-double < QR-double."""
+        runs = _variants((256,) * 4, (32,) * 4, 512)
+        t = {k: v.total_seconds for k, v in runs.items()}
+        assert t[("gram", "single")] < t[("qr", "single")]
+        assert t[("qr", "single")] < t[("gram", "double")]
+        assert t[("gram", "double")] < t[("qr", "double")]
+
+    def test_single_half_of_double(self):
+        runs = _variants((256,) * 4, (32,) * 4, 256)
+        for method in ("qr", "gram"):
+            ratio = (
+                runs[(method, "double")].total_seconds
+                / runs[(method, "single")].total_seconds
+            )
+            assert 1.7 < ratio <= 2.05
+
+    def test_qr_single_beats_gram_double_30pct(self):
+        """Sec. 4.4: QR-single ~30% faster than TuckerMPI (Gram double)."""
+        runs = _variants((256,) * 4, (32,) * 4, 512)
+        speedup = (
+            runs[("gram", "double")].total_seconds
+            / runs[("qr", "single")].total_seconds
+        )
+        assert 1.15 < speedup < 2.2
+
+    def test_qr_at_most_2x_gram_same_precision(self):
+        """Sec. 3.5: no more than ~2x slowdown from QR at small P."""
+        runs = _variants((256,) * 4, (32,) * 4, 32)
+        ratio = (
+            runs[("qr", "double")].total_seconds
+            / runs[("gram", "double")].total_seconds
+        )
+        assert ratio < 2.3
+
+    def test_strong_scaling_monotone(self):
+        """Fig. 4: all variants keep speeding up through 2048 cores."""
+        for method in ("qr", "gram"):
+            prev = None
+            for cores in (32, 64, 128, 256, 512, 1024, 2048):
+                grid = strong_scaling_grid(cores, method)
+                run = simulate_sthosvd(
+                    (256,) * 4, (32,) * 4, grid, method=method,
+                    mode_order="backward" if method == "qr" else "forward",
+                    machine=ANDES,
+                )
+                if prev is not None:
+                    assert run.total_seconds < prev
+                prev = run.total_seconds
+
+    def test_weak_scaling_gflops_match_paper(self):
+        """Fig. 3a: QR-SVD ~6.4 GFLOPS/core double and ~13 single on one
+        node, degrading moderately at scale."""
+        cfg1 = weak_scaling_config(1)
+        r64 = simulate_sthosvd(
+            cfg1["shape"], cfg1["ranks"], cfg1["qr_grid"], method="qr",
+            precision="double", mode_order="backward", machine=ANDES,
+        )
+        r32 = simulate_sthosvd(
+            cfg1["shape"], cfg1["ranks"], cfg1["qr_grid"], method="qr",
+            precision="single", mode_order="backward", machine=ANDES,
+        )
+        assert r64.gflops_per_core() == pytest.approx(6.4, rel=0.15)
+        assert r32.gflops_per_core() == pytest.approx(13.0, rel=0.15)
+        cfg3 = weak_scaling_config(3)
+        r64_3 = simulate_sthosvd(
+            cfg3["shape"], cfg3["ranks"], cfg3["qr_grid"], method="qr",
+            precision="double", mode_order="backward", machine=ANDES,
+        )
+        assert 2.5 < r64_3.gflops_per_core() < r64.gflops_per_core()
+
+    def test_first_mode_dominates(self):
+        """Sec. 4.3: more than half the time goes to the first LQ/Gram."""
+        cfg = weak_scaling_config(1)
+        run = simulate_sthosvd(
+            cfg["shape"], cfg["ranks"], cfg["qr_grid"], method="qr",
+            precision="double", mode_order="backward", machine=ANDES,
+        )
+        first_mode = run.mode_order[0]
+        t_first_lq = run.seconds_by_phase_mode[("lq", first_mode)]
+        assert t_first_lq > 0.5 * run.total_seconds
+
+    def test_cascade_lake_ordering_effect(self):
+        """Fig. 2a: backward ordering + P_last=1 beats forward + P_0=1
+        on Cascade Lake because of the geqr/gelq asymmetry."""
+        shape, ranks = (300,) * 4, (30,) * 4
+        backward = simulate_sthosvd(
+            shape, ranks, (8, 2, 1, 1), method="qr", mode_order="backward",
+            machine=CASCADE_LAKE,
+        )
+        forward = simulate_sthosvd(
+            shape, ranks, (1, 1, 2, 8), method="qr", mode_order="forward",
+            machine=CASCADE_LAKE,
+        )
+        assert backward.total_seconds < forward.total_seconds
+
+    def test_andes_ordering_indifferent(self):
+        """On Andes geqr == gelq, so the orderings are nearly symmetric."""
+        shape, ranks = (300,) * 4, (30,) * 4
+        backward = simulate_sthosvd(
+            shape, ranks, (8, 2, 1, 1), method="qr", mode_order="backward",
+            machine=ANDES,
+        )
+        forward = simulate_sthosvd(
+            shape, ranks, (1, 1, 2, 8), method="qr", mode_order="forward",
+            machine=ANDES,
+        )
+        assert backward.total_seconds == pytest.approx(
+            forward.total_seconds, rel=0.25
+        )
+
+    def test_flops_qr_vs_gram(self):
+        """Weak scaling text: QR performs ~83% more flops than Gram."""
+        cfg = weak_scaling_config(2)
+        rq = simulate_sthosvd(
+            cfg["shape"], cfg["ranks"], cfg["qr_grid"], method="qr",
+            mode_order="backward", machine=ANDES,
+        )
+        rg = simulate_sthosvd(
+            cfg["shape"], cfg["ranks"], cfg["gram_grid"], method="gram",
+            mode_order="forward", machine=ANDES,
+        )
+        ratio = rq.flops_total / rg.flops_total
+        assert 1.5 < ratio < 2.1
+
+
+class TestExporters:
+    def test_to_dict_roundtrips_json(self):
+        import json
+
+        run = simulate_sthosvd(
+            (32,) * 3, (4,) * 3, (2, 2, 1), method="qr", machine=ANDES
+        )
+        d = json.loads(json.dumps(run.to_dict()))
+        assert d["nprocs"] == 4
+        assert d["total_seconds"] == pytest.approx(run.total_seconds)
+        assert "lq" in d["seconds_by_phase"]
+        assert any(k.startswith("lq:") for k in d["seconds_by_phase_mode"])
+
+    def test_to_csv_row_fields(self):
+        run = simulate_sthosvd(
+            (32,) * 3, (4,) * 3, (2, 2, 1), method="gram",
+            precision="single", machine=ANDES,
+        )
+        parts = run.to_csv_row().split(";")
+        assert parts[0] == "2x2x1"
+        assert parts[2] == "gram"
+        assert parts[3] == "float32"
+        assert int(parts[4]) == 4

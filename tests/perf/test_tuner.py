@@ -1,0 +1,92 @@
+"""Grid tuner tests: it must rediscover the paper's hand-tuning rules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import (
+    ANDES,
+    CASCADE_LAKE,
+    enumerate_grids,
+    strong_scaling_grid,
+    simulate_sthosvd,
+    tune_grid,
+)
+
+
+class TestEnumeration:
+    def test_all_factorizations_multiply_to_p(self):
+        grids = enumerate_grids(24, (100, 100, 100))
+        assert all(math.prod(g) == 24 for g in grids)
+        assert len(set(grids)) == len(grids)
+
+    def test_respects_shape_bounds(self):
+        grids = enumerate_grids(16, (2, 100, 100))
+        assert all(g[0] <= 2 for g in grids)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_grids(64, (2, 2, 2))
+
+    def test_max_grids_caps(self):
+        grids = enumerate_grids(64, (100,) * 4, max_grids=5)
+        assert len(grids) == 5
+
+
+class TestTuning:
+    def test_recovers_cascade_lake_rule(self):
+        """Sec. 4.2.4: on Cascade Lake the winner is backward ordering
+        with the last mode's grid dimension 1 (geqr > gelq)."""
+        best = tune_grid((300,) * 4, (30,) * 4, 16, method="qr",
+                         machine=CASCADE_LAKE)[0]
+        assert best.mode_order == "backward"
+        assert best.grid[-1] == 1
+
+    def test_beats_or_matches_table1(self):
+        """The exhaustive search can only improve on the hand-picked grid."""
+        for cores in (32, 512):
+            table1 = simulate_sthosvd(
+                (256,) * 4, (32,) * 4, strong_scaling_grid(cores, "qr"),
+                method="qr", mode_order="backward", machine=ANDES,
+            )
+            best = tune_grid((256,) * 4, (32,) * 4, cores, method="qr",
+                             machine=ANDES)[0]
+            assert best.seconds <= table1.total_seconds * 1.0001
+
+    def test_first_processed_mode_gets_small_grid_dim(self):
+        """Sec. 4.2.2's rule of thumb emerges from the search."""
+        best = tune_grid((200,) * 4, (20,) * 4, 64, method="qr", machine=ANDES)[0]
+        first_mode = 0 if best.mode_order == "forward" else 3
+        assert best.grid[first_mode] <= 2
+
+    def test_top_k_sorted(self):
+        out = tune_grid((128,) * 3, (16,) * 3, 8, method="gram",
+                        machine=ANDES, top_k=5)
+        times = [c.seconds for c in out]
+        assert times == sorted(times)
+        assert len(out) == 5
+
+    def test_memory_limit_filters(self):
+        # With a laughably small limit nothing fits.
+        with pytest.raises(ConfigurationError):
+            tune_grid((256,) * 4, (32,) * 4, 32, method="qr",
+                      machine=ANDES, memory_limit_bytes=1024.0)
+        # With a sane limit, every returned config obeys it.
+        limit = 4 * 2**30
+        out = tune_grid((256,) * 4, (32,) * 4, 32, method="qr",
+                        machine=ANDES, memory_limit_bytes=limit, top_k=3)
+        assert all(c.peak_bytes <= limit for c in out)
+
+    def test_gram_and_qr_prefer_different_grids_on_cl(self):
+        """The geqr/gelq asymmetry only matters to the QR method."""
+        qr = tune_grid((300,) * 4, (30,) * 4, 16, method="qr",
+                       machine=CASCADE_LAKE)[0]
+        gram = tune_grid((300,) * 4, (30,) * 4, 16, method="gram",
+                         machine=CASCADE_LAKE)[0]
+        # QR's winner is strictly pinned to P_last=1/backward; Gram is
+        # indifferent to the transpose question, so its best time beats
+        # or equals QR's.
+        assert gram.seconds <= qr.seconds

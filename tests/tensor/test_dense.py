@@ -1,0 +1,121 @@
+"""Unit tests for the DenseTensor container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.precision import Precision
+from repro.tensor import DenseTensor
+
+
+class TestConstruction:
+    def test_stores_fortran_order(self, rng):
+        X = DenseTensor(rng.standard_normal((3, 4, 5)))
+        assert X.data.flags.f_contiguous
+
+    def test_c_order_input_converted(self, rng):
+        arr = np.ascontiguousarray(rng.standard_normal((3, 4)))
+        X = DenseTensor(arr)
+        assert X.data.flags.f_contiguous
+        np.testing.assert_array_equal(X.data, arr)
+
+    def test_integer_input_promoted_to_double(self):
+        X = DenseTensor(np.arange(6).reshape(2, 3))
+        assert X.dtype == np.float64
+
+    def test_float32_preserved(self, rng):
+        X = DenseTensor(rng.standard_normal((3, 4)).astype(np.float32))
+        assert X.dtype == np.float32
+        assert X.precision is Precision.SINGLE
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            DenseTensor(np.float64(3.0))
+
+    def test_zeros(self):
+        X = DenseTensor.zeros((2, 3, 4), dtype="single")
+        assert X.shape == (2, 3, 4)
+        assert X.dtype == np.float32
+        assert X.norm() == 0.0
+
+    def test_from_flat_roundtrip(self, tensor4):
+        flat = tensor4.flat_view().copy()
+        Y = DenseTensor.from_flat(flat, tensor4.shape)
+        assert Y == tensor4
+
+    def test_from_flat_size_mismatch(self):
+        with pytest.raises(ShapeError):
+            DenseTensor.from_flat(np.zeros(5), (2, 3))
+
+    def test_from_flat_rejects_matrix(self):
+        with pytest.raises(ShapeError):
+            DenseTensor.from_flat(np.zeros((2, 3)), (2, 3))
+
+
+class TestViews:
+    def test_flat_view_is_view(self, tensor4):
+        fv = tensor4.flat_view()
+        assert fv.base is not None
+        fv[0] = 42.0
+        assert tensor4.data.reshape(-1, order="F")[0] == 42.0
+
+    def test_column_block_is_view(self, tensor4):
+        blk = tensor4.column_block(1, 0)
+        blk[0, 0] = 99.0
+        assert tensor4.data[0, 0, 0, 0] == 99.0
+
+    def test_column_block_out_of_range(self, tensor4):
+        with pytest.raises(ShapeError):
+            tensor4.column_block(1, tensor4.num_column_blocks(1))
+
+    def test_column_block_range_3d_view(self, tensor4):
+        run = tensor4.column_block_range(1, 1, 3)
+        assert run.shape[0] == 2
+        np.testing.assert_array_equal(run[0], tensor4.column_block(1, 1))
+        np.testing.assert_array_equal(run[1], tensor4.column_block(1, 2))
+
+    def test_column_block_range_invalid(self, tensor4):
+        with pytest.raises(ShapeError):
+            tensor4.column_block_range(1, 3, 1)
+
+    def test_unfold_matches_moveaxis_reference(self, tensor4):
+        X = tensor4.data
+        for n in range(4):
+            ref = np.reshape(np.moveaxis(X, n, 0), (X.shape[n], -1), order="F")
+            np.testing.assert_array_equal(tensor4.unfold(n), ref)
+
+    def test_unfold_fibers_are_columns(self, tensor3):
+        # Column j of the mode-1 unfolding is a mode-1 fiber.
+        Y = tensor3.unfold(1)
+        np.testing.assert_array_equal(Y[:, 0], tensor3.data[0, :, 0])
+        np.testing.assert_array_equal(Y[:, 1], tensor3.data[1, :, 0])
+
+
+class TestNumerics:
+    def test_norm_matches_numpy(self, tensor4):
+        assert tensor4.norm() == pytest.approx(np.linalg.norm(tensor4.data))
+
+    def test_norm_float32_accumulates_in_double(self):
+        # 1e8 entries of 1e-4: naive float32 accumulation of squares loses
+        # badly; our float64 path must not.
+        X = DenseTensor(np.full((100, 100, 100), 1e-4, dtype=np.float32))
+        expected = np.sqrt(1e6 * (np.float32(1e-4) ** 2))
+        assert X.norm() == pytest.approx(float(expected), rel=1e-6)
+
+    def test_astype_roundtrip(self, tensor4):
+        Y = tensor4.astype("single").astype("double")
+        assert Y.dtype == np.float64
+        assert Y.allclose(tensor4, rtol=1e-6, atol=1e-6)
+
+    def test_equality(self, tensor4):
+        assert tensor4 == tensor4.copy()
+        other = tensor4.copy()
+        other.data[0, 0, 0, 0] += 1.0
+        assert tensor4 != other
+
+    def test_copy_is_deep(self, tensor4):
+        Y = tensor4.copy()
+        Y.data[0, 0, 0, 0] = 123.0
+        assert tensor4.data[0, 0, 0, 0] != 123.0

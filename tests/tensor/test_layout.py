@@ -1,0 +1,101 @@
+"""Unit tests for unfolding layout arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import layout
+
+
+class TestProducts:
+    def test_prod_all(self):
+        assert layout.prod_all((3, 4, 5)) == 60
+        assert layout.prod_all((7,)) == 7
+
+    def test_prod_before_after(self):
+        shape = (2, 3, 5, 7)
+        assert layout.prod_before(shape, 0) == 1
+        assert layout.prod_before(shape, 2) == 6
+        assert layout.prod_before(shape, 3) == 30
+        assert layout.prod_after(shape, 0) == 105
+        assert layout.prod_after(shape, 2) == 7
+        assert layout.prod_after(shape, 3) == 1
+
+    def test_before_times_after_times_dim_is_total(self):
+        shape = (4, 6, 3, 5, 2)
+        for n in range(len(shape)):
+            assert (
+                layout.prod_before(shape, n) * shape[n] * layout.prod_after(shape, n)
+                == layout.prod_all(shape)
+            )
+
+    def test_negative_mode_wraps(self):
+        shape = (2, 3, 5)
+        assert layout.prod_before(shape, -1) == layout.prod_before(shape, 2)
+
+    def test_out_of_range_mode_raises(self):
+        with pytest.raises(ShapeError):
+            layout.prod_before((2, 3), 2)
+
+
+class TestUnfoldingShape:
+    def test_matches_definition(self):
+        shape = (4, 5, 6)
+        assert layout.unfolding_shape(shape, 0) == (4, 30)
+        assert layout.unfolding_shape(shape, 1) == (5, 24)
+        assert layout.unfolding_shape(shape, 2) == (6, 20)
+
+    def test_block_structure(self):
+        shape = (4, 5, 6)
+        # mode 1: blocks of (5 x 4), 6 of them
+        assert layout.block_shape(shape, 1) == (5, 4)
+        assert layout.num_column_blocks(shape, 1) == 6
+        # mode 0: one column per block
+        assert layout.block_shape(shape, 0) == (4, 1)
+        # mode N-1: a single block
+        assert layout.num_column_blocks(shape, 2) == 1
+
+
+class TestColumnIndexing:
+    def test_roundtrip(self):
+        shape = (3, 4, 2, 5)
+        for n in range(4):
+            rows, cols = layout.unfolding_shape(shape, n)
+            for col in range(cols):
+                idx = layout.multi_index_of_column(shape, n, col)
+                assert idx[n] == 0
+                assert layout.column_of_multi_index(shape, n, idx) == col
+
+    def test_mode0_fastest_ordering(self):
+        shape = (3, 4, 5)
+        # column of (i0, -, i2) for mode 1 is i0 + 3*i2
+        assert layout.column_of_multi_index(shape, 1, (2, 0, 1)) == 2 + 3 * 1
+
+    def test_bad_column_raises(self):
+        with pytest.raises(ValueError):
+            layout.multi_index_of_column((3, 4), 0, 4)
+
+    def test_bad_index_raises(self):
+        with pytest.raises(ValueError):
+            layout.column_of_multi_index((3, 4), 0, (0, 7))
+        with pytest.raises(ValueError):
+            layout.column_of_multi_index((3, 4), 0, (0,))
+
+
+class TestAgainstNumpy:
+    """The layout formulas must agree with actual ndarray memory order."""
+
+    def test_column_block_matches_unfold(self):
+        rng = np.random.default_rng(0)
+        shape = (3, 4, 2, 5)
+        from repro.tensor import DenseTensor
+
+        X = DenseTensor(rng.standard_normal(shape))
+        for n in range(4):
+            Y = X.unfold(n)
+            bcols = layout.block_shape(shape, n)[1]
+            for j in range(layout.num_column_blocks(shape, n)):
+                blk = X.column_block(n, j)
+                np.testing.assert_array_equal(blk, Y[:, j * bcols : (j + 1) * bcols])

@@ -1,0 +1,92 @@
+"""Mode permutation / concatenation / subtensor tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import sthosvd
+from repro.errors import ShapeError
+from repro.tensor import DenseTensor, concatenate_mode, permute_modes, subtensor
+
+
+class TestPermuteModes:
+    def test_matches_numpy_transpose(self, tensor4):
+        P = permute_modes(tensor4, (2, 0, 3, 1))
+        np.testing.assert_array_equal(P.data, np.transpose(tensor4.data, (2, 0, 3, 1)))
+        assert P.data.flags.f_contiguous
+
+    def test_identity(self, tensor4):
+        assert permute_modes(tensor4, (0, 1, 2, 3)) == tensor4
+
+    def test_involution(self, tensor4):
+        perm = (3, 1, 0, 2)
+        inverse = tuple(np.argsort(perm))
+        assert permute_modes(permute_modes(tensor4, perm), inverse) == tensor4
+
+    def test_singular_values_travel_with_modes(self, tensor3):
+        """Unfolding spectra are permutation-covariant."""
+        P = permute_modes(tensor3, (2, 0, 1))
+        s_orig = np.linalg.svd(tensor3.unfold(2), compute_uv=False)
+        s_perm = np.linalg.svd(P.unfold(0), compute_uv=False)
+        np.testing.assert_allclose(s_orig, s_perm, atol=1e-10)
+
+    def test_sthosvd_invariant_up_to_permutation(self, tensor3):
+        perm = (1, 2, 0)
+        a = sthosvd(tensor3, tol=0.3)
+        b = sthosvd(permute_modes(tensor3, perm), tol=0.3)
+        assert tuple(b.ranks[i] for i in np.argsort(perm)) == a.ranks
+
+    def test_bad_perm(self, tensor4):
+        with pytest.raises(ShapeError):
+            permute_modes(tensor4, (0, 0, 1, 2))
+
+
+class TestConcatenateMode:
+    def test_roundtrip_with_subtensor(self, tensor4):
+        parts = [
+            subtensor(tensor4, (slice(None), slice(0, 3)) + (slice(None),) * 2),
+            subtensor(tensor4, (slice(None), slice(3, 7)) + (slice(None),) * 2),
+        ]
+        assert concatenate_mode(parts, 1) == tensor4
+
+    def test_grows_only_target_mode(self, tensor3):
+        C = concatenate_mode([tensor3, tensor3], 2)
+        assert C.shape == (9, 4, 22)
+
+    def test_shape_mismatch(self, tensor3, rng):
+        other = DenseTensor(rng.standard_normal((9, 5, 11)))
+        with pytest.raises(ShapeError):
+            concatenate_mode([tensor3, other], 2)
+
+    def test_dtype_mismatch(self, tensor3):
+        with pytest.raises(ShapeError):
+            concatenate_mode([tensor3, tensor3.astype("single")], 0)
+
+    def test_empty_list(self):
+        with pytest.raises(ShapeError):
+            concatenate_mode([], 0)
+
+
+class TestSubtensor:
+    def test_values(self, tensor4):
+        region = (slice(1, 4), slice(0, 2), slice(2, 5), slice(None))
+        S = subtensor(tensor4, region)
+        np.testing.assert_array_equal(S.data, tensor4.data[region])
+
+    def test_wrong_count(self, tensor4):
+        with pytest.raises(ShapeError):
+            subtensor(tensor4, (slice(None),))
+
+
+@given(
+    shape=st.lists(st.integers(1, 5), min_size=2, max_size=4).map(tuple),
+    seed=st.integers(0, 10**5),
+)
+@settings(max_examples=30, deadline=None)
+def test_permute_preserves_norm_property(shape, seed):
+    rng = np.random.default_rng(seed)
+    X = DenseTensor(rng.standard_normal(shape))
+    perm = tuple(rng.permutation(len(shape)))
+    assert permute_modes(X, perm).norm() == pytest.approx(X.norm(), rel=1e-12)

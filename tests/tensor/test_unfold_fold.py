@@ -1,0 +1,50 @@
+"""Tests for standalone unfold/fold, including hypothesis roundtrips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor import DenseTensor, fold, unfold
+
+
+shapes = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4).map(
+    tuple
+)
+
+
+class TestFold:
+    def test_roundtrip_all_modes(self, tensor4):
+        for n in range(4):
+            Y = unfold(tensor4, n)
+            back = fold(Y, n, tensor4.shape)
+            assert back == tensor4
+
+    def test_fold_shape_check(self):
+        with pytest.raises(ShapeError):
+            fold(np.zeros((3, 5)), 0, (3, 4))
+
+    def test_accepts_arraylike(self, rng):
+        arr = rng.standard_normal((3, 4, 5))
+        Y = unfold(arr, 2)
+        assert Y.shape == (5, 12)
+
+
+@given(shape=shapes, n_seed=st.integers(0, 10**6))
+@settings(max_examples=60, deadline=None)
+def test_unfold_fold_roundtrip_property(shape, n_seed):
+    rng = np.random.default_rng(n_seed)
+    X = DenseTensor(rng.standard_normal(shape))
+    for n in range(len(shape)):
+        assert fold(unfold(X, n), n, shape) == X
+
+
+@given(shape=shapes, n_seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_unfold_preserves_norm(shape, n_seed):
+    rng = np.random.default_rng(n_seed)
+    X = DenseTensor(rng.standard_normal(shape))
+    for n in range(len(shape)):
+        assert np.linalg.norm(unfold(X, n)) == pytest.approx(X.norm(), rel=1e-12)

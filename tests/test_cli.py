@@ -1,0 +1,226 @@
+"""CLI driver tests (compress / reconstruct / info, archive round-trips)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import load_archive, main, save_archive
+from repro.core import sthosvd
+from repro.data import load_raw, save_raw, low_rank_tensor
+
+
+@pytest.fixture(scope="module")
+def raw_file(tmp_path_factory):
+    X = low_rank_tensor((16, 14, 12), (3, 2, 4), rng=5, noise=1e-8)
+    path = str(tmp_path_factory.mktemp("cli") / "data.bin")
+    save_raw(X, path)
+    return X, path
+
+
+class TestArchive:
+    def test_roundtrip(self, raw_file, tmp_path):
+        X, _ = raw_file
+        res = sthosvd(X, tol=1e-4)
+        d = str(tmp_path / "arch")
+        save_archive(res.tucker, d, extra={"method": "qr"})
+        back, manifest = load_archive(d)
+        assert back.ranks == res.tucker.ranks
+        assert manifest["method"] == "qr"
+        assert back.reconstruct().allclose(res.tucker.reconstruct(), rtol=1e-12)
+
+    def test_manifest_contents(self, raw_file, tmp_path):
+        X, _ = raw_file
+        res = sthosvd(X, tol=1e-4)
+        d = str(tmp_path / "arch")
+        save_archive(res.tucker, d)
+        with open(os.path.join(d, "manifest.json")) as f:
+            m = json.load(f)
+        assert m["shape"] == [16, 14, 12]
+        assert m["format"].startswith("repro-tucker-archive")
+
+
+class TestCompressCommand:
+    def test_tol_compress_and_info(self, raw_file, tmp_path, capsys):
+        X, path = raw_file
+        arch = str(tmp_path / "a1")
+        rc = main(["compress", path, "--shape", "16", "14", "12",
+                   "--tol", "1e-4", "--out", arch])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ranks:" in out and "compression:" in out
+        rc = main(["info", arch])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "factors orth:  True" in out
+
+    def test_ranks_compress(self, raw_file, tmp_path, capsys):
+        X, path = raw_file
+        arch = str(tmp_path / "a2")
+        rc = main(["compress", path, "--shape", "16", "14", "12",
+                   "--ranks", "3", "2", "4", "--method", "gram", "--out", arch])
+        assert rc == 0
+        tucker, manifest = load_archive(arch)
+        assert tuple(manifest["ranks"]) == (3, 2, 4)
+
+    def test_out_of_core_flag(self, raw_file, tmp_path):
+        X, path = raw_file
+        arch = str(tmp_path / "a3")
+        rc = main(["compress", path, "--shape", "16", "14", "12",
+                   "--tol", "1e-4", "--out", arch, "--out-of-core"])
+        assert rc == 0
+        tucker, _ = load_archive(arch)
+        assert tucker.rel_error(X) <= 2e-4
+
+    def test_requires_exactly_one_of_tol_ranks(self, raw_file, tmp_path):
+        _, path = raw_file
+        with pytest.raises(SystemExit):
+            main(["compress", path, "--shape", "16", "14", "12",
+                  "--out", str(tmp_path / "x")])
+        with pytest.raises(SystemExit):
+            main(["compress", path, "--shape", "16", "14", "12",
+                  "--tol", "1e-3", "--ranks", "1", "1", "1",
+                  "--out", str(tmp_path / "x")])
+
+
+class TestReconstructCommand:
+    @pytest.fixture()
+    def archive(self, raw_file, tmp_path):
+        X, path = raw_file
+        arch = str(tmp_path / "arch")
+        main(["compress", path, "--shape", "16", "14", "12",
+              "--tol", "1e-5", "--out", arch])
+        return X, arch
+
+    def test_full_reconstruction(self, archive, tmp_path, capsys):
+        X, arch = archive
+        out = str(tmp_path / "full.bin")
+        rc = main(["reconstruct", arch, "--out", out])
+        assert rc == 0
+        back = load_raw(out)
+        assert back.shape == X.shape
+        err = np.linalg.norm(back.data - X.data) / X.norm()
+        assert err <= 2e-5
+
+    def test_region_reconstruction(self, archive, tmp_path):
+        X, arch = archive
+        out = str(tmp_path / "part.bin")
+        rc = main(["reconstruct", arch, "--out", out, "--region", "0:4,:,7"])
+        assert rc == 0
+        back = load_raw(out)
+        assert back.shape == (4, 14, 1)
+        np.testing.assert_allclose(
+            back.data[:, :, 0], X.data[0:4, :, 7], atol=1e-4
+        )
+
+    def test_bad_region_spec(self, archive, tmp_path):
+        _, arch = archive
+        with pytest.raises(SystemExit):
+            main(["reconstruct", arch, "--out", str(tmp_path / "x.bin"),
+                  "--region", "0:4,:"])
+
+
+class TestAutoAndPrecisionFlags:
+    def test_auto_selects_variant(self, raw_file, tmp_path, capsys):
+        _, path = raw_file
+        arch = str(tmp_path / "auto")
+        rc = main(["compress", path, "--shape", "16", "14", "12",
+                   "--tol", "1e-4", "--auto", "--out", arch])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "auto-selected: qr-single" in out
+        _, manifest = load_archive(arch)
+        assert manifest["method"] == "qr"
+        assert manifest["precision"] == "single"
+
+    def test_auto_requires_tol(self, raw_file, tmp_path):
+        _, path = raw_file
+        with pytest.raises(SystemExit):
+            main(["compress", path, "--shape", "16", "14", "12",
+                  "--ranks", "2", "2", "2", "--auto",
+                  "--out", str(tmp_path / "x")])
+
+    def test_single_pipeline_on_double_file(self, raw_file, tmp_path):
+        X, path = raw_file
+        arch = str(tmp_path / "sp")
+        rc = main(["compress", path, "--shape", "16", "14", "12",
+                   "--tol", "1e-3", "--precision", "single",
+                   "--method", "qr", "--out", arch, "--out-of-core"])
+        assert rc == 0
+        tucker, manifest = load_archive(arch)
+        assert manifest["dtype"] == "float32"
+        assert tucker.astype("double").rel_error(
+            X.astype("single").astype("double")) <= 2e-3
+
+    def test_checkpointed_ooc_compress(self, raw_file, tmp_path):
+        _, path = raw_file
+        arch = str(tmp_path / "ck")
+        rc = main(["compress", path, "--shape", "16", "14", "12",
+                   "--tol", "1e-4", "--out", arch, "--out-of-core",
+                   "--checkpoint-dir", str(tmp_path / "ckdir")])
+        assert rc == 0
+
+
+class TestSimulateAndTuneCommands:
+    def test_simulate_prints_breakdown(self, capsys):
+        rc = main(["simulate", "--shape", "64", "64", "64", "64",
+                   "--ranks", "8", "8", "8", "8", "--grid", "2", "2", "1", "1",
+                   "--method", "qr"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modeled time" in out
+        assert "GFLOPS/core" in out
+        assert "LQ" in out and "TTM" in out
+
+    def test_simulate_gram_shows_gram_phase(self, capsys):
+        rc = main(["simulate", "--shape", "64", "64", "64",
+                   "--ranks", "8", "8", "8", "--grid", "2", "2", "1",
+                   "--method", "gram", "--precision", "single"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Gram" in out
+
+    def test_tune_lists_configs(self, capsys):
+        rc = main(["tune", "--shape", "64", "64", "64", "64",
+                   "--ranks", "8", "8", "8", "8", "--procs", "16",
+                   "--top", "4"])
+        assert rc == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 5  # header + 4 configs
+        assert "ordering" in lines[0]
+
+    def test_tune_with_memory_limit(self, capsys):
+        rc = main(["tune", "--shape", "64", "64", "64", "64",
+                   "--ranks", "8", "8", "8", "8", "--procs", "8",
+                   "--memory-limit-gib", "4", "--top", "2"])
+        assert rc == 0
+
+
+class TestRecompressCommand:
+    def test_recompress_archive(self, raw_file, tmp_path, capsys):
+        X, path = raw_file
+        arch = str(tmp_path / "master")
+        main(["compress", path, "--shape", "16", "14", "12",
+              "--tol", "1e-6", "--out", arch])
+        capsys.readouterr()
+        out_arch = str(tmp_path / "loose")
+        rc = main(["recompress", arch, "--tol", "1e-2", "--out", out_arch])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "error bound" in out
+        tucker, manifest = load_archive(out_arch)
+        assert "recompressed_from" in manifest
+        assert all(a <= b for a, b in zip(
+            tucker.ranks, load_archive(arch)[0].ranks))
+        assert tucker.rel_error(X) <= 1.1 * manifest["estimated_rel_error"] + 1e-2
+
+    def test_recompress_requires_tol_or_ranks(self, raw_file, tmp_path):
+        X, path = raw_file
+        arch = str(tmp_path / "m2")
+        main(["compress", path, "--shape", "16", "14", "12",
+              "--tol", "1e-5", "--out", arch])
+        with pytest.raises(SystemExit):
+            main(["recompress", arch, "--out", str(tmp_path / "x")])

@@ -1,0 +1,109 @@
+"""Cross-module pipeline fuzzer.
+
+One hypothesis-driven test sweeps the whole public surface: random
+tensor, random algorithm (ST-HOSVD / HOSVD / HOOI), random method,
+precision, ordering, and tolerance-or-ranks, then checks every invariant
+that must hold regardless of the configuration:
+
+* the error guarantee (when the tolerance clears the variant's floor);
+* orthonormal factor columns;
+* rank bounds (1 <= R_n <= I_n, and <= the unfolding's column count);
+* estimated vs actual error consistency;
+* determinism (same inputs -> identical result).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import hooi, hosvd, sthosvd
+from repro.linalg import min_reachable_tolerance
+from repro.tensor import DenseTensor
+
+
+@st.composite
+def pipeline_config(draw):
+    ndim = draw(st.integers(2, 4))
+    shape = tuple(draw(st.integers(2, 8)) for _ in range(ndim))
+    algorithm = draw(st.sampled_from(["sthosvd", "hosvd", "hooi"]))
+    method = draw(st.sampled_from(["qr", "gram", "gram-mixed"]))
+    precision = draw(st.sampled_from(["single", "double"]))
+    order = draw(st.sampled_from(["forward", "backward"]))
+    use_tol = draw(st.booleans()) if algorithm != "hooi" else False
+    if use_tol:
+        tol = draw(st.sampled_from([0.5, 0.1, 0.02]))
+        ranks = None
+    else:
+        tol = None
+        ranks = tuple(draw(st.integers(1, s)) for s in shape)
+    seed = draw(st.integers(0, 10**6))
+    return shape, algorithm, method, precision, order, tol, ranks, seed
+
+
+def _run(shape, algorithm, method, precision, order, tol, ranks, seed):
+    rng = np.random.default_rng(seed)
+    X = DenseTensor(rng.standard_normal(shape))
+    if algorithm == "sthosvd":
+        res = sthosvd(X, tol=tol, ranks=ranks, method=method,
+                      precision=precision, mode_order=order)
+        return X, res.tucker, res
+    if algorithm == "hosvd":
+        res = hosvd(X, tol=tol, ranks=ranks, method=method, precision=precision)
+        return X, res.tucker, res
+    res = hooi(X, ranks=ranks, method=method, precision=precision, max_iters=4)
+    return X, res.tucker, None
+
+
+@given(cfg=pipeline_config())
+@settings(max_examples=60, deadline=None)
+def test_pipeline_invariants(cfg):
+    shape, algorithm, method, precision, order, tol, ranks, seed = cfg
+    X, tucker, res = _run(*cfg)
+
+    # --- rank bounds ------------------------------------------------------
+    for n, (r, i) in enumerate(zip(tucker.ranks, shape)):
+        assert 1 <= r <= i
+    assert tucker.shape == shape
+
+    # --- orthonormal factors ----------------------------------------------
+    tol_orth = 1e-2 if precision == "single" else 1e-8
+    for U in tucker.factors:
+        gram = U.astype(np.float64).T @ U.astype(np.float64)
+        assert np.abs(gram - np.eye(U.shape[1])).max() < tol_orth
+
+    # --- error guarantee (only when tol clears the floor comfortably) ------
+    if tol is not None:
+        base = "gram" if method.startswith("gram") else "qr"
+        eff_prec = "double" if method == "gram-mixed" else precision
+        floor = min_reachable_tolerance(base, eff_prec)
+        if tol > 100 * floor:
+            err = tucker.rel_error(X)
+            assert err <= tol * (1 + 1e-6)
+            if res is not None:
+                est = res.estimated_rel_error()
+                # estimate and actual agree within a modest factor, once
+                # both are meaningfully above the precision's roundoff
+                # (a full-rank result estimates 0 while the actual error
+                # is roundoff-level).
+                assert est <= tol * (1 + 1e-6)
+                roundoff = 1e3 * np.finfo(
+                    np.float32 if precision == "single" else np.float64
+                ).eps
+                if err > roundoff and est > 0:
+                    assert 0.2 < est / err < 5.0
+
+    # --- approximation never exceeds the trivial bound ---------------------
+    assert tucker.rel_error(X) <= 1.0 + 1e-9
+
+
+@given(cfg=pipeline_config())
+@settings(max_examples=20, deadline=None)
+def test_pipeline_deterministic(cfg):
+    _, t1, _ = _run(*cfg)
+    _, t2, _ = _run(*cfg)
+    assert t1.ranks == t2.ranks
+    np.testing.assert_array_equal(t1.core.data, t2.core.data)
+    for a, b in zip(t1.factors, t2.factors):
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,117 @@
+"""Utility-module tests: validation, RNG spawning, table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.precision import Precision, SINGLE, DOUBLE, resolve_precision
+from repro.util import (
+    check_axis,
+    check_positive_int,
+    check_shape_match,
+    default_rng,
+    ensure_ndarray,
+    format_table,
+    require,
+    spawn_rngs,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigurationError, match="nope"):
+            require(False, "nope")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_check_axis(self):
+        assert check_axis(-1, 3) == 2
+        assert check_axis(0, 3) == 0
+        with pytest.raises(ShapeError):
+            check_axis(3, 3)
+        with pytest.raises(ConfigurationError):
+            check_axis("0", 3)
+
+    def test_check_shape_match(self):
+        check_shape_match((2, 3), [2, 3], "ok")
+        with pytest.raises(ShapeError):
+            check_shape_match((2, 3), (3, 2), "bad")
+
+    def test_ensure_ndarray(self):
+        a = ensure_ndarray([[1, 2]], "a", ndim=2)
+        assert a.shape == (1, 2)
+        with pytest.raises(ShapeError):
+            ensure_ndarray([1, 2], "a", ndim=2)
+
+
+class TestRng:
+    def test_default_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert default_rng(g) is g
+
+    def test_spawn_independent_reproducible(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        for x, y in zip(a, b):
+            assert x.integers(0, 1000) == y.integers(0, 1000)
+        # different children differ
+        vals = {g.integers(0, 10**9) for g in spawn_rngs(7, 5)}
+        assert len(vals) > 1
+
+
+class TestPrecision:
+    def test_resolve_aliases(self):
+        for alias in ("single", "float32", "f32", np.float32, np.dtype(np.float32)):
+            assert resolve_precision(alias) is SINGLE
+        for alias in ("double", "float64", np.float64):
+            assert resolve_precision(alias) is DOUBLE
+        assert resolve_precision(SINGLE) is SINGLE
+
+    def test_eps_values(self):
+        assert SINGLE.eps == pytest.approx(2**-23)
+        assert DOUBLE.eps == pytest.approx(2**-52)
+        assert SINGLE.word_bytes == 4
+        assert DOUBLE.word_bytes == 8
+
+    def test_floors(self):
+        assert SINGLE.gram_svd_floor == pytest.approx(np.sqrt(2**-23))
+        assert DOUBLE.qr_svd_floor == pytest.approx(2**-52)
+
+    def test_bad_precision(self):
+        with pytest.raises(ConfigurationError):
+            resolve_precision("half")
+        with pytest.raises(ConfigurationError):
+            resolve_precision(np.int32)
+        with pytest.raises(ConfigurationError):
+            resolve_precision(object())
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        txt = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]], title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_scientific_for_extremes(self):
+        txt = format_table(["x"], [[1.23e-12]])
+        assert "e-12" in txt
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        txt = format_table(["a"], [])
+        assert "a" in txt
