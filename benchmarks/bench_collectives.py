@@ -14,6 +14,8 @@ paper's scales where latency/bandwidth crossovers actually happen.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -32,6 +34,7 @@ from repro.perf.collectives import (
     cost_alltoall_pairwise,
     cost_bcast_binomial,
     cost_bcast_scatter_allgather,
+    dispatched_allreduce_cost,
 )
 from repro.util import format_table
 
@@ -150,6 +153,41 @@ class TestModeledCrossovers:
         assert rows[0][1] < rows[0][2]
         assert rows[-1][2] < rows[-1][1]
 
+    def test_dispatched_matches_or_beats_fixed_modeled(self, benchmark, write_report):
+        """The engine's selection is never worse than either fixed
+        algorithm in either regime (far from the crossover it equals the
+        better one exactly)."""
+        comm = ANDES.comm
+
+        def compute():
+            rows = []
+            for p in (8, 64, 512):
+                for nbytes in (512, 1 << 14, 1 << 21, 1 << 27):
+                    rd = cost_allreduce_recursive_doubling(p, nbytes, comm)
+                    ring = cost_allreduce_ring(p, nbytes, comm)
+                    auto = dispatched_allreduce_cost(p, nbytes, comm)
+                    rows.append([p, nbytes, rd * 1e6, ring * 1e6, auto * 1e6])
+            return rows
+
+        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        write_report(
+            "collectives_dispatch_vs_fixed",
+            format_table(
+                ["P", "bytes", "recdbl [us]", "ring [us]", "dispatched [us]"],
+                rows,
+                title="Dispatched allreduce vs fixed algorithms (Andes model)",
+            ),
+        )
+        for p, nbytes, rd, ring, auto in rows:
+            # The dispatch always selects one of the fixed algorithms,
+            # and near the crossover never loses by more than 2x.
+            assert auto in (rd, ring)
+            assert auto <= 2.0 * min(rd, ring)
+            # In the regimes (an order of magnitude away from the
+            # crossover) the dispatch picks the winner outright.
+            if nbytes <= 1 << 14 or nbytes >= 1 << 27:
+                assert auto == pytest.approx(min(rd, ring))
+
     def test_redistribution_schedule_is_bandwidth_optimal(self, benchmark):
         """The paper's pairwise all-to-all moves (P-1)/P of the local
         data — no schedule can move less, so the modeled cost is within
@@ -165,3 +203,64 @@ class TestModeledCrossovers:
         actual, lb = benchmark.pedantic(compute, rounds=1, iterations=1)
         assert actual < lb * 1.01 + p * comm.alpha * 1.01
         assert actual >= lb
+
+
+class TestMeasuredCrossovers:
+    """Wall-clock crossovers on the threaded runtime, next to the model.
+
+    The simulator's measured costs are message-handling overhead plus
+    real reduction flops and staging copies, so the small/large regimes
+    behave like the alpha/beta model predicts: recursive doubling wins
+    tiny payloads on round count; the ring wins big payloads because it
+    reduces block-by-block (fewer flops on the critical path) and the
+    zero-copy sends remove snapshotting entirely.
+    """
+
+    P = 8
+
+    def _measure(self, algorithm, n, repeats=5):
+        def prog(comm):
+            return comm.allreduce(np.ones(n), algorithm=algorithm)
+
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_spmd(prog, self.P)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def test_report_measured_allreduce_crossover(self, benchmark, write_report):
+        comm = ANDES.comm
+        sizes = [64, 1 << 12, 1 << 15, 1 << 18]  # elements (512 B .. 2 MiB)
+
+        def compute():
+            rows = []
+            for n in sizes:
+                nbytes = n * 8
+                rows.append([
+                    nbytes,
+                    self._measure("recursive_doubling", n) * 1e3,
+                    self._measure("ring", n) * 1e3,
+                    self._measure(None, n) * 1e3,
+                    cost_allreduce_recursive_doubling(self.P, nbytes, comm) * 1e6,
+                    cost_allreduce_ring(self.P, nbytes, comm) * 1e6,
+                ])
+            return rows
+
+        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        write_report(
+            "collectives_measured_crossover",
+            format_table(
+                ["bytes", "recdbl [ms]", "ring [ms]", "dispatched [ms]",
+                 "model recdbl [us]", "model ring [us]"],
+                rows,
+                title=(
+                    f"Measured allreduce wall-clock (P={self.P}, threaded "
+                    "runtime, best of 5) vs Andes model"
+                ),
+            ),
+        )
+        # The dispatched engine tracks the better fixed algorithm in
+        # both regimes (generous slack: thread scheduling is noisy).
+        for nbytes, rd_ms, ring_ms, auto_ms, *_ in rows:
+            assert auto_ms <= 2.0 * min(rd_ms, ring_ms), nbytes

@@ -65,8 +65,15 @@ def hooi_parallel(
     max_iters: int = 25,
     fit_tol: float = 1e-9,
     backend: str = "lapack",
+    svd_strategy: str = "replicated",
 ) -> ParallelHooiResult:
-    """Distributed rank-constrained Tucker refinement (collective)."""
+    """Distributed rank-constrained Tucker refinement (collective).
+
+    ``svd_strategy`` selects how per-mode factors replicate:
+    ``"replicated"`` decomposes redundantly on every rank (paper
+    default); ``"root_bcast"`` decomposes on rank 0 and broadcasts the
+    bitwise-identical factors through the adaptive collective engine.
+    """
     if method not in ("qr", "gram"):
         raise ConfigurationError(
             f"parallel HOOI supports methods ('qr', 'gram'), got {method!r}"
@@ -87,7 +94,10 @@ def hooi_parallel(
     timer = PhaseTimer()
     norm_x = dt.norm()
 
-    seed = sthosvd_parallel(dt, ranks=ranks, method=method, backend=backend)
+    seed = sthosvd_parallel(
+        dt, ranks=ranks, method=method, backend=backend,
+        svd_strategy=svd_strategy,
+    )
     factors = list(seed.factors)
     counter.merge(seed.flops)
 
@@ -104,9 +114,12 @@ def hooi_parallel(
                     partial = par_ttm_truncate(partial, factors[k], k, counter=counter)
             if method == "qr":
                 U, _sigma = par_tensor_qr_svd(partial, n, backend=backend,
+                                              strategy=svd_strategy,
                                               counter=counter)
             else:
-                U, _sigma = par_tensor_gram_svd(partial, n, counter=counter)
+                U, _sigma = par_tensor_gram_svd(partial, n,
+                                                strategy=svd_strategy,
+                                                counter=counter)
             factors[n] = np.ascontiguousarray(U[:, : ranks[n]])
             if n == ndim - 1:
                 with timer.phase(PHASE_TTM, n):

@@ -100,13 +100,18 @@ def sthosvd_parallel(
     method: str = "qr",
     mode_order="forward",
     backend: str = "lapack",
+    svd_strategy: str = "replicated",
 ) -> ParallelSthosvdResult:
     """Distributed ST-HOSVD (collective over ``dt``'s communicator).
 
     Arguments match :func:`repro.core.sthosvd.sthosvd`; the working
     precision is the distributed tensor's dtype (convert with
     ``DistributedTensor.astype`` beforehand for the single-precision
-    variants).
+    variants).  ``svd_strategy`` selects how the per-mode factors
+    replicate: ``"replicated"`` (paper default, redundant decomposition
+    on every rank) or ``"root_bcast"`` (decompose once on rank 0, then
+    broadcast via the size-adaptive collective engine; bitwise-identical
+    factors).
     """
     if method not in ("qr", "gram"):
         raise ConfigurationError(
@@ -136,10 +141,15 @@ def sthosvd_parallel(
     for n in order:
         if method == "qr":
             with timer.phase(PHASE_LQ, n):
-                U, sigma = par_tensor_qr_svd(current, n, backend=backend, counter=counter)
+                U, sigma = par_tensor_qr_svd(
+                    current, n, backend=backend,
+                    strategy=svd_strategy, counter=counter,
+                )
         else:
             with timer.phase(PHASE_GRAM, n):
-                U, sigma = par_tensor_gram_svd(current, n, counter=counter)
+                U, sigma = par_tensor_gram_svd(
+                    current, n, strategy=svd_strategy, counter=counter,
+                )
         sigmas[n] = sigma
         if budget is not None:
             r = choose_rank(sigma, budget)

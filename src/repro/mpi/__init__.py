@@ -15,6 +15,7 @@ from .costmodel import CommCosts, ComputeRates, CostModel, RankClock
 from .launcher import run_spmd, SpmdResult
 from .request import Request, waitall
 from .tracing import CommTrace
+from .tuning import CollectiveTuning
 from .cart import CartComm
 from .algorithms import (
     allreduce_recursive_doubling,
@@ -35,6 +36,7 @@ __all__ = [
     "Request",
     "waitall",
     "CommTrace",
+    "CollectiveTuning",
     "CartComm",
     "allreduce_recursive_doubling",
     "allgather_ring",

@@ -1,11 +1,12 @@
-"""Alternative collective algorithms (selectable, equivalently correct).
+"""Named entry points for the collective algorithms (forced selection).
 
-The default collectives in :class:`~repro.mpi.communicator.Communicator`
-use one textbook algorithm each.  Real MPI implementations switch
-algorithms by message size and communicator shape; this module provides
-the classic alternatives so (a) the cost model can compare their modeled
-critical paths and (b) equivalence tests pin down the collectives'
-semantics independent of any one implementation:
+The algorithms themselves now live inside
+:class:`~repro.mpi.communicator.Communicator`, which dispatches between
+them by message size and communicator shape (see
+:mod:`repro.mpi.tuning`).  These wrappers force one specific algorithm —
+useful for equivalence tests pinning down collective semantics
+independent of the dispatch table, and for modeled-cost comparisons in
+the benchmarks:
 
 * ``allreduce_recursive_doubling`` — log P rounds of pairwise exchanges
   (halves the latency of reduce+broadcast; the short-message champion);
@@ -35,8 +36,6 @@ __all__ = [
     "reduce_scatter_ring",
 ]
 
-_TAG = 31
-
 
 def allreduce_recursive_doubling(
     comm: Communicator,
@@ -49,55 +48,12 @@ def allreduce_recursive_doubling(
     pre-combine pairwise so a power-of-two subset runs the butterfly,
     then results fan back out.
     """
-    if op is None:
-        op = lambda a, b: a + b  # noqa: E731
-    acc = np.array(value, copy=True)
-    p, me = comm.size, comm.rank
-    if p == 1:
-        return acc
-    p2 = 1 << (p.bit_length() - 1)
-    rem = p - p2
-
-    # Fold phase: ranks [p2, p) send into [0, rem).
-    if me >= p2:
-        comm.send(acc, me - p2, tag=_TAG)
-        active = False
-    else:
-        active = True
-        if me < rem:
-            other = comm.recv(me + p2, tag=_TAG)
-            acc = op(acc, other)
-
-    if active:
-        mask = 1
-        while mask < p2:
-            partner = me ^ mask
-            other = comm.sendrecv(acc, partner, tag=_TAG)
-            # Deterministic order: lower rank's contribution first.
-            acc = op(other, acc) if partner < me else op(acc, other)
-            mask <<= 1
-
-    # Unfold phase.
-    if me >= p2:
-        acc = comm.recv(me - p2, tag=_TAG)
-    elif me < rem:
-        comm.send(acc, me + p2, tag=_TAG)
-    return acc
+    return comm.allreduce(value, op=op, algorithm="recursive_doubling")
 
 
 def allgather_ring(comm: Communicator, value: np.ndarray) -> list:
     """Ring allgather: P−1 shifts, each forwarding one received slot."""
-    p, me = comm.size, comm.rank
-    slots: list = [None] * p
-    slots[me] = np.array(value, copy=True)
-    right = (me + 1) % p
-    left = (me - 1) % p
-    carry = slots[me]
-    for step in range(p - 1):
-        comm.send(carry, right, tag=_TAG)
-        carry = comm.recv(left, tag=_TAG)
-        slots[(me - step - 1) % p] = carry
-    return slots
+    return comm.allgather(value, algorithm="ring")
 
 
 def bcast_scatter_allgather(
@@ -107,28 +63,16 @@ def bcast_scatter_allgather(
 
     Long-message algorithm: total traffic ~2x the payload instead of the
     binomial tree's ``payload * log P``.  The payload must be a 1-D
-    array on the root (reshape around the call for higher ranks).
+    array on the root (reshape around the call for higher ranks; the
+    communicator-level dispatch handles N-D payloads internally).
     """
-    p, me = comm.size, comm.rank
-    if me == root:
+    if comm.rank == root:
         if value is None:
             raise CommunicatorError("root must supply the broadcast payload")
         value = np.asarray(value)
         if value.ndim != 1:
             raise CommunicatorError("scatter-allgather bcast expects a 1-D array")
-        meta = (value.shape[0], value.dtype.name)
-    else:
-        meta = None
-    # Small metadata via the tree bcast (as real MPI does internally).
-    length, dtype_name = comm.bcast(meta, root=root)
-    bounds = np.linspace(0, length, p + 1).astype(int)
-    if me == root:
-        pieces = [np.ascontiguousarray(value[bounds[q] : bounds[q + 1]]) for q in range(p)]
-    else:
-        pieces = None
-    mine = comm.scatter(pieces, root=root)
-    gathered = allgather_ring(comm, mine)
-    return np.concatenate(gathered)
+    return comm.bcast(value, root=root, algorithm="scatter_allgather")
 
 
 def reduce_scatter_ring(
@@ -141,25 +85,4 @@ def reduce_scatter_ring(
     Slot ``q`` ends on rank ``q``, reduced over every rank's ``values[q]``.
     Bandwidth-optimal: each rank moves ``(P-1)/P`` of one slot per round.
     """
-    if op is None:
-        op = lambda a, b: a + b  # noqa: E731
-    p, me = comm.size, comm.rank
-    if len(values) != p:
-        raise CommunicatorError(f"reduce_scatter needs exactly {p} payloads")
-    if p == 1:
-        return np.array(values[0], copy=True)
-    right = (me + 1) % p
-    left = (me - 1) % p
-    # Slot j originates at rank j+1 and travels the ring once, each rank
-    # folding in its contribution; after P-1 rounds rank j holds the
-    # full reduction of slot j.  At step s this rank sends its partial
-    # for slot (me-1-s) and receives/extends the one for (me-2-s).
-    carry = None
-    for s in range(p - 1):
-        send_slot = (me - 1 - s) % p
-        to_send = carry if s > 0 else np.array(values[send_slot], copy=True)
-        comm.send(to_send, right, tag=_TAG)
-        incoming = comm.recv(left, tag=_TAG)
-        recv_slot = (me - 2 - s) % p
-        carry = op(incoming, values[recv_slot])
-    return carry
+    return comm.reduce_scatter(values, op=op, algorithm="ring")

@@ -1,9 +1,9 @@
-"""Simulated MPI communicator.
+"""Simulated MPI communicator with a size-adaptive collective engine.
 
 Implements the subset of MPI used by parallel ST-HOSVD — blocking
 point-to-point (send/recv/sendrecv) plus the collectives the algorithms
 need (barrier, bcast, reduce, allreduce, gather, allgather, scatter,
-alltoall, split) — on top of the mailbox layer in
+alltoall, reduce_scatter, split) — on top of the mailbox layer in
 :mod:`repro.mpi.context`.  Ranks run as threads (NumPy releases the GIL,
 so local kernels genuinely overlap) launched by
 :func:`repro.mpi.launcher.run_spmd`.
@@ -16,16 +16,39 @@ Semantics mirror MPI where it matters to the algorithms:
   the tag space);
 * ``split`` creates disjoint sub-communicators by color, ranked by key.
 
-Array payloads are copied on send, so a sender may immediately reuse its
-buffer — matching the blocking-send contract the algorithms assume.
+**Adaptive collectives.**  Each collective dispatches between several
+classic algorithms by message size and communicator shape, exactly as
+real MPI stacks do: allreduce between reduce+broadcast, recursive
+doubling, and the bandwidth-optimal ring; bcast between the binomial
+tree and van de Geijn scatter+allgather; allgather between the ring and
+Bruck dissemination; reduce_scatter between pairwise alltoall+fold and
+the ring shift-accumulate.  Crossover thresholds live in the world's
+:class:`~repro.mpi.tuning.CollectiveTuning` and every algorithm can be
+forced via the ``algorithm=`` keyword.  All algorithms combine in
+deterministic order, so replicated results stay bitwise replicated.
+
+**Zero-copy sends.**  By default array payloads are copied on send, so a
+sender may immediately reuse its buffer — the blocking-send contract the
+algorithms assume.  Two mechanisms elide the copy in this
+shared-address-space runtime: ``send(obj, dest, copy=False)`` *moves*
+the payload (ownership transfers; ndarrays in the payload are frozen
+read-only so sender-side reuse raises instead of corrupting the
+receiver), and arrays the caller has already marked read-only
+(``arr.flags.writeable = False``) are moved automatically.  Collectives
+move their internal temporaries (ring carries, scatter pieces, partial
+sums), so the hot paths perform no hidden snapshots; the per-rank
+"bytes copied vs. moved" split is recorded by
+:class:`~repro.mpi.tracing.CommTrace`.
 
 When a :class:`~repro.mpi.costmodel.CostModel` is attached, every
 operation advances the rank's logical clock through the *actual* message
-schedule, which is what the performance studies measure.
+schedule of the selected algorithm, which is what the performance
+studies measure.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -39,6 +62,11 @@ __all__ = ["Communicator"]
 # Internal tag space for collectives: user tags must be >= 0.
 _COLLECTIVE_TAG_BASE = -1
 
+# Sentinel marking the scatter+allgather broadcast's metadata header.
+# Identity comparison is safe: the runtime is in-process, so the object
+# reference itself travels with the message.
+_SA_HEADER = object()
+
 
 def _payload_nbytes(obj: Any) -> int:
     """Modeled wire size of a payload in bytes."""
@@ -46,9 +74,23 @@ def _payload_nbytes(obj: Any) -> int:
         return obj.nbytes
     if isinstance(obj, (list, tuple)):
         return sum(_payload_nbytes(x) for x in obj) + 16
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(v) for v in obj.values()) + 16
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            sum(
+                _payload_nbytes(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            )
+            + 16
+        )
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
     if obj is None:
         return 0
-    if isinstance(obj, (int, float, np.generic)):
+    if isinstance(obj, (int, float, complex, bool, np.generic)):
         return 8
     return 64  # nominal envelope for small pickled objects
 
@@ -62,6 +104,45 @@ def _copy_payload(obj: Any) -> Any:
     if isinstance(obj, tuple):
         return tuple(_copy_payload(x) for x in obj)
     return obj
+
+
+def _freeze_payload(obj: Any) -> Any:
+    """Freeze every ndarray in a moved payload (returns the payload).
+
+    The move contract's safety net: after ``send(..., copy=False)`` the
+    sender's arrays become read-only, so an accidental reuse raises
+    ``ValueError`` instead of silently corrupting the receiver.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.flags.writeable:
+            obj.flags.writeable = False
+    elif isinstance(obj, (list, tuple)):
+        for x in obj:
+            _freeze_payload(x)
+    return obj
+
+
+def _is_readonly_array(obj: Any) -> bool:
+    """True for ndarrays the caller marked read-only (copy elidable)."""
+    return isinstance(obj, np.ndarray) and not obj.flags.writeable
+
+
+def _block_bounds(length: int, nprocs: int, proc: int) -> tuple[int, int]:
+    """Exact integer block partition ``[start, stop)`` of ``length``.
+
+    Same uneven-division rule as :func:`repro.dist.distribution.block_range`
+    (duplicated here because ``repro.mpi`` sits below ``repro.dist`` in
+    the layering): the first ``length mod nprocs`` pieces get one extra
+    element, and piece sizes never drift from float rounding.
+    """
+    base, extra = divmod(length, nprocs)
+    start = proc * base + min(proc, extra)
+    return start, start + base + (1 if proc < extra else 0)
+
+
+def _default_op(a: Any, b: Any) -> Any:
+    """Elementwise addition, the default reduction operator."""
+    return a + b
 
 
 class Communicator:
@@ -110,6 +191,11 @@ class Communicator:
     def context(self) -> SpmdContext:
         return self._context
 
+    @property
+    def tuning(self):
+        """The world's :class:`~repro.mpi.tuning.CollectiveTuning` table."""
+        return self._context.tuning
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Communicator(id={self._comm_id}, rank={self._rank}/{self.size})"
 
@@ -134,33 +220,41 @@ class Communicator:
 
         return nullcontext()
 
-    def _message_cost(self, payload: Any) -> float:
-        model = self._context.cost_model
-        if model is None:
-            return 0.0
-        return model.comm.message_cost(_payload_nbytes(payload))
-
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking-semantics send (buffered: returns once payload is copied)."""
+    def send(self, obj: Any, dest: int, tag: int = 0, *, copy: bool = True) -> None:
+        """Blocking-semantics send (buffered: returns once payload is staged).
+
+        With ``copy=True`` (default) the payload is snapshotted, so the
+        sender may immediately reuse its buffer.  With ``copy=False``
+        the payload is *moved*: ownership transfers to the receiver and
+        every ndarray in the payload is frozen read-only on the sender's
+        side.  Arrays already marked read-only are moved automatically
+        even under ``copy=True`` (copy elision).
+        """
         self._check_rank(dest, "destination")
         if tag < 0:
             raise CommunicatorError("user tags must be non-negative")
-        self._send_internal(obj, dest, tag)
+        self._send_internal(obj, dest, tag, copy=copy)
 
-    def _send_internal(self, obj: Any, dest: int, tag: int) -> None:
+    def _send_internal(self, obj: Any, dest: int, tag: int, *, copy: bool = True) -> None:
         self._context.check_alive()
+        nbytes = _payload_nbytes(obj)
+        moved = (not copy) or _is_readonly_array(obj)
+        payload = _freeze_payload(obj) if moved else _copy_payload(obj)
         if self._context.comm_trace is not None:
-            self._context.comm_trace.record_send(self.world_rank, _payload_nbytes(obj))
-        cost = self._message_cost(obj)
+            self._context.comm_trace.record_send(
+                self.world_rank, nbytes, copied=0 if moved else nbytes
+            )
+        model = self._context.cost_model
+        cost = model.comm.message_cost(nbytes) if model is not None else 0.0
         if self.clock is not None:
             arrival = self.clock.now + cost
             self.clock.advance(cost)
         else:
             arrival = 0.0
-        env = Envelope(payload=_copy_payload(obj), send_time=arrival)
+        env = Envelope(payload=payload, send_time=arrival, moved=moved)
         box = self._context.mailbox(self._comm_id, self._members[dest])
         box.put(self._rank, tag, env)
 
@@ -179,23 +273,23 @@ class Communicator:
             self.clock.sync_to(env.send_time)
         return env.payload
 
-    def sendrecv(self, obj: Any, partner: int, tag: int = 0) -> Any:
+    def sendrecv(self, obj: Any, partner: int, tag: int = 0, *, copy: bool = True) -> Any:
         """Exchange payloads with ``partner`` (MPI_Sendrecv, symmetric)."""
         self._check_rank(partner, "partner")
         if partner == self._rank:
-            return _copy_payload(obj)
-        self._send_internal(obj, partner, tag)
+            return _freeze_payload(obj) if not copy else _copy_payload(obj)
+        self._send_internal(obj, partner, tag, copy=copy)
         return self._recv_internal(partner, tag)
 
     # ------------------------------------------------------------------
     # Nonblocking point-to-point
     # ------------------------------------------------------------------
-    def isend(self, obj: Any, dest: int, tag: int = 0):
+    def isend(self, obj: Any, dest: int, tag: int = 0, *, copy: bool = True):
         """Nonblocking send.  Sends are buffered, so the returned request
         is already complete; it exists for mpi4py-style code symmetry."""
         from .request import Request
 
-        self.send(obj, dest, tag)
+        self.send(obj, dest, tag, copy=copy)
         return Request.completed(kind="send")
 
     def irecv(self, source: int, tag: int = 0):
@@ -239,31 +333,100 @@ class Communicator:
             self._recv_internal(src, tag)
             k *= 2
 
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Binomial-tree broadcast; returns the root's payload on every rank."""
+    # -- broadcast ------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0, algorithm: str | None = None) -> Any:
+        """Broadcast; returns the root's payload on every rank.
+
+        Dispatches by payload size: binomial tree for short messages,
+        van de Geijn scatter+allgather (~2x payload total on the
+        critical path instead of ``payload * log P``) for ndarrays at
+        and above the tuned threshold.  Force with
+        ``algorithm='binomial' | 'scatter_allgather'`` (all ranks must
+        pass the same value).  Arrays returned by the zero-copy binomial
+        path may be read-only (they are shared, replicated data).
+        """
         self._check_rank(root, "root")
         tag = self._next_coll_tag()
         p = self.size
         if p == 1:
             return _copy_payload(obj)
-        # Shift ranks so the root is virtual rank 0 (MPICH binomial scheme:
-        # receive from the parent across the lowest set bit, then forward
-        # to children across every lower bit).
+        if self._rank == root:
+            algo = algorithm or self.tuning.bcast_algorithm(p, obj)
+            if algo == "scatter_allgather":
+                arr = np.asarray(obj)
+                header = (_SA_HEADER, arr.shape, arr.dtype.name)
+                self._bcast_binomial(header, root, tag)
+                return self._bcast_scatter_allgather(arr, root)
+            if algo != "binomial":
+                raise CommunicatorError(f"unknown bcast algorithm {algo!r}")
+            return self._bcast_binomial(obj, root, tag)
+        value = self._bcast_binomial(None, root, tag)
+        if (
+            isinstance(value, tuple)
+            and len(value) == 3
+            and value[0] is _SA_HEADER
+        ):
+            _, shape, dtype_name = value
+            return self._bcast_scatter_allgather(
+                None, root, shape=shape, dtype=np.dtype(dtype_name)
+            )
+        return value
+
+    def _bcast_binomial(self, value: Any, root: int, tag: int) -> Any:
+        """Binomial-tree broadcast (MPICH scheme, zero-copy forwarding)."""
+        p = self.size
+        # Shift ranks so the root is virtual rank 0 (receive from the
+        # parent across the lowest set bit, then forward to children
+        # across every lower bit).
         vr = (self._rank - root) % p
-        value = obj
+        owned = False  # do we own `value` (may move it on forward)?
         mask = 1
         while mask < p:
             if vr & mask:
                 value = self._recv_internal((vr - mask + root) % p, tag)
+                owned = True
                 break
             mask <<= 1
         mask >>= 1
         while mask > 0:
             if vr + mask < p:
-                self._send_internal(value, (vr + mask + root) % p, tag)
+                dest = (vr + mask + root) % p
+                # Root respects the caller's buffer (copy unless the
+                # caller marked it read-only); forwarded payloads are
+                # owned by this rank and move for free.
+                self._send_internal(value, dest, tag, copy=not owned)
             mask >>= 1
         return value
 
+    def _bcast_scatter_allgather(
+        self,
+        arr: np.ndarray | None,
+        root: int,
+        shape: tuple | None = None,
+        dtype: np.dtype | None = None,
+    ) -> np.ndarray:
+        """van de Geijn long-message broadcast: scatter + ring allgather."""
+        p = self.size
+        scatter_tag = self._next_coll_tag()
+        gather_tag = self._next_coll_tag()
+        if self._rank == root:
+            assert arr is not None
+            shape, dtype = arr.shape, arr.dtype
+            flat = np.ascontiguousarray(arr.reshape(-1))
+            pieces = [
+                np.ascontiguousarray(flat[q0:q1])
+                for q0, q1 in (
+                    _block_bounds(flat.size, p, q) for q in range(p)
+                )
+            ]
+            mine = self._scatter_internal(pieces, root, scatter_tag, copy=False)
+        else:
+            mine = self._scatter_internal(None, root, scatter_tag, copy=False)
+        slots = self._allgather_ring(mine, gather_tag, copy=False)
+        out = np.concatenate(slots) if slots else np.empty(0, dtype=dtype)
+        return out.astype(dtype, copy=False).reshape(shape)
+
+    # -- reduce / allreduce --------------------------------------------
     def reduce(
         self,
         value: Any,
@@ -277,11 +440,12 @@ class Communicator:
         """
         self._check_rank(root, "root")
         if op is None:
-            op = lambda a, b: a + b  # noqa: E731
+            op = _default_op
         tag = self._next_coll_tag()
         p = self.size
         vr = (self._rank - root) % p
         acc = value
+        owned = False  # acc is a fresh combine result (movable)
         m = 1
         while m < p:
             if vr % (2 * m) == 0:
@@ -289,18 +453,108 @@ class Communicator:
                 if src < p:
                     other = self._recv_internal((src + root) % p, tag)
                     acc = op(acc, other)
+                    owned = True
             elif vr % (2 * m) == m:
-                self._send_internal(acc, (vr - m + root) % p, tag)
+                self._send_internal(acc, (vr - m + root) % p, tag, copy=not owned)
                 acc = None
                 break
             m *= 2
         return acc if vr == 0 else None
 
-    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
-        """Reduce-then-broadcast all-reduce (result on every rank)."""
-        reduced = self.reduce(value, root=0, op=op)
-        return self.bcast(reduced, root=0)
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] | None = None,
+        algorithm: str | None = None,
+    ) -> Any:
+        """All-reduce (result on every rank), size-adaptively dispatched.
 
+        ndarray payloads use recursive doubling (``ceil(log2 P)``
+        exchange rounds — the short-message champion) below the tuned
+        ring threshold and the bandwidth-optimal ring (reduce-scatter +
+        allgather, ``2 (P-1)/P`` of the payload) above it; generic
+        payloads fall back to reduce+broadcast.  Force with
+        ``algorithm='tree' | 'recursive_doubling' | 'ring'``.  The
+        combine order of each algorithm is deterministic, so results are
+        bitwise replicated across ranks.
+        """
+        algo = algorithm or self.tuning.allreduce_algorithm(self.size, value)
+        if algo == "tree":
+            reduced = self.reduce(value, root=0, op=op)
+            return self.bcast(reduced, root=0)
+        if op is None:
+            op = _default_op
+        if algo == "recursive_doubling":
+            return self._allreduce_recursive_doubling(value, op, self._next_coll_tag())
+        if algo == "ring":
+            return self._allreduce_ring(value, op)
+        raise CommunicatorError(f"unknown allreduce algorithm {algo!r}")
+
+    def _allreduce_recursive_doubling(self, value: Any, op, tag: int) -> Any:
+        """Recursive-doubling allreduce (deterministic combine order).
+
+        Non-power-of-two sizes use the standard fold: the first ``2r``
+        ranks pre-combine pairwise so a power-of-two subset runs the
+        butterfly, then results fan back out.
+        """
+        p, me = self.size, self._rank
+        if _is_readonly_array(value):
+            acc = value  # copy elision: frozen input can be shared as-is
+        else:
+            acc = np.array(value, copy=True)
+        if p == 1:
+            return acc
+        p2 = 1 << (p.bit_length() - 1)
+        rem = p - p2
+
+        # Fold phase: ranks [p2, p) send into [0, rem).
+        if me >= p2:
+            self._send_internal(acc, me - p2, tag, copy=False)
+            active = False
+        else:
+            active = True
+            if me < rem:
+                other = self._recv_internal(me + p2, tag)
+                acc = op(acc, other)
+
+        if active:
+            mask = 1
+            while mask < p2:
+                partner = me ^ mask
+                self._send_internal(acc, partner, tag, copy=False)
+                other = self._recv_internal(partner, tag)
+                # Deterministic order: lower rank's contribution first.
+                acc = op(other, acc) if partner < me else op(acc, other)
+                mask <<= 1
+
+        # Unfold phase.
+        if me >= p2:
+            acc = self._recv_internal(me - p2, tag)
+        elif me < rem:
+            self._send_internal(acc, me + p2, tag, copy=False)
+        return acc
+
+    def _allreduce_ring(self, value: Any, op) -> np.ndarray:
+        """Ring allreduce: reduce-scatter then allgather of equal blocks.
+
+        Bandwidth-optimal for long messages: each rank moves
+        ``2 (P-1)/P`` of the payload in ``2 (P-1)`` latency rounds.
+        """
+        p = self.size
+        rs_tag = self._next_coll_tag()
+        ag_tag = self._next_coll_tag()
+        arr = np.asarray(value)
+        shape, dtype = arr.shape, arr.dtype
+        flat = np.ascontiguousarray(arr.reshape(-1))
+        blocks = [
+            flat[q0:q1]
+            for q0, q1 in (_block_bounds(flat.size, p, q) for q in range(p))
+        ]
+        mine = self._reduce_scatter_ring(blocks, op, rs_tag, copy=True)
+        slots = self._allgather_ring(np.ascontiguousarray(mine), ag_tag, copy=False)
+        return np.concatenate(slots).astype(dtype, copy=False).reshape(shape)
+
+    # -- gather / allgather / scatter ----------------------------------
     def gather(self, obj: Any, root: int = 0) -> list | None:
         """Gather one payload per rank to ``root`` (list indexed by rank)."""
         self._check_rank(root, "root")
@@ -315,43 +569,111 @@ class Communicator:
         self._send_internal(obj, root, tag)
         return None
 
-    def allgather(self, obj: Any) -> list:
-        """Gather to rank 0 then broadcast the list to everyone."""
-        gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
+    def allgather(self, obj: Any, algorithm: str | None = None) -> list:
+        """All-gather one payload per rank (list indexed by rank).
+
+        Dispatches by communicator size: ring shifts (``P-1`` rounds of
+        one slot) on small communicators, Bruck dissemination
+        (``ceil(log2 P)`` rounds of doubling block counts) at scale —
+        both schedules are balanced, so no rank is a hotspot, unlike the
+        legacy gather-to-root + broadcast (force it with
+        ``algorithm='gather_bcast'``; ``'ring'`` and ``'bruck'`` force
+        the others).
+        """
+        p = self.size
+        algo = algorithm or self.tuning.allgather_algorithm(p)
+        if algo == "gather_bcast":
+            gathered = self.gather(obj, root=0)
+            return self.bcast(gathered, root=0)
+        tag = self._next_coll_tag()
+        if p == 1:
+            return [_copy_payload(obj)]
+        if algo == "ring":
+            return self._allgather_ring(obj, tag, copy=True)
+        if algo == "bruck":
+            return self._allgather_bruck(obj, tag, copy=True)
+        raise CommunicatorError(f"unknown allgather algorithm {algo!r}")
+
+    def _allgather_ring(self, obj: Any, tag: int, *, copy: bool) -> list:
+        """Ring allgather: P-1 shifts, each forwarding one received slot."""
+        p, me = self.size, self._rank
+        slots: list = [None] * p
+        slots[me] = _copy_payload(obj) if copy else _freeze_payload(obj)
+        if p == 1:
+            return slots
+        right = (me + 1) % p
+        left = (me - 1) % p
+        carry = slots[me]
+        for step in range(p - 1):
+            # Forwarded slots are owned by this rank: move them.
+            self._send_internal(carry, right, tag, copy=False)
+            carry = self._recv_internal(left, tag)
+            slots[(me - step - 1) % p] = carry
+        return slots
+
+    def _allgather_bruck(self, obj: Any, tag: int, *, copy: bool) -> list:
+        """Bruck dissemination allgather: ``ceil(log2 P)`` doubling rounds.
+
+        Round ``k`` sends the ``min(2^k, P - 2^k)`` blocks held so far
+        to rank ``me - 2^k`` and receives as many from ``me + 2^k`` —
+        latency-optimal with the same total volume as the ring.
+        """
+        p, me = self.size, self._rank
+        have: list = [_copy_payload(obj) if copy else _freeze_payload(obj)]
+        k = 1
+        while k < p:
+            count = min(k, p - k)
+            dest = (me - k) % p
+            src = (me + k) % p
+            self._send_internal(have[:count], dest, tag, copy=False)
+            have.extend(self._recv_internal(src, tag))
+            k <<= 1
+        # have[j] holds rank (me + j) % p's block; undo the rotation.
+        return [have[(r - me) % p] for r in range(p)]
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one payload per rank from ``root``."""
         self._check_rank(root, "root")
         tag = self._next_coll_tag()
+        if self._rank == root and (objs is None or len(objs) != self.size):
+            raise CommunicatorError(
+                f"scatter root needs exactly {self.size} payloads"
+            )
+        return self._scatter_internal(objs, root, tag, copy=True)
+
+    def _scatter_internal(
+        self, objs: Sequence[Any] | None, root: int, tag: int, *, copy: bool
+    ) -> Any:
         if self._rank == root:
-            if objs is None or len(objs) != self.size:
-                raise CommunicatorError(
-                    f"scatter root needs exactly {self.size} payloads"
-                )
+            assert objs is not None
             for r in range(self.size):
                 if r != root:
-                    self._send_internal(objs[r], r, tag)
-            return _copy_payload(objs[root])
+                    self._send_internal(objs[r], r, tag, copy=copy)
+            own = objs[root]
+            return _copy_payload(own) if copy else _freeze_payload(own)
         return self._recv_internal(root, tag)
 
-    def alltoall(self, objs: Sequence[Any]) -> list:
+    # -- alltoall / reduce_scatter -------------------------------------
+    def alltoall(self, objs: Sequence[Any], *, copy: bool = True) -> list:
         """Pairwise-exchange all-to-all (the paper's point-to-point algorithm).
 
         ``objs[r]`` is delivered to rank ``r``; returns the list received,
         indexed by source rank.  Uses ``P - 1`` rounds of shifted
         sendrecv, the schedule assumed by the cost analysis (Sec. 3.5).
+        ``copy=False`` moves the payloads (the caller relinquishes them;
+        their ndarrays are frozen read-only).
         """
         p = self.size
         if len(objs) != p:
             raise CommunicatorError(f"alltoall needs exactly {p} payloads")
         tag = self._next_coll_tag()
         result: list = [None] * p
-        result[self._rank] = _copy_payload(objs[self._rank])
+        own = objs[self._rank]
+        result[self._rank] = _copy_payload(own) if copy else _freeze_payload(own)
         for shift in range(1, p):
             dest = (self._rank + shift) % p
             src = (self._rank - shift) % p
-            self._send_internal(objs[dest], dest, tag)
+            self._send_internal(objs[dest], dest, tag, copy=copy)
             result[src] = self._recv_internal(src, tag)
         return result
 
@@ -359,22 +681,71 @@ class Communicator:
         self,
         values: Sequence[Any],
         op: Callable[[Any, Any], Any] | None = None,
+        algorithm: str | None = None,
+        *,
+        copy: bool = True,
     ) -> Any:
         """Reduce ``values[q]`` across ranks and deliver slot ``q`` to rank q.
 
-        Pairwise-exchange algorithm (built on :meth:`alltoall`): each
-        rank contributes one payload per destination; rank ``q`` returns
-        the reduction (deterministically folded in source-rank order) of
-        every rank's ``values[q]``.  This is the collective behind the
-        parallel TTM's mode-fiber reduction.
+        ndarray payloads dispatch to the ring shift-accumulate algorithm
+        (``P-1`` rounds moving one partially-reduced slot — nothing to
+        fold afterwards, and every forwarded partial sum is moved, not
+        copied); generic payloads use the pairwise-exchange alltoall +
+        deterministic source-order fold.  Force with
+        ``algorithm='alltoall' | 'ring'``.  ``copy=False`` moves the
+        input payloads (the caller relinquishes them).  This is the
+        collective behind the parallel TTM's mode-fiber reduction.
         """
+        p = self.size
+        if len(values) != p:
+            raise CommunicatorError(f"reduce_scatter needs exactly {p} payloads")
         if op is None:
-            op = lambda a, b: a + b  # noqa: E731
-        parts = self.alltoall(values)
-        acc = parts[0]
-        for part in parts[1:]:
-            acc = op(acc, part)
-        return acc
+            op = _default_op
+        algo = algorithm or self.tuning.reduce_scatter_algorithm(p, values)
+        if algo == "alltoall":
+            parts = self.alltoall(values, copy=copy)
+            acc = parts[0]
+            for part in parts[1:]:
+                acc = op(acc, part)
+            return acc
+        if algo != "ring":
+            raise CommunicatorError(f"unknown reduce_scatter algorithm {algo!r}")
+        return self._reduce_scatter_ring(values, op, self._next_coll_tag(), copy=copy)
+
+    def _reduce_scatter_ring(
+        self, values: Sequence[Any], op, tag: int, *, copy: bool
+    ) -> Any:
+        """Ring reduce-scatter: P-1 shift-accumulate rounds of one slot each.
+
+        Slot ``q`` ends on rank ``q``, reduced over every rank's
+        ``values[q]``; partial sums travel the ring and are always moved
+        (each is a fresh combine result).
+        """
+        p, me = self.size, self._rank
+        if not copy:
+            # Move semantics: the caller relinquishes every piece, not
+            # just the ones that happen to travel; freeze them all.
+            for v in values:
+                _freeze_payload(v)
+        if p == 1:
+            own = values[0]
+            return _copy_payload(own) if copy else own
+        right = (me + 1) % p
+        left = (me - 1) % p
+        # Slot j originates at rank j+1 and travels the ring once, each
+        # rank folding in its contribution; after P-1 rounds rank j
+        # holds the full reduction of slot j.  At step s this rank sends
+        # its partial for slot (me-1-s) and receives/extends the one for
+        # (me-2-s).
+        carry = None
+        for s in range(p - 1):
+            if s == 0:
+                self._send_internal(values[(me - 1) % p], right, tag, copy=copy)
+            else:
+                self._send_internal(carry, right, tag, copy=False)
+            incoming = self._recv_internal(left, tag)
+            carry = op(incoming, values[(me - 2 - s) % p])
+        return carry
 
     # ------------------------------------------------------------------
     # Communicator management

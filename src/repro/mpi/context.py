@@ -20,6 +20,7 @@ from typing import Any
 
 from ..errors import CommunicatorError
 from .costmodel import CostModel
+from .tuning import CollectiveTuning
 
 __all__ = ["SpmdContext", "Envelope"]
 
@@ -30,10 +31,17 @@ DEFAULT_RECV_TIMEOUT = 120.0
 
 @dataclass
 class Envelope:
-    """A message in flight: payload plus logical-clock send timestamp."""
+    """A message in flight: payload plus logical-clock send timestamp.
+
+    ``moved`` records whether the payload was transferred by reference
+    (zero-copy move semantics) rather than snapshotted; moved ndarray
+    payloads are frozen (read-only) so sender-side reuse cannot race
+    the receiver.
+    """
 
     payload: Any
     send_time: float
+    moved: bool = False
 
 
 class _Mailbox:
@@ -121,6 +129,7 @@ class SpmdContext:
         cost_model: CostModel | None = None,
         recv_timeout: float = DEFAULT_RECV_TIMEOUT,
         comm_trace=None,
+        tuning: CollectiveTuning | None = None,
     ) -> None:
         if world_size <= 0:
             raise CommunicatorError("world size must be positive")
@@ -128,6 +137,7 @@ class SpmdContext:
         self.cost_model = cost_model
         self.recv_timeout = recv_timeout
         self.comm_trace = comm_trace
+        self.tuning = tuning if tuning is not None else CollectiveTuning()
         self.abort_event = threading.Event()
         self.abort_reason: str | None = None
         self._mailboxes: dict[tuple[int, int], _Mailbox] = {}

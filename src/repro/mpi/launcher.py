@@ -64,6 +64,7 @@ def run_spmd(
     cost_model: CostModel | None = None,
     recv_timeout: float = 120.0,
     comm_trace=None,
+    tuning=None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -84,6 +85,9 @@ def run_spmd(
     comm_trace:
         Optional :class:`~repro.mpi.tracing.CommTrace` recording every
         rank's sent messages and bytes.
+    tuning:
+        Optional :class:`~repro.mpi.tuning.CollectiveTuning` overriding
+        the collective-dispatch crossover thresholds for this world.
 
     Returns
     -------
@@ -94,7 +98,7 @@ def run_spmd(
         raise CommunicatorError("nprocs must be positive")
     context = SpmdContext(
         nprocs, cost_model=cost_model, recv_timeout=recv_timeout,
-        comm_trace=comm_trace,
+        comm_trace=comm_trace, tuning=tuning,
     )
     members = list(range(nprocs))
     values: list = [None] * nprocs

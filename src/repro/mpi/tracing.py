@@ -34,6 +34,8 @@ class CommTrace:
         self._lock = threading.Lock()
         self._messages: dict = defaultdict(int)  # (rank, context) -> count
         self._bytes: dict = defaultdict(int)
+        self._copied: dict = defaultdict(int)  # bytes snapshotted on send
+        self._moved: dict = defaultdict(int)  # bytes transferred zero-copy
         self._context = threading.local()
 
     # -- context labels (per-thread, i.e. per-rank) ---------------------
@@ -45,15 +47,24 @@ class CommTrace:
         return getattr(self._context, "label", None) or "all"
 
     # -- recording (called by the communicator) -------------------------
-    def record_send(self, rank: int, nbytes: int) -> None:
-        """Tally one sent message (called by the communicator)."""
+    def record_send(self, rank: int, nbytes: int, copied: int | None = None) -> None:
+        """Tally one sent message (called by the communicator).
+
+        ``copied`` is how many of the ``nbytes`` were physically
+        snapshotted on send; the rest were moved (zero-copy ownership
+        transfer).  ``None`` (legacy callers) counts the whole payload
+        as copied.
+        """
+        nbytes = int(nbytes)
+        copied = nbytes if copied is None else int(copied)
+        moved = nbytes - copied
         ctx = self._current_context()
         with self._lock:
-            self._messages[(rank, ctx)] += 1
-            self._bytes[(rank, ctx)] += int(nbytes)
-            if ctx != "all":
-                self._messages[(rank, "all")] += 1
-                self._bytes[(rank, "all")] += int(nbytes)
+            for c in ({ctx, "all"} if ctx != "all" else {"all"}):
+                self._messages[(rank, c)] += 1
+                self._bytes[(rank, c)] += nbytes
+                self._copied[(rank, c)] += copied
+                self._moved[(rank, c)] += moved
 
     # -- queries ---------------------------------------------------------
     def sent_messages(self, rank: int, context: str = "all") -> int:
@@ -73,6 +84,24 @@ class CommTrace:
         """Bytes sent by all ranks under ``context``."""
         with self._lock:
             return sum(v for (r, c), v in self._bytes.items() if c == context)
+
+    def copied_bytes(self, rank: int, context: str = "all") -> int:
+        """Bytes physically copied on send by ``rank`` under ``context``."""
+        return self._copied.get((rank, context), 0)
+
+    def moved_bytes(self, rank: int, context: str = "all") -> int:
+        """Bytes moved zero-copy by ``rank`` under ``context``."""
+        return self._moved.get((rank, context), 0)
+
+    def total_copied_bytes(self, context: str = "all") -> int:
+        """Bytes physically copied on send by all ranks under ``context``."""
+        with self._lock:
+            return sum(v for (r, c), v in self._copied.items() if c == context)
+
+    def total_moved_bytes(self, context: str = "all") -> int:
+        """Bytes moved zero-copy by all ranks under ``context``."""
+        with self._lock:
+            return sum(v for (r, c), v in self._moved.items() if c == context)
 
     def contexts(self) -> set:
         """All context labels that recorded any traffic."""

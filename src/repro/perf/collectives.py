@@ -1,10 +1,17 @@
 """Modeled costs of collective-communication algorithms.
 
-Companions to :mod:`repro.mpi.algorithms`: closed-form alpha-beta
-critical-path costs of each algorithm, used by the ablation benches to
-show *why* a given collective was chosen for each role in the paper's
-pipeline (butterfly for TSQR, pairwise all-to-all for redistribution,
-tree for the small Gram reductions).
+Closed-form alpha-beta critical-path costs of each collective algorithm
+implemented by the runtime's adaptive engine
+(:class:`~repro.mpi.communicator.Communicator` +
+:class:`~repro.mpi.tuning.CollectiveTuning`), used by the ablation
+benches to show *why* a given collective wins each size regime
+(butterfly for TSQR, pairwise all-to-all for redistribution, recursive
+doubling vs. ring for the Gram reductions).
+
+The ``dispatched_*`` helpers price what the engine would actually
+*select* for a given ``(p, nbytes)`` under a tuning table — mirroring
+the dispatch rules exactly — so modeled breakdowns stay faithful to the
+executed schedule.
 
 All formulas give seconds for a payload of ``nbytes`` on ``p`` ranks;
 ``alpha``/``beta`` come from a machine model's :class:`CommCosts`.
@@ -14,8 +21,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..mpi.costmodel import CommCosts
+from ..mpi.tuning import CollectiveTuning
 
 __all__ = [
     "cost_bcast_binomial",
@@ -24,8 +34,14 @@ __all__ = [
     "cost_allreduce_recursive_doubling",
     "cost_allreduce_ring",
     "cost_allgather_ring",
+    "cost_allgather_bruck",
+    "cost_allgather_gather_bcast",
     "cost_alltoall_pairwise",
     "cost_reduce_scatter_ring",
+    "dispatched_allreduce_cost",
+    "dispatched_bcast_cost",
+    "dispatched_allgather_cost",
+    "dispatched_reduce_scatter_cost",
 ]
 
 
@@ -83,6 +99,35 @@ def cost_allgather_ring(p: int, nbytes_per_rank: float, comm: CommCosts) -> floa
     return (p - 1) * (comm.alpha + comm.beta * nbytes_per_rank)
 
 
+def cost_allgather_bruck(p: int, nbytes_per_rank: float, comm: CommCosts) -> float:
+    """Bruck dissemination allgather: ``ceil(log2 p)`` doubling rounds.
+
+    Latency-optimal; round ``k`` moves ``min(2^k, p - 2^k)`` slots, for
+    the same ``(p-1)`` slots of total volume as the ring.
+    """
+    _check(p, nbytes_per_rank)
+    if p == 1:
+        return 0.0
+    steps = math.ceil(math.log2(p))
+    return steps * comm.alpha + comm.beta * nbytes_per_rank * (p - 1)
+
+
+def cost_allgather_gather_bcast(p: int, nbytes_per_rank: float, comm: CommCosts) -> float:
+    """Legacy gather-to-root + broadcast allgather (root is a hotspot).
+
+    The root serializes ``p - 1`` receives, then the binomial tree
+    re-broadcasts the whole ``p``-slot list — the schedule the dispatch
+    table retired.
+    """
+    _check(p, nbytes_per_rank)
+    if p == 1:
+        return 0.0
+    gather = (p - 1) * (comm.alpha + comm.beta * nbytes_per_rank)
+    steps = math.ceil(math.log2(p))
+    bcast = steps * (comm.alpha + comm.beta * nbytes_per_rank * p)
+    return gather + bcast
+
+
 def cost_alltoall_pairwise(p: int, nbytes_total: float, comm: CommCosts) -> float:
     """Pairwise-exchange all-to-all: P-1 rounds of one slot (total/P each).
 
@@ -101,3 +146,67 @@ def cost_reduce_scatter_ring(p: int, nbytes_total: float, comm: CommCosts) -> fl
     if p == 1:
         return 0.0
     return (p - 1) * (comm.alpha + comm.beta * nbytes_total / p)
+
+
+# ---------------------------------------------------------------------------
+# Dispatched costs: price what the adaptive engine actually selects.
+# ---------------------------------------------------------------------------
+
+_F64 = np.dtype(np.float64)
+
+
+def _probe(nbytes: float) -> np.ndarray:
+    """A zero-length-strided stand-in array with the given nbytes."""
+    return np.empty(max(int(nbytes) // _F64.itemsize, 1) if nbytes else 0,
+                    dtype=_F64)
+
+
+def dispatched_allreduce_cost(
+    p: int, nbytes: float, comm: CommCosts,
+    tuning: CollectiveTuning | None = None,
+) -> float:
+    """Modeled cost of the allreduce algorithm the engine selects."""
+    tuning = tuning or CollectiveTuning()
+    algo = tuning.allreduce_algorithm(p, _probe(nbytes))
+    if algo == "ring":
+        return cost_allreduce_ring(p, nbytes, comm)
+    if algo == "recursive_doubling":
+        return cost_allreduce_recursive_doubling(p, nbytes, comm)
+    return cost_allreduce_tree(p, nbytes, comm)
+
+
+def dispatched_bcast_cost(
+    p: int, nbytes: float, comm: CommCosts,
+    tuning: CollectiveTuning | None = None,
+) -> float:
+    """Modeled cost of the bcast algorithm the engine selects."""
+    tuning = tuning or CollectiveTuning()
+    algo = tuning.bcast_algorithm(p, _probe(nbytes))
+    if algo == "scatter_allgather":
+        return cost_bcast_scatter_allgather(p, nbytes, comm)
+    return cost_bcast_binomial(p, nbytes, comm)
+
+
+def dispatched_allgather_cost(
+    p: int, nbytes_per_rank: float, comm: CommCosts,
+    tuning: CollectiveTuning | None = None,
+) -> float:
+    """Modeled cost of the allgather algorithm the engine selects."""
+    tuning = tuning or CollectiveTuning()
+    algo = tuning.allgather_algorithm(p)
+    if algo == "bruck":
+        return cost_allgather_bruck(p, nbytes_per_rank, comm)
+    return cost_allgather_ring(p, nbytes_per_rank, comm)
+
+
+def dispatched_reduce_scatter_cost(
+    p: int, nbytes_total: float, comm: CommCosts,
+    tuning: CollectiveTuning | None = None,
+) -> float:
+    """Modeled cost of the reduce_scatter algorithm the engine selects."""
+    tuning = tuning or CollectiveTuning()
+    slot = nbytes_total / p if p else 0.0
+    algo = tuning.reduce_scatter_algorithm(p, [_probe(slot)] * p)
+    if algo == "ring":
+        return cost_reduce_scatter_ring(p, nbytes_total, comm)
+    return cost_alltoall_pairwise(p, nbytes_total, comm)

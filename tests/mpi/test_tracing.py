@@ -36,6 +36,36 @@ class TestTraceBasics:
         assert trace.sent_bytes(0) == 100
         assert trace.sent_messages(1) == 0
 
+    def test_copied_vs_moved_split(self):
+        trace = CommTrace()
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), 1)  # copied: 80 bytes
+                comm.send(np.zeros(5), 1, copy=False)  # moved: 40 bytes
+                frozen = np.zeros(3)
+                frozen.flags.writeable = False
+                comm.send(frozen, 1)  # copy elided: moved 24 bytes
+            elif comm.rank == 1:
+                for _ in range(3):
+                    comm.recv(0)
+
+        run_spmd(prog, 2, comm_trace=trace)
+        assert trace.sent_bytes(0) == 144
+        assert trace.copied_bytes(0) == 80
+        assert trace.moved_bytes(0) == 64
+        assert trace.total_copied_bytes() == 80
+        assert trace.total_moved_bytes() == 64
+
+    def test_copied_moved_default_zero(self):
+        trace = CommTrace()
+        assert trace.copied_bytes(0) == 0
+        assert trace.moved_bytes(0) == 0
+        # Legacy callers that don't pass `copied` count as fully copied.
+        trace.record_send(0, 100)
+        assert trace.copied_bytes(0) == 100
+        assert trace.moved_bytes(0) == 0
+
     def test_contexts_attribute_traffic(self):
         trace = CommTrace()
 
@@ -121,3 +151,36 @@ class TestPaperMessageCounts:
         run_spmd(prog_mode, 4, 0, t1, comm_trace=t1)  # P_0 = 1
         run_spmd(prog_mode, 4, 2, t2, comm_trace=t2)  # P_2 = 4
         assert t1.total_bytes("gram") < t2.total_bytes("gram")
+
+    def test_redistribution_is_zero_copy(self):
+        """The alltoall payloads are staged temporaries — all moved."""
+        X = np.random.default_rng(3).standard_normal((12, 10, 8))
+        trace = CommTrace()
+
+        def prog(comm):
+            comms = GridComms(comm, ProcessorGrid((4, 1, 1)))
+            dt = DistributedTensor.from_full(comms, X)
+            trace.set_context("redist")
+            redistribute_unfolding_to_columns(dt, 0)
+            trace.set_context(None)
+
+        run_spmd(prog, 4, comm_trace=trace)
+        assert trace.total_bytes("redist") > 0
+        assert trace.total_copied_bytes("redist") == 0
+        assert trace.total_moved_bytes("redist") == trace.total_bytes("redist")
+
+    def test_gram_allreduce_elides_copies(self):
+        """G_local is marked read-only, so the allreduce moves every send."""
+        X = np.random.default_rng(4).standard_normal((6, 8, 10))
+        trace = CommTrace()
+
+        def prog(comm):
+            comms = GridComms(comm, ProcessorGrid((1, 1, 4)))
+            dt = DistributedTensor.from_full(comms, X)
+            trace.set_context("gram")
+            par_tensor_gram(dt, 0)
+            trace.set_context(None)
+
+        run_spmd(prog, 4, comm_trace=trace)
+        assert trace.total_bytes("gram") > 0
+        assert trace.total_copied_bytes("gram") == 0
