@@ -51,6 +51,7 @@ from .core import (
 )
 from .mpi import run_spmd, CostModel
 from .dist import ProcessorGrid, GridComms, DistributedTensor
+from .obs import Tracer
 
 __version__ = "1.0.0"
 
@@ -92,6 +93,7 @@ __all__ = [
     "sthosvd_out_of_core",
     "run_spmd",
     "CostModel",
+    "Tracer",
     "ProcessorGrid",
     "GridComms",
     "DistributedTensor",

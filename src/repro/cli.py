@@ -222,6 +222,114 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run a traced parallel ST-HOSVD on a synthetic tensor and export
+    the observability artifacts (Chrome trace, phase/imbalance/comm
+    tables, metrics, measured-vs-modeled diff)."""
+    from .core.sthosvd_parallel import sthosvd_parallel
+    from .data.synthetic import tensor_with_mode_spectra
+    from .dist import DistributedTensor, GridComms
+    from .dist.grid import ProcessorGrid
+    from .mpi import run_spmd
+    from .mpi.tracing import CommTrace
+    from .obs import (
+        Tracer,
+        chrome_trace,
+        imbalance_summary,
+        imbalance_table,
+        model_diff_table,
+        modeled_run,
+        phase_table,
+    )
+
+    shape = tuple(args.shape)
+    grid = tuple(args.grid)
+    if len(grid) != len(shape):
+        raise SystemExit(f"--grid needs {len(shape)} entries")
+    nprocs = 1
+    for g in grid:
+        nprocs *= g
+
+    # Synthetic input with geometrically decaying mode spectra, so the
+    # tolerance-based truncation has something real to cut.
+    rng = np.random.default_rng(args.seed)
+    spectra = [
+        [args.decay ** k for k in range(extent)] for extent in shape
+    ]
+    X = tensor_with_mode_spectra(shape, spectra, rng=rng).data
+    if args.precision == "single":
+        X = X.astype(np.float32)
+
+    tracer = Tracer()
+    comm_trace = CommTrace()
+    ranks = tuple(args.ranks) if args.ranks else None
+
+    def progress(info):
+        print(
+            f"  mode {info['mode']} done "
+            f"({info['step']}/{info['total_steps']}), "
+            f"ranks {info['ranks']}, {info['seconds']:.3f}s"
+        )
+
+    def program(comm):
+        comms = GridComms(comm, ProcessorGrid(grid))
+        dt = DistributedTensor.from_full(comms, X)
+        return sthosvd_parallel(
+            dt, tol=args.tol, ranks=ranks, method=args.method,
+            mode_order=args.order,
+            progress=progress if args.verbose else None,
+        )
+
+    res = run_spmd(program, nprocs, tracer=tracer, comm_trace=comm_trace)
+    result = res[0]
+
+    os.makedirs(args.out, exist_ok=True)
+
+    def write(name: str, text: str) -> str:
+        path = os.path.join(args.out, name)
+        with open(path, "w") as f:
+            f.write(text if text.endswith("\n") else text + "\n")
+        return path
+
+    trace_path = os.path.join(args.out, "trace.json")
+    with open(trace_path, "w") as f:
+        json.dump(chrome_trace(tracer), f)
+    write("phases.txt", phase_table(tracer))
+    write("imbalance.txt", imbalance_table(tracer))
+    write("comm.txt", comm_trace.as_table())
+    from .obs import ingest_comm_trace, ingest_flop_counter
+
+    ingest_comm_trace(tracer.metrics, comm_trace)
+    ingest_flop_counter(tracer.metrics, result.flops)
+    write("metrics.txt", tracer.metrics.as_table())
+    modeled = modeled_run(
+        shape, result.ranks, grid, method=args.method,
+        precision=args.precision, mode_order=args.order,
+        machine=args.machine,
+    )
+    write("model_diff.txt", model_diff_table(
+        tracer, modeled, title="Measured (slowest rank) vs alpha-beta-gamma model"
+    ))
+
+    summary = imbalance_summary(tracer)
+    print(f"ranks:         {result.ranks}")
+    print(f"est. error:    {result.estimated_rel_error():.3e}")
+    print(f"spans:         {len(tracer.spans)} across {nprocs} ranks")
+    print(f"critical path: {summary['critical_path_seconds']:.4g} s "
+          f"(mean busy {summary['mean_busy_seconds']:.4g} s)")
+    worst = max(
+        summary["phases"].items(),
+        key=lambda kv: kv[1]["imbalance"],
+        default=(None, None),
+    )
+    if worst[0] is not None:
+        print(f"worst phase:   {worst[0]} "
+              f"(max/mean {worst[1]['imbalance']:.3f})")
+    print(f"artifacts:     {args.out}/ (trace.json, phases.txt, "
+          f"imbalance.txt, comm.txt, metrics.txt, model_diff.txt)")
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from .perf import tune_grid
 
@@ -297,6 +405,29 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--machine", default="andes", choices=["andes", "cascade-lake"])
     s.set_defaults(fn=_cmd_simulate)
 
+    tr = sub.add_parser(
+        "trace",
+        help="run a traced parallel ST-HOSVD and export observability artifacts",
+    )
+    tr.add_argument("--shape", type=int, nargs="+", required=True)
+    tr.add_argument("--grid", type=int, nargs="+", required=True,
+                    help="processor grid (one entry per mode; product = nprocs)")
+    tr.add_argument("--tol", type=float, default=None)
+    tr.add_argument("--ranks", type=int, nargs="+", default=None)
+    tr.add_argument("--method", default="qr", choices=["qr", "gram"])
+    tr.add_argument("--precision", default="double", choices=["single", "double"])
+    tr.add_argument("--order", default="forward", choices=["forward", "backward"])
+    tr.add_argument("--machine", default="andes", choices=["andes", "cascade-lake"],
+                    help="machine model for the measured-vs-modeled diff")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--decay", type=float, default=0.7,
+                    help="geometric decay of the synthetic mode spectra")
+    tr.add_argument("--out", required=True,
+                    help="directory for trace.json and the report tables")
+    tr.add_argument("--verbose", action="store_true",
+                    help="per-mode progress events from rank 0")
+    tr.set_defaults(fn=_cmd_trace)
+
     t = sub.add_parser("tune", help="search processor grids via the model")
     t.add_argument("--shape", type=int, nargs="+", required=True)
     t.add_argument("--ranks", type=int, nargs="+", required=True)
@@ -312,9 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command in ("compress", "recompress") and (args.tol is None) == (
-        args.ranks is None
-    ):
+    if args.command in ("compress", "recompress", "trace") and (
+        args.tol is None
+    ) == (args.ranks is None):
         raise SystemExit(f"{args.command}: pass exactly one of --tol / --ranks")
     return args.fn(args)
 

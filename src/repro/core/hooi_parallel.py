@@ -11,13 +11,22 @@ no rank ever disagrees about when to stop.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..instrument import FlopCounter, PhaseTimer, PHASE_TTM
+from ..instrument import (
+    FlopCounter,
+    PhaseTimer,
+    PHASE_TTM,
+    PHASE_LQ,
+    PHASE_GRAM,
+    PHASE_COMM,
+)
+from ..obs.tracer import current_tracer, trace_span
 from ..precision import Precision, resolve_precision
 from ..dist.dtensor import DistributedTensor
 from ..dist.svd import par_tensor_gram_svd, par_tensor_qr_svd
@@ -66,6 +75,7 @@ def hooi_parallel(
     fit_tol: float = 1e-9,
     backend: str = "lapack",
     svd_strategy: str = "replicated",
+    progress: Callable[[dict], None] | None = None,
 ) -> ParallelHooiResult:
     """Distributed rank-constrained Tucker refinement (collective).
 
@@ -73,6 +83,11 @@ def hooi_parallel(
     ``"replicated"`` decomposes redundantly on every rank (paper
     default); ``"root_bcast"`` decomposes on rank 0 and broadcasts the
     bitwise-identical factors through the adaptive collective engine.
+
+    ``progress`` is called on rank 0 only, once per refreshed mode,
+    with ``{"step", "total_steps", "iteration", "mode", "ranks",
+    "seconds"}`` (``total_steps`` assumes ``max_iters`` full sweeps;
+    early convergence just stops emitting).
     """
     if method not in ("qr", "gram"):
         raise ConfigurationError(
@@ -101,29 +116,66 @@ def hooi_parallel(
     factors = list(seed.factors)
     counter.merge(seed.flops)
 
+    tracer = current_tracer()
+    svd_phase = PHASE_LQ if method == "qr" else PHASE_GRAM
     fits: list[float] = []
     converged = False
     core: DistributedTensor | None = None
     for iteration in range(max_iters):
         for n in range(ndim):
-            partial = dt
-            for k in range(ndim):
-                if k == n:
-                    continue
-                with timer.phase(PHASE_TTM, k):
-                    partial = par_ttm_truncate(partial, factors[k], k, counter=counter)
-            if method == "qr":
-                U, _sigma = par_tensor_qr_svd(partial, n, backend=backend,
-                                              strategy=svd_strategy,
-                                              counter=counter)
-            else:
-                U, _sigma = par_tensor_gram_svd(partial, n,
-                                                strategy=svd_strategy,
-                                                counter=counter)
-            factors[n] = np.ascontiguousarray(U[:, : ranks[n]])
-            if n == ndim - 1:
-                with timer.phase(PHASE_TTM, n):
-                    core = par_ttm_truncate(partial, factors[n], n, counter=counter)
+            mode_start = time.perf_counter()
+            with trace_span("hooi.mode", mode=n, iteration=iteration):
+                partial = dt
+                for k in range(ndim):
+                    if k == n:
+                        continue
+                    mark = tracer.local_mark() if tracer is not None else 0
+                    with timer.phase(PHASE_TTM, k):
+                        partial = par_ttm_truncate(
+                            partial, factors[k], k, counter=counter
+                        )
+                    if tracer is not None:
+                        timer.attribute_comm(
+                            tracer.local_phase_seconds(PHASE_COMM, since=mark),
+                            PHASE_TTM, k,
+                        )
+                mark = tracer.local_mark() if tracer is not None else 0
+                with timer.phase(svd_phase, n):
+                    if method == "qr":
+                        U, _sigma = par_tensor_qr_svd(partial, n,
+                                                      backend=backend,
+                                                      strategy=svd_strategy,
+                                                      counter=counter)
+                    else:
+                        U, _sigma = par_tensor_gram_svd(partial, n,
+                                                        strategy=svd_strategy,
+                                                        counter=counter)
+                if tracer is not None:
+                    timer.attribute_comm(
+                        tracer.local_phase_seconds(PHASE_COMM, since=mark),
+                        svd_phase, n,
+                    )
+                factors[n] = np.ascontiguousarray(U[:, : ranks[n]])
+                if n == ndim - 1:
+                    mark = tracer.local_mark() if tracer is not None else 0
+                    with timer.phase(PHASE_TTM, n):
+                        core = par_ttm_truncate(
+                            partial, factors[n], n, counter=counter
+                        )
+                    if tracer is not None:
+                        timer.attribute_comm(
+                            tracer.local_phase_seconds(PHASE_COMM, since=mark),
+                            PHASE_TTM, n,
+                        )
+            if progress is not None and dt.comm.rank == 0:
+                progress({
+                    "step": iteration * ndim + n + 1,
+                    "total_steps": max_iters * ndim,
+                    "iteration": iteration,
+                    "mode": n,
+                    "ranks": tuple(ranks),
+                    "seconds": time.perf_counter() - mode_start,
+                })
         assert core is not None
         fit = core.norm() / norm_x if norm_x > 0 else 1.0
         fits.append(float(fit))

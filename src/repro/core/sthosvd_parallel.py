@@ -18,8 +18,9 @@ Run it from an SPMD function launched with :func:`repro.mpi.run_spmd`:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -32,7 +33,9 @@ from ..instrument import (
     PHASE_TTM,
     PHASE_LQ,
     PHASE_GRAM,
+    PHASE_COMM,
 )
+from ..obs.tracer import current_tracer, trace_span
 from ..precision import Precision, resolve_precision
 from ..dist.dtensor import DistributedTensor
 from ..dist.svd import par_tensor_qr_svd, par_tensor_gram_svd
@@ -101,6 +104,7 @@ def sthosvd_parallel(
     mode_order="forward",
     backend: str = "lapack",
     svd_strategy: str = "replicated",
+    progress: Callable[[dict], None] | None = None,
 ) -> ParallelSthosvdResult:
     """Distributed ST-HOSVD (collective over ``dt``'s communicator).
 
@@ -112,6 +116,10 @@ def sthosvd_parallel(
     on every rank) or ``"root_bcast"`` (decompose once on rank 0, then
     broadcast via the size-adaptive collective engine; bitwise-identical
     factors).
+
+    ``progress`` is called on rank 0 only, once per completed mode,
+    with ``{"step", "total_steps", "mode", "ranks", "seconds"}`` —
+    the same event shape the out-of-core driver emits.
     """
     if method not in ("qr", "gram"):
         raise ConfigurationError(
@@ -135,32 +143,58 @@ def sthosvd_parallel(
     norm_x = float(np.sqrt(norm_x_sq))
     budget = error_budget_per_mode(norm_x_sq, tol, ndim) if tol is not None else None
 
+    tracer = current_tracer()
     current = dt
     factors: list = [None] * ndim
     sigmas: dict[int, np.ndarray] = {}
-    for n in order:
-        if method == "qr":
-            with timer.phase(PHASE_LQ, n):
-                U, sigma = par_tensor_qr_svd(
-                    current, n, backend=backend,
-                    strategy=svd_strategy, counter=counter,
+    for step, n in enumerate(order):
+        mode_start = time.perf_counter()
+        with trace_span("sthosvd.mode", mode=n, step=step):
+            svd_phase = PHASE_LQ if method == "qr" else PHASE_GRAM
+            mark = tracer.local_mark() if tracer is not None else 0
+            with timer.phase(svd_phase, n):
+                if method == "qr":
+                    U, sigma = par_tensor_qr_svd(
+                        current, n, backend=backend,
+                        strategy=svd_strategy, counter=counter,
+                    )
+                else:
+                    U, sigma = par_tensor_gram_svd(
+                        current, n, strategy=svd_strategy, counter=counter,
+                    )
+            if tracer is not None:
+                # Pull the measured comm time out of the kernel bucket
+                # into the Comm row (span tracer knows exactly how long
+                # this thread spent inside communicator operations).
+                timer.attribute_comm(
+                    tracer.local_phase_seconds(PHASE_COMM, since=mark),
+                    svd_phase, n,
                 )
-        else:
-            with timer.phase(PHASE_GRAM, n):
-                U, sigma = par_tensor_gram_svd(
-                    current, n, strategy=svd_strategy, counter=counter,
+            sigmas[n] = sigma
+            if budget is not None:
+                r = choose_rank(sigma, budget)
+            elif ranks is not None:
+                r = ranks[n]
+            else:
+                r = min(current.global_shape[n], U.shape[1])
+            U_n = np.ascontiguousarray(U[:, :r])
+            factors[n] = U_n
+            mark = tracer.local_mark() if tracer is not None else 0
+            with timer.phase(PHASE_TTM, n):
+                current = par_ttm_truncate(current, U_n, n, counter=counter)
+            if tracer is not None:
+                timer.attribute_comm(
+                    tracer.local_phase_seconds(PHASE_COMM, since=mark),
+                    PHASE_TTM, n,
                 )
-        sigmas[n] = sigma
-        if budget is not None:
-            r = choose_rank(sigma, budget)
-        elif ranks is not None:
-            r = ranks[n]
-        else:
-            r = min(current.global_shape[n], U.shape[1])
-        U_n = np.ascontiguousarray(U[:, :r])
-        factors[n] = U_n
-        with timer.phase(PHASE_TTM, n):
-            current = par_ttm_truncate(current, U_n, n, counter=counter)
+        if progress is not None and dt.comm.rank == 0:
+            progress({
+                "step": step + 1,
+                "total_steps": ndim,
+                "mode": n,
+                "ranks": tuple(current.global_shape),
+                "seconds": time.perf_counter() - mode_start,
+            })
 
     return ParallelSthosvdResult(
         core=current,

@@ -92,6 +92,32 @@ class PhaseTimer:
     def total(self) -> float:
         return sum(self.by_phase.values())
 
+    def attribute_comm(
+        self, seconds: float, from_phase: str, mode: int | None = None
+    ) -> None:
+        """Move ``seconds`` out of ``from_phase`` into the Comm bucket.
+
+        The drivers time whole per-mode blocks (LQ, Gram, TTM) with
+        :meth:`phase`; the span tracer separately measures how much of
+        each block was spent inside communicator operations.  Moving
+        (not adding) that time keeps the breakdown rows disjoint and
+        :attr:`total` unchanged.  No-op for non-positive ``seconds``;
+        clamps to the donor bucket so rows never go negative.
+        """
+        if seconds <= 0.0:
+            return
+        seconds = min(
+            seconds,
+            self.by_phase.get(from_phase, 0.0),
+            self.by_phase_mode.get((from_phase, mode), 0.0),
+        )
+        if seconds <= 0.0:
+            return
+        self.by_phase[from_phase] -= seconds
+        self.by_phase[PHASE_COMM] += seconds
+        self.by_phase_mode[(from_phase, mode)] -= seconds
+        self.by_phase_mode[(PHASE_COMM, mode)] += seconds
+
     def merge_max(self, other: "PhaseTimer") -> None:
         """Keep the per-phase maximum (the paper reports the slowest rank)."""
         for k, v in other.by_phase.items():

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..instrument import FlopCounter, PHASE_GRAM
+from ..obs.tracer import trace_span
 from ..tensor.dense import DenseTensor
 from .flops import gram_flops
 
@@ -37,18 +38,22 @@ def gram_matrix(
     eigensolve benefits too.
     """
     A = np.asarray(A)
-    if accumulate == "double" and A.dtype == np.float32:
-        Ad = A.astype(np.float64)
-        G = Ad @ Ad.T
-    elif accumulate not in (None, "double"):
+    if accumulate not in (None, "double"):
         raise ValueError(f"accumulate must be None or 'double', got {accumulate!r}")
-    else:
-        G = A @ A.T
-    # symmetrize against rounding asymmetry from the general gemm path
-    G = (G + G.T) * G.dtype.type(0.5)
-    if counter is not None:
-        counter.add(gram_flops(A.shape[0], A.shape[1]), phase=PHASE_GRAM, mode=mode)
-    return G
+    with trace_span("syrk", phase=PHASE_GRAM, mode=mode,
+                    rows=A.shape[0], cols=A.shape[1]):
+        if accumulate == "double" and A.dtype == np.float32:
+            Ad = A.astype(np.float64)
+            G = Ad @ Ad.T
+        else:
+            G = A @ A.T
+        # symmetrize against rounding asymmetry from the general gemm path
+        G = (G + G.T) * G.dtype.type(0.5)
+        if counter is not None:
+            counter.add(
+                gram_flops(A.shape[0], A.shape[1]), phase=PHASE_GRAM, mode=mode
+            )
+        return G
 
 
 def tensor_gram(
@@ -75,14 +80,16 @@ def tensor_gram(
         return gram_matrix(Y0, counter=counter, mode=0, accumulate=accumulate)
     rows = tensor.shape[n]
     acc_dtype = np.float64 if mixed else tensor.dtype
-    G = np.zeros((rows, rows), dtype=acc_dtype)
-    for j in range(tensor.num_column_blocks(n)):
-        B = tensor.column_block(n, j)
-        if mixed:
-            B = B.astype(np.float64)
-        G += B @ B.T
-    G = (G + G.T) * G.dtype.type(0.5)
-    if counter is not None:
-        _, cols = (rows, tensor.size // rows)
-        counter.add(gram_flops(rows, cols), phase=PHASE_GRAM, mode=n)
-    return G
+    with trace_span("syrk", phase=PHASE_GRAM, mode=n, rows=rows,
+                    cols=tensor.size // max(rows, 1)):
+        G = np.zeros((rows, rows), dtype=acc_dtype)
+        for j in range(tensor.num_column_blocks(n)):
+            B = tensor.column_block(n, j)
+            if mixed:
+                B = B.astype(np.float64)
+            G += B @ B.T
+        G = (G + G.T) * G.dtype.type(0.5)
+        if counter is not None:
+            _, cols = (rows, tensor.size // rows)
+            counter.add(gram_flops(rows, cols), phase=PHASE_GRAM, mode=n)
+        return G

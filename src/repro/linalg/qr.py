@@ -17,6 +17,7 @@ import scipy.linalg
 
 from ..errors import ConfigurationError, ShapeError
 from ..instrument import FlopCounter, PHASE_LQ
+from ..obs.tracer import trace_span
 from .flops import qr_flops, lq_flops
 from .householder import qr_r, lq_l
 
@@ -48,18 +49,20 @@ def geqr(
     if A.ndim != 2:
         raise ShapeError("geqr expects a matrix")
     m, n = A.shape
-    if backend == "householder":
-        return qr_r(A, counter=counter, mode=mode)
-    if backend == "blocked":
-        from .blocked import qr_r_blocked
+    with trace_span("geqr", phase=PHASE_LQ, mode=mode, rows=m, cols=n,
+                    backend=backend):
+        if backend == "householder":
+            return qr_r(A, counter=counter, mode=mode)
+        if backend == "blocked":
+            from .blocked import qr_r_blocked
 
-        return qr_r_blocked(A, counter=counter, mode=mode)
-    R = scipy.linalg.qr(A, mode="r", check_finite=False)[0]
-    R = np.ascontiguousarray(R[: min(m, n), :])
-    if counter is not None:
-        k = min(m, n)
-        counter.add(qr_flops(max(m, n), k), phase=PHASE_LQ, mode=mode)
-    return R
+            return qr_r_blocked(A, counter=counter, mode=mode)
+        R = scipy.linalg.qr(A, mode="r", check_finite=False)[0]
+        R = np.ascontiguousarray(R[: min(m, n), :])
+        if counter is not None:
+            k = min(m, n)
+            counter.add(qr_flops(max(m, n), k), phase=PHASE_LQ, mode=mode)
+        return R
 
 
 def gelq(
@@ -79,18 +82,20 @@ def gelq(
     if A.ndim != 2:
         raise ShapeError("gelq expects a matrix")
     m, n = A.shape
-    if backend == "householder":
-        return lq_l(A, counter=counter, mode=mode)
-    if backend == "blocked":
-        from .blocked import qr_r_blocked
+    with trace_span("gelq", phase=PHASE_LQ, mode=mode, rows=m, cols=n,
+                    backend=backend):
+        if backend == "householder":
+            return lq_l(A, counter=counter, mode=mode)
+        if backend == "blocked":
+            from .blocked import qr_r_blocked
 
-        R = qr_r_blocked(A.T, counter=counter, mode=mode)
-        return np.ascontiguousarray(R.T)
-    # LQ(A) = QR(A^T)^T; A.T is a zero-copy view, and LAPACK handles
-    # either memory order.
-    R = scipy.linalg.qr(A.T, mode="r", check_finite=False)[0]
-    L = np.ascontiguousarray(R[: min(m, n), :].T)
-    if counter is not None:
-        k = min(m, n)
-        counter.add(lq_flops(k, max(m, n)), phase=PHASE_LQ, mode=mode)
-    return L
+            R = qr_r_blocked(A.T, counter=counter, mode=mode)
+            return np.ascontiguousarray(R.T)
+        # LQ(A) = QR(A^T)^T; A.T is a zero-copy view, and LAPACK handles
+        # either memory order.
+        R = scipy.linalg.qr(A.T, mode="r", check_finite=False)[0]
+        L = np.ascontiguousarray(R[: min(m, n), :].T)
+        if counter is not None:
+            k = min(m, n)
+            counter.add(lq_flops(k, max(m, n)), phase=PHASE_LQ, mode=mode)
+        return L

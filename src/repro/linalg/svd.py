@@ -22,6 +22,7 @@ import scipy.linalg
 
 from ..errors import ShapeError
 from ..instrument import FlopCounter, PHASE_SVD, PHASE_EVD
+from ..obs.tracer import trace_span
 from ..tensor.dense import DenseTensor
 from .flops import eigh_flops, svd_flops
 from .gram import gram_matrix, tensor_gram
@@ -55,12 +56,13 @@ def svd_from_gram(
     G = np.asarray(G)
     if G.ndim != 2 or G.shape[0] != G.shape[1]:
         raise ShapeError("Gram matrix must be square")
-    w, V = np.linalg.eigh(G)
-    sigma = np.sqrt(np.abs(w))
-    order = np.argsort(sigma)[::-1]
-    if counter is not None:
-        counter.add(eigh_flops(G.shape[0]), phase=PHASE_EVD, mode=mode)
-    return V[:, order], sigma[order]
+    with trace_span("eigh", phase=PHASE_EVD, mode=mode, n=G.shape[0]):
+        w, V = np.linalg.eigh(G)
+        sigma = np.sqrt(np.abs(w))
+        order = np.argsort(sigma)[::-1]
+        if counter is not None:
+            counter.add(eigh_flops(G.shape[0]), phase=PHASE_EVD, mode=mode)
+        return V[:, order], sigma[order]
 
 
 def left_svd_of_triangle(
@@ -77,12 +79,14 @@ def left_svd_of_triangle(
     L = np.asarray(L)
     if L.ndim != 2:
         raise ShapeError("expected a matrix")
-    U, sigma, _ = scipy.linalg.svd(
-        L, full_matrices=False, lapack_driver="gesvd", check_finite=False
-    )
-    if counter is not None:
-        counter.add(svd_flops(*L.shape), phase=PHASE_SVD, mode=mode)
-    return U, sigma
+    with trace_span("gesvd", phase=PHASE_SVD, mode=mode,
+                    rows=L.shape[0], cols=L.shape[1]):
+        U, sigma, _ = scipy.linalg.svd(
+            L, full_matrices=False, lapack_driver="gesvd", check_finite=False
+        )
+        if counter is not None:
+            counter.add(svd_flops(*L.shape), phase=PHASE_SVD, mode=mode)
+        return U, sigma
 
 
 def gram_svd(

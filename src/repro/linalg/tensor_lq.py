@@ -21,7 +21,8 @@ import math
 import numpy as np
 
 from ..errors import ShapeError
-from ..instrument import FlopCounter
+from ..instrument import FlopCounter, PHASE_LQ
+from ..obs.tracer import trace_span
 from ..tensor.dense import DenseTensor
 from .qr import geqr, gelq
 from .tpqrt import tpqrt
@@ -108,7 +109,18 @@ def tensor_lq(
     ndim = tensor.ndim
     if not 0 <= n < ndim:
         raise ShapeError(f"mode {n} out of range for {ndim}-mode tensor")
+    with trace_span("tensor_lq", phase=PHASE_LQ, mode=n):
+        return _tensor_lq_impl(tensor, n, backend=backend, counter=counter)
 
+
+def _tensor_lq_impl(
+    tensor: DenseTensor,
+    n: int,
+    *,
+    backend: str,
+    counter: FlopCounter | None,
+) -> np.ndarray:
+    ndim = tensor.ndim
     rows = tensor.shape[n]
 
     if tensor.size == 0:

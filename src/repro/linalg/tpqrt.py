@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..instrument import FlopCounter, PHASE_LQ
+from ..obs.tracer import trace_span
 from .flops import tpqrt_flops
 
 __all__ = ["tpqrt", "tpqrt_reduce_triangles"]
@@ -124,6 +125,7 @@ def tpqrt_reduce_triangles(
     """
     if R_top.shape != R_bottom.shape or R_top.shape[0] != R_top.shape[1]:
         raise ShapeError("tree reduction expects two equal square triangles")
-    R = np.triu(R_top).copy()
-    B = np.triu(R_bottom).copy()
-    return tpqrt(R, B, structure="tri", counter=counter, mode=mode)
+    with trace_span("tpqrt", phase=PHASE_LQ, mode=mode, n=R_top.shape[0]):
+        R = np.triu(R_top).copy()
+        B = np.triu(R_bottom).copy()
+        return tpqrt(R, B, structure="tri", counter=counter, mode=mode)

@@ -44,6 +44,14 @@ When a :class:`~repro.mpi.costmodel.CostModel` is attached, every
 operation advances the rank's logical clock through the *actual* message
 schedule of the selected algorithm, which is what the performance
 studies measure.
+
+**Observability.**  When a :class:`~repro.obs.Tracer` is active on the
+rank thread (bound by ``run_spmd(tracer=...)``), every point-to-point
+operation and collective records a ``comm.*`` span under the paper's
+``PHASE_COMM`` category, tagged with the dispatched algorithm and the
+copied/moved byte split of every message it sent; per-algorithm
+message-size histograms land in the tracer's metrics registry.  With no
+tracer (or a disabled one) each hook is a single thread-local read.
 """
 
 from __future__ import annotations
@@ -54,6 +62,8 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..errors import CommunicatorError
+from ..instrument import PHASE_COMM
+from ..obs.tracer import current_tracer, trace_span
 from .context import Envelope, SpmdContext
 from .costmodel import RankClock
 
@@ -221,6 +231,22 @@ class Communicator:
         return nullcontext()
 
     # ------------------------------------------------------------------
+    # Observability hooks
+    # ------------------------------------------------------------------
+    def _comm_span(self, op: str, **attrs):
+        """A ``comm.<op>`` span on the active tracer (no-op when off)."""
+        return trace_span(f"comm.{op}", phase=PHASE_COMM, **attrs)
+
+    @staticmethod
+    def _observe_message_size(algorithm: str, nbytes: int) -> None:
+        """Feed the per-algorithm message-size histogram (tracing only)."""
+        t = current_tracer()
+        if t is not None:
+            t.metrics.histogram(
+                f"comm.message_bytes[{algorithm}]"
+            ).observe(nbytes)
+
+    # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0, *, copy: bool = True) -> None:
@@ -236,7 +262,8 @@ class Communicator:
         self._check_rank(dest, "destination")
         if tag < 0:
             raise CommunicatorError("user tags must be non-negative")
-        self._send_internal(obj, dest, tag, copy=copy)
+        with self._comm_span("send", dest=dest):
+            self._send_internal(obj, dest, tag, copy=copy)
 
     def _send_internal(self, obj: Any, dest: int, tag: int, *, copy: bool = True) -> None:
         self._context.check_alive()
@@ -247,6 +274,9 @@ class Communicator:
             self._context.comm_trace.record_send(
                 self.world_rank, nbytes, copied=0 if moved else nbytes
             )
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.add_bytes(nbytes, 0 if moved else nbytes)
         model = self._context.cost_model
         cost = model.comm.message_cost(nbytes) if model is not None else 0.0
         if self.clock is not None:
@@ -254,7 +284,7 @@ class Communicator:
             self.clock.advance(cost)
         else:
             arrival = 0.0
-        env = Envelope(payload=payload, send_time=arrival, moved=moved)
+        env = Envelope(payload=payload, send_time=arrival, moved=moved, nbytes=nbytes)
         box = self._context.mailbox(self._comm_id, self._members[dest])
         box.put(self._rank, tag, env)
 
@@ -263,12 +293,15 @@ class Communicator:
         self._check_rank(source, "source")
         if tag < 0:
             raise CommunicatorError("user tags must be non-negative")
-        return self._recv_internal(source, tag)
+        with self._comm_span("recv", source=source):
+            return self._recv_internal(source, tag)
 
     def _recv_internal(self, source: int, tag: int) -> Any:
         self._context.check_alive()
         box = self._context.mailbox(self._comm_id, self.world_rank)
         env = box.get(source, tag, self._context.recv_timeout)
+        if self._context.comm_trace is not None:
+            self._context.comm_trace.record_recv(self.world_rank, env.nbytes)
         if self.clock is not None:
             self.clock.sync_to(env.send_time)
         return env.payload
@@ -278,8 +311,9 @@ class Communicator:
         self._check_rank(partner, "partner")
         if partner == self._rank:
             return _freeze_payload(obj) if not copy else _copy_payload(obj)
-        self._send_internal(obj, partner, tag, copy=copy)
-        return self._recv_internal(partner, tag)
+        with self._comm_span("sendrecv", partner=partner):
+            self._send_internal(obj, partner, tag, copy=copy)
+            return self._recv_internal(partner, tag)
 
     # ------------------------------------------------------------------
     # Nonblocking point-to-point
@@ -325,13 +359,14 @@ class Communicator:
         """Dissemination barrier (log P rounds of zero-byte exchanges)."""
         tag = self._next_coll_tag()
         p, r = self.size, self._rank
-        k = 1
-        while k < p:
-            dest = (r + k) % p
-            src = (r - k) % p
-            self._send_internal(None, dest, tag)
-            self._recv_internal(src, tag)
-            k *= 2
+        with self._comm_span("barrier", algorithm="dissemination"):
+            k = 1
+            while k < p:
+                dest = (r + k) % p
+                src = (r - k) % p
+                self._send_internal(None, dest, tag)
+                self._recv_internal(src, tag)
+                k *= 2
 
     # -- broadcast ------------------------------------------------------
     def bcast(self, obj: Any, root: int = 0, algorithm: str | None = None) -> Any:
@@ -350,27 +385,36 @@ class Communicator:
         p = self.size
         if p == 1:
             return _copy_payload(obj)
-        if self._rank == root:
-            algo = algorithm or self.tuning.bcast_algorithm(p, obj)
-            if algo == "scatter_allgather":
-                arr = np.asarray(obj)
-                header = (_SA_HEADER, arr.shape, arr.dtype.name)
-                self._bcast_binomial(header, root, tag)
-                return self._bcast_scatter_allgather(arr, root)
-            if algo != "binomial":
-                raise CommunicatorError(f"unknown bcast algorithm {algo!r}")
-            return self._bcast_binomial(obj, root, tag)
-        value = self._bcast_binomial(None, root, tag)
-        if (
-            isinstance(value, tuple)
-            and len(value) == 3
-            and value[0] is _SA_HEADER
-        ):
-            _, shape, dtype_name = value
-            return self._bcast_scatter_allgather(
-                None, root, shape=shape, dtype=np.dtype(dtype_name)
-            )
-        return value
+        with self._comm_span("bcast", root=root) as sp:
+            if self._rank == root:
+                algo = algorithm or self.tuning.bcast_algorithm(p, obj)
+                nbytes = _payload_nbytes(obj)
+                if sp is not None:
+                    sp.set(algorithm=algo, payload_bytes=nbytes)
+                    self._observe_message_size(f"bcast:{algo}", nbytes)
+                if algo == "scatter_allgather":
+                    arr = np.asarray(obj)
+                    header = (_SA_HEADER, arr.shape, arr.dtype.name)
+                    self._bcast_binomial(header, root, tag)
+                    return self._bcast_scatter_allgather(arr, root)
+                if algo != "binomial":
+                    raise CommunicatorError(f"unknown bcast algorithm {algo!r}")
+                return self._bcast_binomial(obj, root, tag)
+            value = self._bcast_binomial(None, root, tag)
+            if (
+                isinstance(value, tuple)
+                and len(value) == 3
+                and value[0] is _SA_HEADER
+            ):
+                if sp is not None:
+                    sp.set(algorithm="scatter_allgather")
+                _, shape, dtype_name = value
+                return self._bcast_scatter_allgather(
+                    None, root, shape=shape, dtype=np.dtype(dtype_name)
+                )
+            if sp is not None:
+                sp.set(algorithm="binomial")
+            return value
 
     def _bcast_binomial(self, value: Any, root: int, tag: int) -> Any:
         """Binomial-tree broadcast (MPICH scheme, zero-copy forwarding)."""
@@ -443,6 +487,11 @@ class Communicator:
             op = _default_op
         tag = self._next_coll_tag()
         p = self.size
+        with self._comm_span("reduce", algorithm="binomial", root=root):
+            return self._reduce_binomial(value, root, op, tag)
+
+    def _reduce_binomial(self, value: Any, root: int, op, tag: int) -> Any:
+        p = self.size
         vr = (self._rank - root) % p
         acc = value
         owned = False  # acc is a fresh combine result (movable)
@@ -479,16 +528,23 @@ class Communicator:
         bitwise replicated across ranks.
         """
         algo = algorithm or self.tuning.allreduce_algorithm(self.size, value)
-        if algo == "tree":
-            reduced = self.reduce(value, root=0, op=op)
-            return self.bcast(reduced, root=0)
-        if op is None:
-            op = _default_op
-        if algo == "recursive_doubling":
-            return self._allreduce_recursive_doubling(value, op, self._next_coll_tag())
-        if algo == "ring":
-            return self._allreduce_ring(value, op)
-        raise CommunicatorError(f"unknown allreduce algorithm {algo!r}")
+        with self._comm_span("allreduce", algorithm=algo) as sp:
+            if sp is not None:
+                self._observe_message_size(
+                    f"allreduce:{algo}", _payload_nbytes(value)
+                )
+            if algo == "tree":
+                reduced = self.reduce(value, root=0, op=op)
+                return self.bcast(reduced, root=0)
+            if op is None:
+                op = _default_op
+            if algo == "recursive_doubling":
+                return self._allreduce_recursive_doubling(
+                    value, op, self._next_coll_tag()
+                )
+            if algo == "ring":
+                return self._allreduce_ring(value, op)
+            raise CommunicatorError(f"unknown allreduce algorithm {algo!r}")
 
     def _allreduce_recursive_doubling(self, value: Any, op, tag: int) -> Any:
         """Recursive-doubling allreduce (deterministic combine order).
@@ -559,15 +615,16 @@ class Communicator:
         """Gather one payload per rank to ``root`` (list indexed by rank)."""
         self._check_rank(root, "root")
         tag = self._next_coll_tag()
-        if self._rank == root:
-            out = [None] * self.size
-            out[root] = _copy_payload(obj)
-            for r in range(self.size):
-                if r != root:
-                    out[r] = self._recv_internal(r, tag)
-            return out
-        self._send_internal(obj, root, tag)
-        return None
+        with self._comm_span("gather", algorithm="linear", root=root):
+            if self._rank == root:
+                out = [None] * self.size
+                out[root] = _copy_payload(obj)
+                for r in range(self.size):
+                    if r != root:
+                        out[r] = self._recv_internal(r, tag)
+                return out
+            self._send_internal(obj, root, tag)
+            return None
 
     def allgather(self, obj: Any, algorithm: str | None = None) -> list:
         """All-gather one payload per rank (list indexed by rank).
@@ -582,17 +639,22 @@ class Communicator:
         """
         p = self.size
         algo = algorithm or self.tuning.allgather_algorithm(p)
-        if algo == "gather_bcast":
-            gathered = self.gather(obj, root=0)
-            return self.bcast(gathered, root=0)
-        tag = self._next_coll_tag()
-        if p == 1:
-            return [_copy_payload(obj)]
-        if algo == "ring":
-            return self._allgather_ring(obj, tag, copy=True)
-        if algo == "bruck":
-            return self._allgather_bruck(obj, tag, copy=True)
-        raise CommunicatorError(f"unknown allgather algorithm {algo!r}")
+        with self._comm_span("allgather", algorithm=algo) as sp:
+            if sp is not None:
+                self._observe_message_size(
+                    f"allgather:{algo}", _payload_nbytes(obj)
+                )
+            if algo == "gather_bcast":
+                gathered = self.gather(obj, root=0)
+                return self.bcast(gathered, root=0)
+            tag = self._next_coll_tag()
+            if p == 1:
+                return [_copy_payload(obj)]
+            if algo == "ring":
+                return self._allgather_ring(obj, tag, copy=True)
+            if algo == "bruck":
+                return self._allgather_bruck(obj, tag, copy=True)
+            raise CommunicatorError(f"unknown allgather algorithm {algo!r}")
 
     def _allgather_ring(self, obj: Any, tag: int, *, copy: bool) -> list:
         """Ring allgather: P-1 shifts, each forwarding one received slot."""
@@ -639,7 +701,8 @@ class Communicator:
             raise CommunicatorError(
                 f"scatter root needs exactly {self.size} payloads"
             )
-        return self._scatter_internal(objs, root, tag, copy=True)
+        with self._comm_span("scatter", algorithm="linear", root=root):
+            return self._scatter_internal(objs, root, tag, copy=True)
 
     def _scatter_internal(
         self, objs: Sequence[Any] | None, root: int, tag: int, *, copy: bool
@@ -667,15 +730,22 @@ class Communicator:
         if len(objs) != p:
             raise CommunicatorError(f"alltoall needs exactly {p} payloads")
         tag = self._next_coll_tag()
-        result: list = [None] * p
-        own = objs[self._rank]
-        result[self._rank] = _copy_payload(own) if copy else _freeze_payload(own)
-        for shift in range(1, p):
-            dest = (self._rank + shift) % p
-            src = (self._rank - shift) % p
-            self._send_internal(objs[dest], dest, tag, copy=copy)
-            result[src] = self._recv_internal(src, tag)
-        return result
+        with self._comm_span("alltoall", algorithm="pairwise") as sp:
+            if sp is not None:
+                self._observe_message_size(
+                    "alltoall:pairwise", _payload_nbytes(list(objs))
+                )
+            result: list = [None] * p
+            own = objs[self._rank]
+            result[self._rank] = (
+                _copy_payload(own) if copy else _freeze_payload(own)
+            )
+            for shift in range(1, p):
+                dest = (self._rank + shift) % p
+                src = (self._rank - shift) % p
+                self._send_internal(objs[dest], dest, tag, copy=copy)
+                result[src] = self._recv_internal(src, tag)
+            return result
 
     def reduce_scatter(
         self,
@@ -702,15 +772,24 @@ class Communicator:
         if op is None:
             op = _default_op
         algo = algorithm or self.tuning.reduce_scatter_algorithm(p, values)
-        if algo == "alltoall":
-            parts = self.alltoall(values, copy=copy)
-            acc = parts[0]
-            for part in parts[1:]:
-                acc = op(acc, part)
-            return acc
-        if algo != "ring":
-            raise CommunicatorError(f"unknown reduce_scatter algorithm {algo!r}")
-        return self._reduce_scatter_ring(values, op, self._next_coll_tag(), copy=copy)
+        with self._comm_span("reduce_scatter", algorithm=algo) as sp:
+            if sp is not None:
+                self._observe_message_size(
+                    f"reduce_scatter:{algo}", _payload_nbytes(list(values))
+                )
+            if algo == "alltoall":
+                parts = self.alltoall(values, copy=copy)
+                acc = parts[0]
+                for part in parts[1:]:
+                    acc = op(acc, part)
+                return acc
+            if algo != "ring":
+                raise CommunicatorError(
+                    f"unknown reduce_scatter algorithm {algo!r}"
+                )
+            return self._reduce_scatter_ring(
+                values, op, self._next_coll_tag(), copy=copy
+            )
 
     def _reduce_scatter_ring(
         self, values: Sequence[Any], op, tag: int, *, copy: bool
@@ -760,6 +839,10 @@ class Communicator:
         self._coll_seq += 1
         table = self._context.split_barrier(self._comm_id, self._coll_seq, self.size)
         sort_key = self._rank if key is None else key
+        with self._comm_span("split"):
+            return self._split_internal(table, color, sort_key)
+
+    def _split_internal(self, table, color, sort_key) -> "Communicator | None":
 
         def combine(contributions: dict[int, tuple]) -> dict:
             groups: dict[int, list] = {}

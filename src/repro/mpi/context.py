@@ -36,12 +36,14 @@ class Envelope:
     ``moved`` records whether the payload was transferred by reference
     (zero-copy move semantics) rather than snapshotted; moved ndarray
     payloads are frozen (read-only) so sender-side reuse cannot race
-    the receiver.
+    the receiver.  ``nbytes`` carries the sender's modeled wire size so
+    receive-side tallies never re-measure the payload.
     """
 
     payload: Any
     send_time: float
     moved: bool = False
+    nbytes: int = 0
 
 
 class _Mailbox:
@@ -130,6 +132,7 @@ class SpmdContext:
         recv_timeout: float = DEFAULT_RECV_TIMEOUT,
         comm_trace=None,
         tuning: CollectiveTuning | None = None,
+        tracer=None,
     ) -> None:
         if world_size <= 0:
             raise CommunicatorError("world size must be positive")
@@ -137,6 +140,7 @@ class SpmdContext:
         self.cost_model = cost_model
         self.recv_timeout = recv_timeout
         self.comm_trace = comm_trace
+        self.tracer = tracer  # repro.obs.Tracer bound per rank thread
         self.tuning = tuning if tuning is not None else CollectiveTuning()
         self.abort_event = threading.Event()
         self.abort_reason: str | None = None

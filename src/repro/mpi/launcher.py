@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..errors import CommunicatorError
+from ..obs.tracer import activate as obs_activate, deactivate as obs_deactivate
 from .communicator import Communicator
 from .context import SpmdContext
 from .costmodel import CostModel
@@ -65,6 +66,7 @@ def run_spmd(
     recv_timeout: float = 120.0,
     comm_trace=None,
     tuning=None,
+    tracer=None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -88,6 +90,10 @@ def run_spmd(
     tuning:
         Optional :class:`~repro.mpi.tuning.CollectiveTuning` overriding
         the collective-dispatch crossover thresholds for this world.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` activated on every rank
+        thread for the duration of the run: communicator operations,
+        distributed kernels, and drivers record per-rank spans into it.
 
     Returns
     -------
@@ -98,7 +104,7 @@ def run_spmd(
         raise CommunicatorError("nprocs must be positive")
     context = SpmdContext(
         nprocs, cost_model=cost_model, recv_timeout=recv_timeout,
-        comm_trace=comm_trace, tuning=tuning,
+        comm_trace=comm_trace, tuning=tuning, tracer=tracer,
     )
     members = list(range(nprocs))
     values: list = [None] * nprocs
@@ -108,11 +114,16 @@ def run_spmd(
     def worker(rank: int) -> None:
         comm = Communicator(context, WORLD_COMM_ID, members, rank)
         clocks[rank] = comm.clock
+        if tracer is not None:
+            obs_activate(tracer, rank)
         try:
             values[rank] = fn(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - must abort the world
             errors[rank] = exc
             context.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        finally:
+            if tracer is not None:
+                obs_deactivate()
 
     if nprocs == 1:
         # Fast path: no threads for the serial case.

@@ -12,6 +12,12 @@ Usage::
     trace = CommTrace()
     res = run_spmd(fn, P, comm_trace=trace)
     trace.sent_messages(rank), trace.sent_bytes(rank)
+
+Receive-side tallies (:meth:`recv_messages` / :meth:`recv_bytes`) use
+the sender's modeled wire size carried in the message envelope, so both
+sides of every transfer agree byte-for-byte; asymmetric patterns
+(incast into a gather root, broadcast fan-out) show up as per-rank
+send/recv imbalance.
 """
 
 from __future__ import annotations
@@ -23,10 +29,10 @@ __all__ = ["CommTrace"]
 
 
 class CommTrace:
-    """Thread-safe per-rank tally of sent messages and bytes.
+    """Thread-safe per-rank tally of sent/received messages and bytes.
 
     Records are tagged with a free-form ``context`` label (set via
-    :meth:`context`), letting callers attribute traffic to algorithm
+    :meth:`set_context`), letting callers attribute traffic to algorithm
     stages ("redistribute", "butterfly", ...).
     """
 
@@ -36,6 +42,8 @@ class CommTrace:
         self._bytes: dict = defaultdict(int)
         self._copied: dict = defaultdict(int)  # bytes snapshotted on send
         self._moved: dict = defaultdict(int)  # bytes transferred zero-copy
+        self._recv_messages: dict = defaultdict(int)
+        self._recv_bytes: dict = defaultdict(int)
         self._context = threading.local()
 
     # -- context labels (per-thread, i.e. per-rank) ---------------------
@@ -65,6 +73,20 @@ class CommTrace:
                 self._bytes[(rank, c)] += nbytes
                 self._copied[(rank, c)] += copied
                 self._moved[(rank, c)] += moved
+
+    def record_recv(self, rank: int, nbytes: int) -> None:
+        """Tally one received message (called by the communicator).
+
+        ``nbytes`` is the sender's modeled wire size carried in the
+        envelope — never re-measured on the receive side, so both
+        tallies of a transfer agree exactly.
+        """
+        nbytes = int(nbytes)
+        ctx = self._current_context()
+        with self._lock:
+            for c in ({ctx, "all"} if ctx != "all" else {"all"}):
+                self._recv_messages[(rank, c)] += 1
+                self._recv_bytes[(rank, c)] += nbytes
 
     # -- queries ---------------------------------------------------------
     def sent_messages(self, rank: int, context: str = "all") -> int:
@@ -103,7 +125,92 @@ class CommTrace:
         with self._lock:
             return sum(v for (r, c), v in self._moved.items() if c == context)
 
+    def recv_messages(self, rank: int, context: str = "all") -> int:
+        """Messages received by ``rank`` under ``context``."""
+        return self._recv_messages.get((rank, context), 0)
+
+    def recv_bytes(self, rank: int, context: str = "all") -> int:
+        """Bytes received by ``rank`` under ``context``."""
+        return self._recv_bytes.get((rank, context), 0)
+
+    def total_recv_messages(self, context: str = "all") -> int:
+        """Messages received by all ranks under ``context``."""
+        with self._lock:
+            return sum(
+                v for (r, c), v in self._recv_messages.items() if c == context
+            )
+
+    def total_recv_bytes(self, context: str = "all") -> int:
+        """Bytes received by all ranks under ``context``."""
+        with self._lock:
+            return sum(
+                v for (r, c), v in self._recv_bytes.items() if c == context
+            )
+
     def contexts(self) -> set:
         """All context labels that recorded any traffic."""
         with self._lock:
-            return {c for (_r, c) in self._messages}
+            return {c for (_r, c) in self._messages} | {
+                c for (_r, c) in self._recv_messages
+            }
+
+    # -- export -----------------------------------------------------------
+    def ranks(self, context: str = "all") -> list[int]:
+        """Ranks that recorded any traffic under ``context``, sorted."""
+        with self._lock:
+            out = {r for (r, c) in self._messages if c == context}
+            out |= {r for (r, c) in self._recv_messages if c == context}
+        return sorted(out)
+
+    def to_dict(self, context: str = "all") -> dict:
+        """Plain-dict snapshot of the tallies under ``context``.
+
+        ``{"context", "ranks": {rank: {sent_messages, sent_bytes,
+        copied_bytes, moved_bytes, recv_messages, recv_bytes}},
+        "totals": {...same keys...}}`` — JSON-serialisable, for report
+        files and the metrics bridge.
+        """
+        per_rank = {}
+        for r in self.ranks(context):
+            per_rank[r] = {
+                "sent_messages": self.sent_messages(r, context),
+                "sent_bytes": self.sent_bytes(r, context),
+                "copied_bytes": self.copied_bytes(r, context),
+                "moved_bytes": self.moved_bytes(r, context),
+                "recv_messages": self.recv_messages(r, context),
+                "recv_bytes": self.recv_bytes(r, context),
+            }
+        totals = {
+            "sent_messages": self.total_messages(context),
+            "sent_bytes": self.total_bytes(context),
+            "copied_bytes": self.total_copied_bytes(context),
+            "moved_bytes": self.total_moved_bytes(context),
+            "recv_messages": self.total_recv_messages(context),
+            "recv_bytes": self.total_recv_bytes(context),
+        }
+        return {"context": context, "ranks": per_rank, "totals": totals}
+
+    def as_table(self, context: str = "all", *, title: str | None = None) -> str:
+        """Render the per-rank tallies as an aligned report table."""
+        from ..util.tables import format_table
+
+        snap = self.to_dict(context)
+        headers = [
+            "rank", "sent msgs", "sent bytes", "copied", "moved",
+            "recv msgs", "recv bytes",
+        ]
+        rows = []
+        for r, d in sorted(snap["ranks"].items()):
+            rows.append([
+                r, d["sent_messages"], d["sent_bytes"], d["copied_bytes"],
+                d["moved_bytes"], d["recv_messages"], d["recv_bytes"],
+            ])
+        t = snap["totals"]
+        rows.append([
+            "total", t["sent_messages"], t["sent_bytes"], t["copied_bytes"],
+            t["moved_bytes"], t["recv_messages"], t["recv_bytes"],
+        ])
+        return format_table(
+            headers, rows,
+            title=title or f"Communication tallies (context={context})",
+        )

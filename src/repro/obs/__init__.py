@@ -1,0 +1,94 @@
+"""Observability for the SPMD runtime: span tracing, metrics, exporters.
+
+The pieces, bottom-up:
+
+* :mod:`repro.obs.tracer` — per-rank, nestable, thread-safe span
+  recording with ~zero overhead when disabled; every layer of the stack
+  (communicator collectives, distributed kernels, LAPACK-backed local
+  kernels, the parallel drivers) carries hooks that find the active
+  tracer through a thread-local.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms fed by the
+  communicator (message-size histograms per collective algorithm) and
+  by the existing :class:`~repro.mpi.tracing.CommTrace` /
+  :class:`~repro.instrument.FlopCounter` tallies.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (one track per
+  rank, loads in ``chrome://tracing`` / Perfetto), per-rank phase
+  tables, and the load-imbalance report.
+* :mod:`repro.obs.compare` — diffs measured span totals against the
+  α-β-γ performance model so model drift is visible per phase.
+
+Quickstart::
+
+    from repro.obs import Tracer, write_chrome_trace
+    tracer = Tracer()
+    run_spmd(program, 4, tracer=tracer)
+    write_chrome_trace(tracer, "trace.json")
+
+The exporters and the model bridge import :mod:`repro.perf` (and
+transitively the whole stack), so they load lazily — importing
+``repro.obs`` from low-level modules stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ingest_comm_trace,
+    ingest_flop_counter,
+)
+from .tracer import (
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    trace_span,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "deactivate",
+    "current_tracer",
+    "trace_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ingest_comm_trace",
+    "ingest_flop_counter",
+    # lazily loaded (see __getattr__):
+    "chrome_trace",
+    "write_chrome_trace",
+    "phase_table",
+    "imbalance_summary",
+    "imbalance_table",
+    "measured_phase_seconds",
+    "model_diff",
+    "model_diff_table",
+    "modeled_run",
+]
+
+_EXPORT = {"chrome_trace", "write_chrome_trace", "phase_table",
+           "imbalance_summary", "imbalance_table"}
+_COMPARE = {"measured_phase_seconds", "model_diff", "model_diff_table",
+            "modeled_run"}
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy loading: keeps `import repro.obs` free of the
+    # perf/core dependency chain so the MPI layer can import the tracer
+    # hooks without a cycle.
+    if name in _EXPORT:
+        from . import export
+
+        return getattr(export, name)
+    if name in _COMPARE:
+        from . import compare
+
+        return getattr(compare, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

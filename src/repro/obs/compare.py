@@ -1,0 +1,100 @@
+"""Measured-vs-modeled bridge: diff span totals against the α-β-γ model.
+
+The performance model (:mod:`repro.perf.simulator`) predicts per-phase
+seconds for a parallel ST-HOSVD from closed-form cost expressions; the
+tracer measures where the wall-clock actually went.  Diffing the two per
+phase makes model drift visible — a ratio far from the machine model's
+calibration says either the model's efficiency factors are stale or the
+implementation stopped following the modeled schedule.
+
+Conventions: the measured side reports the *slowest rank* per phase
+(max over ranks), matching the paper's breakdown convention; the
+modeled side folds each phase's communication into that phase, so the
+measured Comm phase is shown as its own row with no modeled
+counterpart (it is already contained in the kernel rows on both sides).
+"""
+
+from __future__ import annotations
+
+from ..instrument import PHASE_COMM
+from ..util.tables import format_table
+from .tracer import Tracer
+
+__all__ = ["measured_phase_seconds", "model_diff", "model_diff_table", "modeled_run"]
+
+
+def measured_phase_seconds(tracer: Tracer) -> dict[str, float]:
+    """Max-over-ranks seconds per phase (the paper's slowest-rank view)."""
+    out: dict[str, float] = {}
+    for (_rank, phase), secs in tracer.by_rank_phase().items():
+        out[phase] = max(out.get(phase, 0.0), secs)
+    return out
+
+
+def modeled_run(shape, ranks, grid_dims, *, method: str = "qr",
+                precision="double", mode_order="forward",
+                machine: str = "andes"):
+    """Convenience wrapper: a :class:`~repro.perf.simulator.ModeledRun`
+    for the named machine model ('andes' or 'cascade-lake')."""
+    from ..perf import ANDES, CASCADE_LAKE, simulate_sthosvd
+
+    mach = ANDES if machine == "andes" else CASCADE_LAKE
+    return simulate_sthosvd(
+        shape, ranks, grid_dims, method=method, precision=precision,
+        mode_order=mode_order, machine=mach,
+    )
+
+
+def model_diff(tracer: Tracer, modeled) -> list[dict]:
+    """Per-phase measured vs modeled seconds and their ratio.
+
+    ``modeled`` is a :class:`~repro.perf.simulator.ModeledRun`.  Returns
+    one dict per phase: ``{"phase", "measured", "modeled", "ratio"}``
+    with ``ratio = measured / modeled`` (None when the model has no
+    prediction for that phase, e.g. the cross-cutting Comm row).
+    Includes a ``"total"`` row comparing end-to-end sums.
+    """
+    measured = measured_phase_seconds(tracer)
+    model = modeled.seconds_by_phase()
+    rows: list[dict] = []
+    comm = measured.pop(PHASE_COMM, None)
+    for phase in sorted(set(measured) | set(model)):
+        m, p = measured.get(phase, 0.0), model.get(phase, 0.0)
+        rows.append({
+            "phase": phase,
+            "measured": m,
+            "modeled": p,
+            "ratio": (m / p) if p > 0 else None,
+        })
+    total_m = sum(measured.values())
+    total_p = sum(model.values())
+    rows.append({
+        "phase": "total",
+        "measured": total_m,
+        "modeled": total_p,
+        "ratio": (total_m / total_p) if total_p > 0 else None,
+    })
+    if comm is not None:
+        rows.append({
+            "phase": PHASE_COMM,
+            "measured": comm,
+            "modeled": None,
+            "ratio": None,
+        })
+    return rows
+
+
+def model_diff_table(tracer: Tracer, modeled, *, title: str | None = None) -> str:
+    """Render :func:`model_diff` as a report table."""
+    rows = []
+    for r in model_diff(tracer, modeled):
+        rows.append([
+            r["phase"],
+            r["measured"],
+            r["modeled"] if r["modeled"] is not None else "-",
+            r["ratio"] if r["ratio"] is not None else "-",
+        ])
+    return format_table(
+        ["phase", "measured [s]", "modeled [s]", "meas/model"],
+        rows, title=title,
+    )

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..instrument import PHASE_LQ, PHASE_GRAM, PHASE_SVD, PHASE_EVD, PHASE_TTM
+from ..instrument import (
+    PHASE_LQ, PHASE_GRAM, PHASE_SVD, PHASE_EVD, PHASE_TTM, PHASE_COMM,
+)
 from ..util.tables import format_table
 from .simulator import ModeledRun
 
@@ -26,6 +28,7 @@ PHASE_LABELS = {
     PHASE_SVD: "SVD",
     PHASE_EVD: "EVD",
     PHASE_TTM: "TTM",
+    PHASE_COMM: "Comm",
 }
 
 

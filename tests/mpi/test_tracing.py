@@ -184,3 +184,103 @@ class TestPaperMessageCounts:
         run_spmd(prog, 4, comm_trace=trace)
         assert trace.total_bytes("gram") > 0
         assert trace.total_copied_bytes("gram") == 0
+
+
+class TestReceiveTallies:
+    def test_send_recv_totals_balance(self):
+        """Every byte sent is received: world totals agree exactly
+        (recv uses the sender's modeled wire size from the envelope)."""
+        trace = CommTrace()
+
+        def prog(comm):
+            comm.allreduce(np.ones(8))
+            comm.alltoall([np.full(3, comm.rank) for _ in range(comm.size)])
+            comm.barrier()
+
+        run_spmd(prog, 4, comm_trace=trace)
+        assert trace.total_messages() == trace.total_recv_messages()
+        assert trace.total_bytes() == trace.total_recv_bytes()
+        assert trace.total_bytes() > 0
+
+    def test_incast_asymmetry_at_gather_root(self):
+        """A linear gather concentrates receives on the root."""
+        trace = CommTrace()
+
+        def prog(comm):
+            comm.gather(np.ones(4), root=0)
+
+        run_spmd(prog, 4, comm_trace=trace)
+        assert trace.recv_messages(0) == 3
+        assert trace.recv_bytes(0) == 3 * 32
+        for r in range(1, 4):
+            assert trace.recv_messages(r) == 0
+            assert trace.sent_messages(r) == 1
+
+    def test_recv_context_labels(self):
+        trace = CommTrace()
+
+        def prog(comm):
+            trace.set_context("xchg")
+            comm.sendrecv(np.zeros(4), comm.rank ^ 1)
+            trace.set_context(None)
+
+        run_spmd(prog, 2, comm_trace=trace)
+        assert trace.total_recv_messages("xchg") == 2
+        assert trace.total_recv_bytes("xchg") == 2 * 32
+        assert trace.recv_bytes(0, "xchg") == 32
+
+    def test_recv_only_context_still_listed(self):
+        trace = CommTrace()
+        trace.set_context("weird")
+        trace.record_recv(0, 10)
+        trace.set_context(None)
+        assert "weird" in trace.contexts()
+        assert 0 in trace.ranks("weird")
+
+
+class TestExports:
+    @staticmethod
+    def _traced_world():
+        trace = CommTrace()
+
+        def prog(comm):
+            comm.allreduce(np.ones(8))
+
+        run_spmd(prog, 4, comm_trace=trace)
+        return trace
+
+    def test_to_dict_structure(self):
+        trace = self._traced_world()
+        snap = trace.to_dict()
+        assert snap["context"] == "all"
+        assert sorted(snap["ranks"]) == [0, 1, 2, 3]
+        keys = {"sent_messages", "sent_bytes", "copied_bytes",
+                "moved_bytes", "recv_messages", "recv_bytes"}
+        for d in snap["ranks"].values():
+            assert set(d) == keys
+        assert set(snap["totals"]) == keys
+        assert snap["totals"]["sent_messages"] == sum(
+            d["sent_messages"] for d in snap["ranks"].values()
+        )
+        assert snap["totals"]["sent_bytes"] == snap["totals"]["recv_bytes"]
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        trace = self._traced_world()
+        assert json.loads(json.dumps(trace.to_dict()))["context"] == "all"
+
+    def test_as_table_rows(self):
+        trace = self._traced_world()
+        table = trace.as_table(title="comm")
+        assert "comm" in table
+        for header in ("rank", "sent msgs", "recv bytes"):
+            assert header in table
+        assert "total" in table
+
+    def test_empty_trace_exports(self):
+        trace = CommTrace()
+        snap = trace.to_dict()
+        assert snap["ranks"] == {}
+        assert snap["totals"]["sent_messages"] == 0
+        assert "total" in trace.as_table()

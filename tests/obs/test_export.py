@@ -1,0 +1,146 @@
+"""Chrome-trace JSON schema and imbalance/phase table tests."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.instrument import PHASE_COMM, PHASE_LQ, PHASE_TTM
+from repro.mpi import run_spmd
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    imbalance_summary,
+    imbalance_table,
+    phase_table,
+    trace_span,
+    write_chrome_trace,
+)
+
+
+def _traced_world(nprocs: int = 4) -> Tracer:
+    """A small SPMD run whose trace covers every exporter code path."""
+    t = Tracer()
+
+    def prog(comm):
+        with trace_span("kernel", phase=PHASE_LQ, mode=0, rows=8):
+            time.sleep(0.001 * (comm.rank + 1))  # deliberate imbalance
+            comm.barrier()
+        with trace_span("ttm", phase=PHASE_TTM, mode=1):
+            time.sleep(0.001)
+
+    run_spmd(prog, nprocs, tracer=t)
+    return t
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = chrome_trace(_traced_world())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
+
+    def test_one_track_per_rank_with_metadata(self):
+        doc = chrome_trace(_traced_world(4))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["tid"]: e["args"]["name"]
+                 for e in meta if e["name"] == "thread_name"}
+        assert names == {r: f"rank {r}" for r in range(4)}
+        sort_idx = {e["tid"]: e["args"]["sort_index"]
+                    for e in meta if e["name"] == "thread_sort_index"}
+        assert sort_idx == {r: r for r in range(4)}
+        (proc,) = [e for e in meta if e["name"] == "process_name"]
+        assert proc["args"]["name"] == "repro SPMD world"
+
+    def test_span_events_schema(self):
+        doc = chrome_trace(_traced_world(2))
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        for e in xs:
+            assert set(e) == {"name", "cat", "ph", "ts", "dur", "pid",
+                              "tid", "args"}
+            assert e["pid"] == 0
+            assert e["tid"] in (0, 1)
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+        kernels = [e for e in xs if e["name"] == "kernel"]
+        assert len(kernels) == 2
+        for e in kernels:
+            assert e["cat"] == PHASE_LQ
+            assert e["args"]["phase"] == PHASE_LQ
+            assert e["args"]["mode"] == 0
+            assert e["args"]["rows"] == 8
+            # sleep(1ms) minimum, in microseconds
+            assert e["dur"] >= 1000.0
+
+    def test_json_round_trip_and_write(self, tmp_path):
+        t = _traced_world(2)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(t, str(path), indent=1)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(chrome_trace(t)))
+
+    def test_empty_tracer_still_valid(self):
+        doc = chrome_trace(Tracer())
+        assert doc["traceEvents"][0]["name"] == "process_name"
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+class TestTables:
+    def test_phase_table_rows_and_columns(self):
+        table = phase_table(_traced_world(4), title="phases")
+        assert "phases" in table
+        for col in (PHASE_LQ, PHASE_TTM, PHASE_COMM, "busy", "rank"):
+            assert col in table
+        for r in range(4):
+            assert f"\n{r} " in table or f" {r} " in table
+
+    def test_imbalance_table_mentions_phases_and_busy(self):
+        table = imbalance_table(_traced_world(4))
+        for needle in (PHASE_LQ, PHASE_TTM, "busy", "barrier wait",
+                       "max/mean"):
+            assert needle in table
+
+
+class TestImbalanceSummary:
+    def test_keys_and_phase_stats(self):
+        t = _traced_world(4)
+        s = imbalance_summary(t)
+        assert set(s) == {"phases", "barrier_wait", "max_barrier_wait",
+                          "comm_wait", "critical_path_seconds",
+                          "mean_busy_seconds"}
+        lq = s["phases"][PHASE_LQ]
+        assert set(lq) == {"max", "mean", "min", "imbalance"}
+        assert lq["min"] <= lq["mean"] <= lq["max"]
+        assert lq["imbalance"] == pytest.approx(lq["max"] / lq["mean"])
+        # Ranks sleep 1..4 ms inside the LQ span, so it is imbalanced.
+        assert lq["imbalance"] > 1.0
+
+    def test_barrier_and_comm_wait(self):
+        t = _traced_world(4)
+        s = imbalance_summary(t)
+        assert set(s["barrier_wait"]) == {0, 1, 2, 3}
+        # Rank 0 sleeps least before the barrier, so it waits longest.
+        waits = s["barrier_wait"]
+        assert waits[0] == max(waits.values())
+        assert s["max_barrier_wait"] == waits[0]
+        for r in range(4):
+            assert s["comm_wait"][r] >= waits[r]
+
+    def test_critical_path_is_slowest_rank(self):
+        t = _traced_world(4)
+        s = imbalance_summary(t)
+        busy = {r: t.total_seconds(r) for r in t.ranks()}
+        assert s["critical_path_seconds"] == pytest.approx(max(busy.values()))
+        assert s["mean_busy_seconds"] == pytest.approx(
+            sum(busy.values()) / len(busy)
+        )
+        assert s["mean_busy_seconds"] <= s["critical_path_seconds"]
+
+    def test_empty_tracer(self):
+        s = imbalance_summary(Tracer())
+        assert s["phases"] == {}
+        assert s["critical_path_seconds"] == 0.0
+        assert s["mean_busy_seconds"] == 0.0

@@ -1,0 +1,158 @@
+"""Metrics registry unit tests and bridge tests from existing tallies."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.instrument import PHASE_GRAM, PHASE_TTM, FlopCounter
+from repro.mpi.tracing import CommTrace
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ingest_comm_trace,
+    ingest_flop_counter,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("msgs")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.snapshot() == {"type": "counter", "value": 6}
+
+    def test_gauge(self):
+        g = Gauge("peak")
+        assert g.value == 0.0
+        g.set(3.5)
+        g.set(1.25)
+        assert g.value == 1.25
+        assert g.snapshot() == {"type": "gauge", "value": 1.25}
+
+    def test_histogram_bucketing(self):
+        h = Histogram("sizes", buckets=(10, 100, 1000))
+        for v in (5, 10, 11, 500, 5000):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 5526.0
+        assert h.mean == pytest.approx(5526.0 / 5)
+        assert h.max == 5000.0
+        assert h.bucket_counts() == {
+            "le=10": 2,   # 5 and 10 (bounds are inclusive)
+            "le=100": 1,  # 11
+            "le=1000": 1,  # 500
+            "le=+Inf": 1,  # 5000 overflows
+        }
+
+    def test_empty_histogram(self):
+        h = Histogram("sizes")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.max == 0.0
+
+    def test_histogram_rejects_no_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("sizes", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a")
+        c1.inc(3)
+        assert reg.counter("a") is c1
+        assert reg.counter("a").value == 3
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_names_sorted_and_get(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a") is reg.counter("a")
+        assert reg.get("missing") is None
+
+    def test_to_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(100)
+        d = json.loads(json.dumps(reg.to_dict()))
+        assert d["c"]["value"] == 2
+        assert d["g"]["value"] == 0.5
+        assert d["h"]["count"] == 1
+
+    def test_as_table_lists_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.sent_messages[all]").inc(7)
+        reg.histogram("comm.message_bytes[bcast:binomial]").observe(64)
+        table = reg.as_table(title="metrics")
+        assert "metrics" in table
+        assert "comm.sent_messages[all]" in table
+        assert "comm.message_bytes[bcast:binomial]" in table
+
+    def test_concurrent_get_or_create_single_instance(self):
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            c = reg.counter("shared")
+            seen.append(c)
+            for _ in range(100):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+        assert reg.counter("shared").value == 800
+
+
+class TestBridges:
+    def test_ingest_comm_trace(self):
+        trace = CommTrace()
+        trace.set_context("redistribute")
+        trace.record_send(0, 100, copied=100)
+        trace.record_send(1, 50, copied=0)
+        trace.record_recv(0, 50)
+        trace.record_recv(1, 100)
+        trace.set_context(None)
+        reg = MetricsRegistry()
+        ingest_comm_trace(reg, trace)
+        assert reg.counter("comm.sent_messages[redistribute]").value == 2
+        assert reg.counter("comm.sent_bytes[redistribute]").value == 150
+        assert reg.counter("comm.copied_bytes[redistribute]").value == 100
+        assert reg.counter("comm.moved_bytes[redistribute]").value == 50
+        assert reg.counter("comm.recv_messages[redistribute]").value == 2
+        assert reg.counter("comm.recv_bytes[redistribute]").value == 150
+        # The catch-all context is ingested too.
+        assert reg.counter("comm.sent_messages[all]").value == 2
+
+    def test_ingest_flop_counter(self):
+        flops = FlopCounter()
+        flops.add(1000, PHASE_GRAM)
+        flops.add(500, PHASE_TTM)
+        reg = MetricsRegistry()
+        ingest_flop_counter(reg, flops)
+        assert reg.counter("flops.total").value == 1500
+        assert reg.counter(f"flops[{PHASE_GRAM}]").value == 1000
+        assert reg.counter(f"flops[{PHASE_TTM}]").value == 500

@@ -224,3 +224,37 @@ class TestRecompressCommand:
               "--tol", "1e-5", "--out", arch])
         with pytest.raises(SystemExit):
             main(["recompress", arch, "--out", str(tmp_path / "x")])
+
+
+class TestTraceCommand:
+    def test_trace_writes_all_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "traceout")
+        rc = main(["trace", "--shape", "16", "16", "16",
+                   "--grid", "2", "2", "1", "--tol", "1e-4",
+                   "--out", out_dir])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "critical path" in printed
+        for name in ("trace.json", "phases.txt", "imbalance.txt",
+                     "comm.txt", "metrics.txt", "model_diff.txt"):
+            assert os.path.exists(os.path.join(out_dir, name)), name
+
+        with open(os.path.join(out_dir, "trace.json")) as f:
+            doc = json.load(f)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in xs} == {0, 1, 2, 3}
+        names = {e["name"] for e in xs}
+        for required in ("redistribute", "lq", "svd", "ttm"):
+            assert required in names
+        assert any(n.startswith("comm.") for n in names)
+
+    def test_trace_requires_exactly_one_of_tol_ranks(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--shape", "8", "8", "8",
+                  "--grid", "2", "1", "1",
+                  "--out", str(tmp_path / "x")])
+        with pytest.raises(SystemExit):
+            main(["trace", "--shape", "8", "8", "8",
+                  "--grid", "2", "1", "1", "--tol", "1e-4",
+                  "--ranks", "2", "2", "2",
+                  "--out", str(tmp_path / "y")])
