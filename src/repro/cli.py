@@ -9,12 +9,20 @@ Three subcommands operate on raw natural-order tensor files (the
   sub-region only;
 * ``info``        — inspect an archive: ranks, compression, diagnostics.
 
+Beyond the archive commands: ``simulate``/``tune`` (model-only runs),
+``trace`` (a traced — and optionally sanitized — parallel ST-HOSVD with
+observability artifacts), and ``lint`` (the static SPMD lint of
+:mod:`repro.sanitize`, the CI gate).
+
 Usage::
 
     python -m repro.cli compress data.bin --shape 64 64 33 64 --tol 1e-4 \
         --method qr --precision single --out archive/
     python -m repro.cli info archive/
     python -m repro.cli reconstruct archive/ --out restored.bin
+    python -m repro.cli trace --shape 32 32 32 --grid 2 2 1 \
+        --tol 1e-4 --out artifacts --sanitize
+    python -m repro.cli lint --strict src/repro examples
 """
 
 from __future__ import annotations
@@ -280,7 +288,10 @@ def _cmd_trace(args) -> int:
             progress=progress if args.verbose else None,
         )
 
-    res = run_spmd(program, nprocs, tracer=tracer, comm_trace=comm_trace)
+    res = run_spmd(
+        program, nprocs, tracer=tracer, comm_trace=comm_trace,
+        sanitize=args.sanitize,
+    )
     result = res[0]
 
     os.makedirs(args.out, exist_ok=True)
@@ -325,8 +336,31 @@ def _cmd_trace(args) -> int:
     if worst[0] is not None:
         print(f"worst phase:   {worst[0]} "
               f"(max/mean {worst[1]['imbalance']:.3f})")
+    if args.sanitize:
+        n = len(res.sanitizer.findings)
+        print(f"sanitizer:     {'clean' if n == 0 else f'{n} finding(s)'}")
     print(f"artifacts:     {args.out}/ (trace.json, phases.txt, "
           f"imbalance.txt, comm.txt, metrics.txt, model_diff.txt)")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    """Static SPMD lint over source trees (see repro.sanitize.lint)."""
+    from .sanitize import format_diagnostics, lint_paths
+    from .sanitize.lint import DEFAULT_RULES, default_lint_roots
+
+    rules = tuple(args.rules) if args.rules else DEFAULT_RULES
+    paths = args.paths or default_lint_roots()
+    findings = lint_paths(paths, rules=rules)
+    if findings:
+        print(format_diagnostics(
+            findings, header=f"repro lint: {len(findings)} finding(s)"
+        ))
+    else:
+        roots = ", ".join(paths)
+        print(f"repro lint: clean ({roots})")
+    if args.strict and findings:
+        return 1
     return 0
 
 
@@ -426,7 +460,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="directory for trace.json and the report tables")
     tr.add_argument("--verbose", action="store_true",
                     help="per-mode progress events from rank 0")
+    tr.add_argument("--sanitize", action="store_true",
+                    help="run under the SPMD sanitizer (collective matching, "
+                         "deadlock detection, move enforcement)")
     tr.set_defaults(fn=_cmd_trace)
+
+    ln = sub.add_parser(
+        "lint",
+        help="static SPMD lint: rank-divergent collectives, use-after-move, "
+             "tag mismatches, raw LAPACK calls",
+    )
+    ln.add_argument("paths", nargs="*",
+                    help="files or directories (default: the repro package "
+                         "and ./examples)")
+    ln.add_argument("--strict", action="store_true",
+                    help="exit non-zero when any finding is reported (CI gate)")
+    ln.add_argument("--rules", nargs="+", default=None,
+                    metavar="RULE",
+                    help="subset of rules to run (default: all of "
+                         "rank-divergent-collective, use-after-move, "
+                         "tag-mismatch, raw-lapack)")
+    ln.set_defaults(fn=_cmd_lint)
 
     t = sub.add_parser("tune", help="search processor grids via the model")
     t.add_argument("--shape", type=int, nargs="+", required=True)

@@ -15,6 +15,12 @@ __all__ = [
     "CommunicatorError",
     "ConvergenceError",
     "ConfigurationError",
+    "SanitizerError",
+    "CollectiveMismatchError",
+    "DeadlockError",
+    "UseAfterMoveError",
+    "MessageLeakError",
+    "RankFailedError",
 ]
 
 
@@ -45,3 +51,51 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class ConfigurationError(ReproError, ValueError):
     """Invalid configuration of an algorithm or machine model."""
+
+
+class RankFailedError(CommunicatorError):
+    """A communication partner finalized or died while we were blocked on it.
+
+    Raised instead of deadlocking when a blocking receive (including the
+    exchanges inside ``barrier``) waits on a rank that has already
+    returned from the SPMD function or raised.  Carries the
+    :class:`~repro.sanitize.Diagnostic` describing the wait in
+    ``diagnostic`` when the sanitizer is active.
+    """
+
+    def __init__(self, message: str, diagnostic=None) -> None:
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+class SanitizerError(ReproError, RuntimeError):
+    """Base class for correctness violations found by the SPMD sanitizer.
+
+    Deliberately *not* a :class:`CommunicatorError`: the launcher treats
+    CommunicatorError as a secondary symptom (a rank unblocked by a world
+    abort), while sanitizer findings are the root cause and take priority
+    when re-raised from :func:`repro.mpi.run_spmd`.
+
+    ``diagnostics`` holds the :class:`~repro.sanitize.Diagnostic` records
+    (severity, kind, rank, ``file:line``) behind the failure.
+    """
+
+    def __init__(self, message: str, diagnostics=()) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
+class CollectiveMismatchError(SanitizerError):
+    """Ranks disagreed on which collective to run (or its signature)."""
+
+
+class DeadlockError(SanitizerError):
+    """A cycle in the wait-for graph, or a global stall, was detected."""
+
+
+class UseAfterMoveError(SanitizerError):
+    """A buffer was mutated after being relinquished by a zero-copy send."""
+
+
+class MessageLeakError(SanitizerError):
+    """Messages were still undelivered when the SPMD world finalized."""

@@ -61,7 +61,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import CommunicatorError
+from ..errors import CommunicatorError, RankFailedError
 from ..instrument import PHASE_COMM
 from ..obs.tracer import current_tracer, trace_span
 from .context import Envelope, SpmdContext
@@ -155,6 +155,29 @@ def _default_op(a: Any, b: Any) -> Any:
     return a + b
 
 
+def _op_name(op: Callable | None) -> str:
+    """Stable cross-rank identifier for a reduction operator."""
+    if op is None or op is _default_op:
+        return "sum"
+    return getattr(op, "__qualname__", type(op).__name__)
+
+
+def _describe_payload(obj: Any) -> tuple:
+    """Hashable cross-rank summary of a payload for signature checks.
+
+    Used only for collectives whose semantics require every rank to
+    contribute congruent data (reductions): ndarrays compare by
+    shape/dtype, scalars and generic objects by type name.
+    """
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", tuple(obj.shape), obj.dtype.name)
+    if isinstance(obj, (int, float, complex, bool, np.generic)):
+        return ("scalar", type(obj).__name__)
+    if isinstance(obj, (list, tuple)):
+        return ("seq", len(obj))
+    return ("obj", type(obj).__name__)
+
+
 class Communicator:
     """A group of simulated ranks with MPI-style operations.
 
@@ -178,6 +201,10 @@ class Communicator:
             RankClock() if context.cost_model is not None else None
         )
         self._coll_seq = 0
+        # Collective-verification slot counter (independent of the tag
+        # space: nested collectives like the tree allreduce consume
+        # check slots without consuming tags).
+        self._san_seq = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -247,6 +274,24 @@ class Communicator:
             ).observe(nbytes)
 
     # ------------------------------------------------------------------
+    # Sanitizer hooks
+    # ------------------------------------------------------------------
+    def _sanitize_collective(self, san, op: str, *signature) -> None:
+        """Verify this collective call against the other ranks' calls.
+
+        Callers gate on ``self._context.sanitizer is not None`` so the
+        sanitize-off path costs one attribute read and a None test per
+        collective; this method runs only under an active sanitizer.
+        Raises :class:`~repro.errors.CollectiveMismatchError` (and aborts
+        the world) when ranks diverge in operation order or signature.
+        """
+        self._san_seq += 1
+        san.check_collective(
+            self._comm_id, self._san_seq, self.world_rank,
+            op, tuple(signature), self.size,
+        )
+
+    # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0, *, copy: bool = True) -> None:
@@ -270,6 +315,16 @@ class Communicator:
         nbytes = _payload_nbytes(obj)
         moved = (not copy) or _is_readonly_array(obj)
         payload = _freeze_payload(obj) if moved else _copy_payload(obj)
+        san = self._context.sanitizer
+        origin = None
+        if san is not None:
+            if moved:
+                origin = san.note_move(
+                    payload, self.world_rank, "send",
+                    dest=self._members[dest],
+                )
+            else:
+                origin = san.note_send(self.world_rank)
         if self._context.comm_trace is not None:
             self._context.comm_trace.record_send(
                 self.world_rank, nbytes, copied=0 if moved else nbytes
@@ -284,7 +339,10 @@ class Communicator:
             self.clock.advance(cost)
         else:
             arrival = 0.0
-        env = Envelope(payload=payload, send_time=arrival, moved=moved, nbytes=nbytes)
+        env = Envelope(
+            payload=payload, send_time=arrival, moved=moved, nbytes=nbytes,
+            origin=origin,
+        )
         box = self._context.mailbox(self._comm_id, self._members[dest])
         box.put(self._rank, tag, env)
 
@@ -299,16 +357,78 @@ class Communicator:
     def _recv_internal(self, source: int, tag: int) -> Any:
         self._context.check_alive()
         box = self._context.mailbox(self._comm_id, self.world_rank)
-        env = box.get(source, tag, self._context.recv_timeout)
+        env = box.try_get(source, tag)
+        if env is None:
+            env = self._recv_blocking(box, source, tag)
+        san = self._context.sanitizer
+        if san is not None and env.moved:
+            san.note_received_move(env.payload, self.world_rank, env.origin)
         if self._context.comm_trace is not None:
             self._context.comm_trace.record_recv(self.world_rank, env.nbytes)
         if self.clock is not None:
             self.clock.sync_to(env.send_time)
         return env.payload
 
+    def _recv_blocking(self, box, source: int, tag: int) -> Envelope:
+        """Block for a matched message, watching for dead partners.
+
+        The poll hook runs (outside the mailbox lock) whenever the wait
+        wakes without a match: it raises
+        :class:`~repro.errors.RankFailedError` once the awaited rank has
+        finalized or died with nothing left in the queue — so a receive
+        that can never be satisfied (including the exchanges inside
+        ``barrier``) fails fast instead of deadlocking — and, under an
+        active sanitizer, drives the wait-for-graph deadlock watchdog.
+        """
+        ctx = self._context
+        san = ctx.sanitizer
+        me = self.world_rank
+        src_world = self._members[source]
+
+        def poll() -> None:
+            status = ctx.rank_status(src_world)
+            if status != "running" and not box.has(source, tag):
+                if san is not None:
+                    diag = san.describe_failed_partner(
+                        me, src_world, source, tag, status, box
+                    )
+                    raise RankFailedError(diag.message, diagnostic=diag)
+                where = (
+                    f"recv(source={source}, tag={tag})" if tag >= 0
+                    else f"a collective exchange with rank {source}"
+                )
+                raise RankFailedError(
+                    f"rank {me} blocked in {where} "
+                    f"but rank {src_world} already {status}"
+                )
+            if san is not None:
+                san.on_stall(me)
+
+        interval = san.watchdog_interval if san is not None else None
+        if san is not None:
+            san.begin_wait(me, src_world, source, tag, self._comm_id, box)
+        try:
+            poll()  # the partner may already be gone
+            return box.get(
+                source, tag, ctx.recv_timeout, poll=poll, interval=interval
+            )
+        finally:
+            if san is not None:
+                san.end_wait(me)
+
     def sendrecv(self, obj: Any, partner: int, tag: int = 0, *, copy: bool = True) -> Any:
-        """Exchange payloads with ``partner`` (MPI_Sendrecv, symmetric)."""
-        self._check_rank(partner, "partner")
+        """Exchange payloads with ``partner`` (MPI_Sendrecv, symmetric).
+
+        ``partner`` must be a valid rank of this communicator and
+        ``tag`` non-negative — both are validated up front with a
+        descriptive :class:`~repro.errors.CommunicatorError` instead of
+        an ``IndexError`` or a hang inside the exchange.
+        """
+        self._check_rank(partner, "sendrecv partner")
+        if tag < 0:
+            raise CommunicatorError(
+                f"user tags must be non-negative, got tag={tag} in sendrecv"
+            )
         if partner == self._rank:
             return _freeze_payload(obj) if not copy else _copy_payload(obj)
         with self._comm_span("sendrecv", partner=partner):
@@ -337,7 +457,9 @@ class Communicator:
 
         def complete(blocking: bool):
             if blocking:
-                env = box.get(source, tag, self._context.recv_timeout)
+                env = box.try_get(source, tag)
+                if env is None:
+                    env = self._recv_blocking(box, source, tag)
             else:
                 env = box.try_get(source, tag)
                 if env is None:
@@ -356,7 +478,15 @@ class Communicator:
         return _COLLECTIVE_TAG_BASE - self._coll_seq
 
     def barrier(self) -> None:
-        """Dissemination barrier (log P rounds of zero-byte exchanges)."""
+        """Dissemination barrier (log P rounds of zero-byte exchanges).
+
+        If a participating rank has already finalized or died, the
+        exchange raises :class:`~repro.errors.RankFailedError` on the
+        surviving ranks instead of deadlocking.
+        """
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(san, "barrier")
         tag = self._next_coll_tag()
         p, r = self.size, self._rank
         with self._comm_span("barrier", algorithm="dissemination"):
@@ -381,6 +511,11 @@ class Communicator:
         path may be read-only (they are shared, replicated data).
         """
         self._check_rank(root, "root")
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(
+                san, "bcast", ("root", root), ("algorithm", algorithm)
+            )
         tag = self._next_coll_tag()
         p = self.size
         if p == 1:
@@ -483,6 +618,12 @@ class Communicator:
         the combine order is deterministic given the communicator size.
         """
         self._check_rank(root, "root")
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(
+                san, "reduce", ("root", root), ("op", _op_name(op)),
+                ("payload", _describe_payload(value)),
+            )
         if op is None:
             op = _default_op
         tag = self._next_coll_tag()
@@ -527,6 +668,12 @@ class Communicator:
         combine order of each algorithm is deterministic, so results are
         bitwise replicated across ranks.
         """
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(
+                san, "allreduce", ("algorithm", algorithm),
+                ("op", _op_name(op)), ("payload", _describe_payload(value)),
+            )
         algo = algorithm or self.tuning.allreduce_algorithm(self.size, value)
         with self._comm_span("allreduce", algorithm=algo) as sp:
             if sp is not None:
@@ -614,6 +761,9 @@ class Communicator:
     def gather(self, obj: Any, root: int = 0) -> list | None:
         """Gather one payload per rank to ``root`` (list indexed by rank)."""
         self._check_rank(root, "root")
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(san, "gather", ("root", root))
         tag = self._next_coll_tag()
         with self._comm_span("gather", algorithm="linear", root=root):
             if self._rank == root:
@@ -638,6 +788,11 @@ class Communicator:
         the others).
         """
         p = self.size
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(
+                san, "allgather", ("algorithm", algorithm)
+            )
         algo = algorithm or self.tuning.allgather_algorithm(p)
         with self._comm_span("allgather", algorithm=algo) as sp:
             if sp is not None:
@@ -696,10 +851,15 @@ class Communicator:
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one payload per rank from ``root``."""
         self._check_rank(root, "root")
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(san, "scatter", ("root", root))
         tag = self._next_coll_tag()
         if self._rank == root and (objs is None or len(objs) != self.size):
+            got = "None" if objs is None else f"{len(objs)}"
             raise CommunicatorError(
-                f"scatter root needs exactly {self.size} payloads"
+                f"scatter root on a size-{self.size} communicator needs "
+                f"exactly {self.size} payloads, got {got}"
             )
         with self._comm_span("scatter", algorithm="linear", root=root):
             return self._scatter_internal(objs, root, tag, copy=True)
@@ -727,8 +887,21 @@ class Communicator:
         their ndarrays are frozen read-only).
         """
         p = self.size
-        if len(objs) != p:
-            raise CommunicatorError(f"alltoall needs exactly {p} payloads")
+        try:
+            nobjs = len(objs)
+        except TypeError:
+            raise CommunicatorError(
+                f"alltoall needs a sequence of {p} payloads (one per "
+                f"rank), got {type(objs).__name__}"
+            ) from None
+        if nobjs != p:
+            raise CommunicatorError(
+                f"alltoall on a size-{p} communicator needs exactly {p} "
+                f"payloads (one per destination rank), got {nobjs}"
+            )
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(san, "alltoall", ("nitems", p))
         tag = self._next_coll_tag()
         with self._comm_span("alltoall", algorithm="pairwise") as sp:
             if sp is not None:
@@ -767,8 +940,25 @@ class Communicator:
         collective behind the parallel TTM's mode-fiber reduction.
         """
         p = self.size
-        if len(values) != p:
-            raise CommunicatorError(f"reduce_scatter needs exactly {p} payloads")
+        try:
+            nvals = len(values)
+        except TypeError:
+            raise CommunicatorError(
+                f"reduce_scatter needs a sequence of {p} payloads (one "
+                f"per rank), got {type(values).__name__}"
+            ) from None
+        if nvals != p:
+            raise CommunicatorError(
+                f"reduce_scatter on a size-{p} communicator needs exactly "
+                f"{p} payloads (one slot per rank), got {nvals}"
+            )
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(
+                san, "reduce_scatter", ("algorithm", algorithm),
+                ("op", _op_name(op)),
+                ("payload", tuple(_describe_payload(v) for v in values)),
+            )
         if op is None:
             op = _default_op
         algo = algorithm or self.tuning.reduce_scatter_algorithm(p, values)
@@ -836,6 +1026,9 @@ class Communicator:
         ``(key, old rank)``.  ``color=None`` opts out and returns None.
         Collective: every rank must call.
         """
+        san = self._context.sanitizer
+        if san is not None:
+            self._sanitize_collective(san, "split")
         self._coll_seq += 1
         table = self._context.split_barrier(self._comm_id, self._coll_seq, self.size)
         sort_key = self._rank if key is None else key

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import CommunicatorError
 from .costmodel import CostModel
@@ -44,6 +45,9 @@ class Envelope:
     send_time: float
     moved: bool = False
     nbytes: int = 0
+    # Sender provenance (a repro.sanitize MoveOrigin / call-site record),
+    # populated only when a Sanitizer is attached to the world.
+    origin: Any = None
 
 
 class _Mailbox:
@@ -59,20 +63,62 @@ class _Mailbox:
             self._queues[(source, tag)].append(envelope)
             self._cond.notify_all()
 
-    def get(self, source: int, tag: int, timeout: float) -> Envelope:
+    def get(
+        self,
+        source: int,
+        tag: int,
+        timeout: float,
+        poll: Callable[[], None] | None = None,
+        interval: float | None = None,
+    ) -> Envelope:
+        """Blocking matched receive.
+
+        ``poll``, when given, is invoked *outside* the mailbox lock each
+        time the wait wakes without a match (message on another key,
+        world state change, or every ``interval`` seconds).  It may
+        raise to abort the receive — the hook through which the
+        sanitizer's deadlock watchdog and the rank-failure detector
+        interrupt a wait that can never be satisfied.  ``poll`` must not
+        be called while holding any mailbox lock (it may inspect other
+        mailboxes), which is why the loop releases the condition first.
+        """
         key = (source, tag)
-        with self._cond:
-            while True:
+        deadline = time.monotonic() + timeout
+        step = timeout if interval is None else min(interval, timeout)
+        while True:
+            with self._cond:
                 q = self._queues.get(key)
                 if q:
                     return q.popleft()
                 if self._abort.is_set():
-                    raise CommunicatorError("SPMD world aborted while receiving")
-                if not self._cond.wait(timeout=timeout):
+                    raise CommunicatorError(
+                        "SPMD world aborted while receiving"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise CommunicatorError(
                         f"receive timed out after {timeout}s waiting for "
                         f"(source={source}, tag={tag}) — likely deadlock"
                     )
+                self._cond.wait(timeout=min(step, remaining))
+            if poll is not None:
+                poll()
+
+    def has(self, source: int, tag: int) -> bool:
+        """True when a matched message is queued (no dequeue)."""
+        with self._cond:
+            q = self._queues.get((source, tag))
+            return bool(q)
+
+    def pending(self) -> dict[tuple[int, int], int]:
+        """Snapshot of queued message counts per (source, tag)."""
+        with self._cond:
+            return {k: len(q) for k, q in self._queues.items() if q}
+
+    def pending_envelopes(self) -> dict[tuple[int, int], list[Envelope]]:
+        """Snapshot of the queued envelopes per (source, tag)."""
+        with self._cond:
+            return {k: list(q) for k, q in self._queues.items() if q}
 
     def try_get(self, source: int, tag: int) -> Envelope | None:
         """Non-blocking matched receive; None when no message is ready."""
@@ -133,6 +179,7 @@ class SpmdContext:
         comm_trace=None,
         tuning: CollectiveTuning | None = None,
         tracer=None,
+        sanitizer=None,
     ) -> None:
         if world_size <= 0:
             raise CommunicatorError("world size must be positive")
@@ -141,6 +188,7 @@ class SpmdContext:
         self.recv_timeout = recv_timeout
         self.comm_trace = comm_trace
         self.tracer = tracer  # repro.obs.Tracer bound per rank thread
+        self.sanitizer = sanitizer  # repro.sanitize.Sanitizer, or None
         self.tuning = tuning if tuning is not None else CollectiveTuning()
         self.abort_event = threading.Event()
         self.abort_reason: str | None = None
@@ -150,6 +198,14 @@ class SpmdContext:
         self._comm_id_lock = threading.Lock()
         self._split_tables: dict[tuple[int, int], _SplitBarrier] = {}
         self._split_lock = threading.Lock()
+        # Lifecycle of each world rank: "running" -> "finalized"|"failed".
+        # Blocked receives consult this (via their poll hook) so waiting
+        # on a rank that can never send again raises RankFailedError
+        # instead of deadlocking until the receive timeout.
+        self._rank_status = ["running"] * world_size
+        self._status_lock = threading.Lock()
+        if sanitizer is not None:
+            sanitizer.attach(self)
 
     # -- mailboxes -----------------------------------------------------
     def mailbox(self, comm_id: int, world_rank: int) -> _Mailbox:
@@ -161,6 +217,35 @@ class SpmdContext:
                 box = _Mailbox(self.abort_event)
                 self._mailboxes[key] = box
             return box
+
+    def mailboxes(self):
+        """Snapshot of ``((comm_id, world_rank), mailbox)`` pairs."""
+        with self._mailbox_lock:
+            return list(self._mailboxes.items())
+
+    def wake_all_mailboxes(self) -> None:
+        """Wake every blocked receiver so it re-runs its poll hook."""
+        for _key, box in self.mailboxes():
+            box.wake_all()
+
+    # -- rank lifecycle ------------------------------------------------
+    def rank_status(self, world_rank: int) -> str:
+        """``"running"``, ``"finalized"``, or ``"failed"``."""
+        with self._status_lock:
+            return self._rank_status[world_rank]
+
+    def mark_finalized(self, world_rank: int) -> None:
+        """Record a rank's normal return and wake blocked receivers."""
+        with self._status_lock:
+            if self._rank_status[world_rank] == "running":
+                self._rank_status[world_rank] = "finalized"
+        self.wake_all_mailboxes()
+
+    def mark_failed(self, world_rank: int) -> None:
+        """Record a rank's death (exception) and wake blocked receivers."""
+        with self._status_lock:
+            self._rank_status[world_rank] = "failed"
+        self.wake_all_mailboxes()
 
     # -- abort handling ------------------------------------------------
     def abort(self, reason: str) -> None:

@@ -8,6 +8,14 @@ genuinely overlap on multicore hosts; correctness never depends on it.
 If any rank raises, the world is aborted — every blocked receive wakes
 with :class:`~repro.errors.CommunicatorError` — and the original
 exception is re-raised in the caller with the failing rank identified.
+
+With ``sanitize=True`` (or an explicit
+:class:`~repro.sanitize.Sanitizer`) the run is supervised by the SPMD
+sanitizer: collective calls are cross-checked between ranks, blocked
+receives feed a deadlock-detecting wait-for graph, zero-copy move
+violations surface as :class:`~repro.errors.UseAfterMoveError` with the
+original send site, and undelivered messages are reported at finalize.
+See :mod:`repro.sanitize` and ``docs/sanitizer.md``.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from ..errors import CommunicatorError
+from ..errors import CommunicatorError, SanitizerError
 from ..obs.tracer import activate as obs_activate, deactivate as obs_deactivate
 from .communicator import Communicator
 from .context import SpmdContext
@@ -33,6 +41,7 @@ class SpmdResult:
 
     values: list
     clocks: list  # RankClock per rank, or None when no cost model
+    sanitizer: Any = None  # the run's Sanitizer when sanitize= was given
 
     def __iter__(self):
         return iter(self.values)
@@ -67,6 +76,7 @@ def run_spmd(
     comm_trace=None,
     tuning=None,
     tracer=None,
+    sanitize=False,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -94,17 +104,34 @@ def run_spmd(
         Optional :class:`~repro.obs.Tracer` activated on every rank
         thread for the duration of the run: communicator operations,
         distributed kernels, and drivers record per-rank spans into it.
+    sanitize:
+        ``True`` (or a configured :class:`~repro.sanitize.Sanitizer`)
+        enables the SPMD sanitizer: collective-matching verification,
+        wait-for-graph deadlock detection, zero-copy move enforcement,
+        and a message-leak report at finalize.  ``False`` (default)
+        costs a single ``is None`` check per communicator operation.
 
     Returns
     -------
     SpmdResult
-        ``values[r]`` is rank r's return value.
+        ``values[r]`` is rank r's return value; ``sanitizer`` is the
+        run's :class:`~repro.sanitize.Sanitizer` (with its collected
+        ``findings``) when sanitizing was requested.
     """
     if nprocs <= 0:
         raise CommunicatorError("nprocs must be positive")
+    sanitizer = None
+    if sanitize:
+        if sanitize is True:
+            from ..sanitize import Sanitizer
+
+            sanitizer = Sanitizer()
+        else:
+            sanitizer = sanitize
     context = SpmdContext(
         nprocs, cost_model=cost_model, recv_timeout=recv_timeout,
         comm_trace=comm_trace, tuning=tuning, tracer=tracer,
+        sanitizer=sanitizer,
     )
     members = list(range(nprocs))
     values: list = [None] * nprocs
@@ -118,8 +145,17 @@ def run_spmd(
             obs_activate(tracer, rank)
         try:
             values[rank] = fn(comm, *args, **kwargs)
+            context.mark_finalized(rank)
         except BaseException as exc:  # noqa: BLE001 - must abort the world
+            if sanitizer is not None:
+                # A write into a frozen (moved) buffer surfaces as
+                # NumPy's read-only ValueError; re-attribute it to the
+                # zero-copy send that relinquished the buffer.
+                translated = sanitizer.explain_readonly_write(exc, rank)
+                if translated is not None:
+                    exc = translated
             errors[rank] = exc
+            context.mark_failed(rank)
             context.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
         finally:
             if tracer is not None:
@@ -138,10 +174,18 @@ def run_spmd(
         for t in threads:
             t.join()
 
+    # Sanitizer findings are root causes; CommunicatorError is usually a
+    # secondary symptom (a rank unblocked by the world abort) — re-raise
+    # in that priority order.
+    for rank, err in enumerate(errors):
+        if err is not None and isinstance(err, SanitizerError):
+            raise err
     for rank, err in enumerate(errors):
         if err is not None and not isinstance(err, CommunicatorError):
             raise err
     for rank, err in enumerate(errors):
         if err is not None:
             raise err
-    return SpmdResult(values=values, clocks=clocks)
+    if sanitizer is not None:
+        sanitizer.finalize_world(context)
+    return SpmdResult(values=values, clocks=clocks, sanitizer=sanitizer)

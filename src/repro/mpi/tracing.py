@@ -147,6 +147,19 @@ class CommTrace:
                 v for (r, c), v in self._recv_bytes.items() if c == context
             )
 
+    def in_flight_messages(self, context: str = "all") -> int:
+        """Messages sent but not (yet) received under ``context``.
+
+        Non-zero after a run completed means undelivered traffic — the
+        same condition the sanitizer's finalize-time leak report flags
+        with sender call sites (see :mod:`repro.sanitize`).
+        """
+        return self.total_messages(context) - self.total_recv_messages(context)
+
+    def in_flight_bytes(self, context: str = "all") -> int:
+        """Bytes sent but not (yet) received under ``context``."""
+        return self.total_bytes(context) - self.total_recv_bytes(context)
+
     def contexts(self) -> set:
         """All context labels that recorded any traffic."""
         with self._lock:

@@ -328,6 +328,23 @@ class Tracer:
         """Distinct span names recorded so far."""
         return {s.name for s in self.spans}
 
+    def open_spans(self) -> dict[int, list[str]]:
+        """Each rank's currently-open span names, outermost first.
+
+        A diagnostic snapshot for the sanitizer's deadlock watchdog:
+        when the world stalls, this is "where every rank is right now".
+        Reading other threads' stacks is inherently racy, which is fine
+        for a crash report — the stalled ranks are blocked and not
+        mutating theirs.
+        """
+        with self._lock:
+            states = list(self._states)
+        out: dict[int, list[str]] = {}
+        for state in states:
+            if state.stack:
+                out[state.rank] = [sp.name for sp in state.stack]
+        return out
+
 
 # ----------------------------------------------------------------------
 # Active-tracer plumbing (thread-local, one per rank thread)

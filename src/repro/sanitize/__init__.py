@@ -1,0 +1,45 @@
+"""Static analysis and runtime correctness checking for SPMD programs.
+
+Two prongs, sharing the :class:`Diagnostic` vocabulary:
+
+* **Runtime sanitizer** (:class:`Sanitizer`, activated via
+  ``run_spmd(program, P, sanitize=True)``) — collective-matching
+  verification, wait-for-graph deadlock detection, zero-copy
+  move-semantics enforcement, and finalize-time message-leak reporting
+  for live runs.  The failure modes that normally manifest as silent
+  hangs or corrupted factor matrices become deterministic,
+  rank-attributed exceptions carrying ``file:line`` call sites.
+* **AST lint** (:func:`lint_paths` / the ``repro lint`` CLI) — a static
+  pass over SPMD source flagging collectives inside rank-conditional
+  branches, buffers referenced after a ``copy=False`` move, mismatched
+  point-to-point tag literals, and raw ``np.linalg.svd``/``eigh`` calls
+  that bypass the instrumented :mod:`repro.linalg` kernels.
+
+See ``docs/sanitizer.md`` for the full diagnostic catalogue and
+overhead measurements.
+"""
+
+from .diagnostics import (
+    ERROR,
+    WARNING,
+    CallSite,
+    Diagnostic,
+    capture_call_site,
+    format_diagnostics,
+)
+from .lint import DEFAULT_RULES, lint_file, lint_paths, lint_source
+from .sanitizer import Sanitizer
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "CallSite",
+    "Diagnostic",
+    "capture_call_site",
+    "format_diagnostics",
+    "Sanitizer",
+    "DEFAULT_RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

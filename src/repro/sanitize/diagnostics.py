@@ -1,0 +1,118 @@
+"""Shared diagnostic vocabulary for the SPMD sanitizer and the AST lint.
+
+Both prongs of :mod:`repro.sanitize` — the runtime :class:`Sanitizer`
+and the :mod:`repro.sanitize.lint` AST pass — report findings as
+:class:`Diagnostic` records: a machine-checkable kind, a severity, an
+optional rank, and a ``file:line`` call site.  Tests assert on these
+fields directly instead of pattern-matching exception text, and the CLI
+renders them one per line in the classic compiler format::
+
+    examples/foo.py:42: error[rank-divergent-collective] rank-conditional
+        call to bcast() ...
+
+Call-site capture (:func:`capture_call_site`) walks the Python stack
+outward past the runtime's own frames (``repro/mpi``, ``repro/sanitize``)
+so a violation inside a nested collective algorithm is attributed to the
+user (or :mod:`repro.dist`) code that invoked it, not to the runtime
+internals.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "CallSite",
+    "Diagnostic",
+    "capture_call_site",
+    "format_diagnostics",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+# Stack frames whose filename contains one of these fragments belong to
+# the runtime itself and are skipped when attributing a call site.
+_INTERNAL_PATH_FRAGMENTS = (
+    os.path.join("repro", "mpi") + os.sep,
+    os.path.join("repro", "sanitize") + os.sep,
+    os.path.join("repro", "obs") + os.sep,
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A resolved source location: file, line, enclosing function."""
+
+    file: str
+    line: int
+    function: str = "?"
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One sanitizer or lint finding.
+
+    ``kind`` is a stable machine-readable identifier (e.g.
+    ``collective-mismatch``, ``use-after-move``, ``deadlock``,
+    ``message-leak``, ``rank-failed``, ``rank-divergent-collective``,
+    ``tag-mismatch``, ``raw-lapack``).  ``rank`` is the world rank the
+    finding is attributed to, or ``None`` for static (lint) findings.
+    """
+
+    kind: str
+    message: str
+    severity: str = ERROR
+    file: str | None = None
+    line: int | None = None
+    rank: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        """``file:line`` (or ``<unknown>`` when uncaptured)."""
+        if self.file is None:
+            return "<unknown>"
+        return f"{self.file}:{self.line}"
+
+    def __str__(self) -> str:
+        where = self.location
+        who = f" rank {self.rank}" if self.rank is not None else ""
+        return f"{where}: {self.severity}[{self.kind}]{who}: {self.message}"
+
+
+def capture_call_site(skip_internal: bool = True) -> CallSite | None:
+    """The innermost stack frame outside the runtime's own modules.
+
+    Returns ``None`` only when every frame is internal (e.g. unit tests
+    poking runtime privates directly with ``skip_internal=True``).
+    """
+    frame = sys._getframe(1)
+    fallback: CallSite | None = None
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        site = CallSite(filename, frame.f_lineno, frame.f_code.co_name)
+        if fallback is None:
+            fallback = site
+        if not skip_internal:
+            return site
+        if not any(frag in filename for frag in _INTERNAL_PATH_FRAGMENTS):
+            return site
+        frame = frame.f_back
+    return fallback
+
+
+def format_diagnostics(diagnostics, *, header: str | None = None) -> str:
+    """Render diagnostics one per line, with an optional summary header."""
+    lines = []
+    if header:
+        lines.append(header)
+    lines.extend(str(d) for d in diagnostics)
+    return "\n".join(lines)

@@ -1,0 +1,285 @@
+"""Unit tests for the SPMD AST lint: every rule's positive and negative
+cases, the suppression pragmas, and scope handling."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.sanitize import lint_source
+
+
+def lint(src: str, **kw):
+    return lint_source(textwrap.dedent(src), filename="snippet.py", **kw)
+
+
+def kinds(src: str, **kw):
+    return [d.kind for d in lint(src, **kw)]
+
+
+class TestRankDivergentCollective:
+    def test_collective_in_rank_branch(self):
+        ds = lint("""
+            def prog(comm):
+                if comm.rank == 0:
+                    comm.bcast(1, root=0)
+        """)
+        assert [d.kind for d in ds] == ["rank-divergent-collective"]
+        assert ds[0].line == 4
+        assert "bcast()" in ds[0].message
+        assert "condition at line 3" in ds[0].message
+
+    def test_collective_in_else_branch(self):
+        assert kinds("""
+            def prog(comm, rank):
+                if rank > 0:
+                    pass
+                else:
+                    comm.barrier()
+        """) == ["rank-divergent-collective"]
+
+    def test_collective_in_rank_while(self):
+        assert kinds("""
+            def prog(comm):
+                while comm.rank < pending():
+                    comm.allreduce(1)
+        """) == ["rank-divergent-collective"]
+
+    def test_rank_attribute_condition(self):
+        assert kinds("""
+            def prog(state):
+                if state.world_rank == 0:
+                    state.comm.reduce(1, root=0)
+        """) == ["rank-divergent-collective"]
+
+    def test_non_rank_branch_is_fine(self):
+        assert kinds("""
+            def prog(comm, n):
+                if n > 3:
+                    comm.bcast(1, root=0)
+        """) == []
+
+    def test_non_collective_call_in_rank_branch_is_fine(self):
+        assert kinds("""
+            def prog(comm):
+                if comm.rank == 0:
+                    print("root only")
+        """) == []
+
+    def test_str_split_not_flagged(self):
+        assert kinds("""
+            def prog(rank, line):
+                if rank == 0:
+                    return line.split(",")
+        """) == []
+
+    def test_comm_split_flagged(self):
+        assert kinds("""
+            def prog(comm):
+                if comm.rank % 2:
+                    sub = comm.split(color=1, key=comm.rank)
+        """) == ["rank-divergent-collective"]
+
+    def test_numpy_reduce_not_flagged(self):
+        assert kinds("""
+            import numpy as np
+            def prog(rank, x):
+                if rank == 0:
+                    return np.add.reduce(x)
+        """) == []
+
+
+class TestUseAfterMove:
+    def test_load_after_move(self):
+        ds = lint("""
+            def prog(comm, buf):
+                comm.send(buf, 1, 0, copy=False)
+                return buf.sum()
+        """)
+        assert [d.kind for d in ds] == ["use-after-move"]
+        assert ds[0].line == 4
+        assert "'buf'" in ds[0].message
+
+    def test_augassign_after_move(self):
+        assert kinds("""
+            def prog(comm, buf):
+                comm.send(buf, 1, 0, copy=False)
+                buf += 1
+        """) == ["use-after-move"]
+
+    def test_rebind_clears_the_move(self):
+        assert kinds("""
+            import numpy as np
+            def prog(comm, buf):
+                comm.send(buf, 1, 0, copy=False)
+                buf = np.zeros(3)
+                return buf.sum()
+        """) == []
+
+    def test_copying_send_is_fine(self):
+        assert kinds("""
+            def prog(comm, buf):
+                comm.send(buf, 1, 0)
+                return buf.sum()
+        """) == []
+
+    def test_move_in_loop_without_rebind(self):
+        ds = lint("""
+            def prog(comm, buf):
+                for _ in range(3):
+                    comm.send(buf, 1, 0, copy=False)
+        """)
+        assert [d.kind for d in ds] == ["use-after-move"]
+
+    def test_move_in_loop_with_rebind_is_fine(self):
+        assert kinds("""
+            def prog(comm, make):
+                for i in range(3):
+                    buf = make(i)
+                    comm.send(buf, 1, 0, copy=False)
+        """) == []
+
+    def test_use_before_move_is_fine(self):
+        assert kinds("""
+            def prog(comm, buf):
+                total = buf.sum()
+                comm.send(buf, 1, 0, copy=False)
+                return total
+        """) == []
+
+
+class TestTagMismatch:
+    def test_disjoint_tags(self):
+        ds = lint("""
+            def prog(comm, peer):
+                comm.send(1, peer, tag=7)
+                return comm.recv(peer, tag=9)
+        """)
+        assert [d.kind for d in ds] == ["tag-mismatch", "tag-mismatch"]
+        assert {d.line for d in ds} == {3, 4}
+
+    def test_matching_tags_are_fine(self):
+        assert kinds("""
+            def prog(comm, peer):
+                comm.send(1, peer, tag=7)
+                return comm.recv(peer, tag=7)
+        """) == []
+
+    def test_send_only_scope_not_flagged(self):
+        # Without any recv in the scope there is nothing to match against.
+        assert kinds("""
+            def push(comm, peer):
+                comm.send(1, peer, tag=7)
+        """) == []
+
+    def test_variable_tags_ignored(self):
+        assert kinds("""
+            def prog(comm, peer, t):
+                comm.send(1, peer, tag=t)
+                return comm.recv(peer, tag=t + 1)
+        """) == []
+
+    def test_scopes_are_independent(self):
+        # Matching happens per function: helper pairs in different
+        # functions with different tags are not cross-checked, and
+        # findings are not duplicated across nested scopes.
+        assert kinds("""
+            def ping(comm):
+                comm.send(1, 1, tag=3)
+                return comm.recv(1, tag=3)
+
+            def pong(comm):
+                comm.send(1, 0, tag=4)
+                return comm.recv(0, tag=4)
+        """) == []
+
+
+class TestRawLapack:
+    def test_np_linalg_svd(self):
+        ds = lint("""
+            import numpy as np
+            U, s, Vt = np.linalg.svd(A)
+        """)
+        assert [d.kind for d in ds] == ["raw-lapack"]
+        assert "np.linalg.svd" in ds[0].message
+
+    def test_scipy_linalg_eigh(self):
+        assert kinds("""
+            import scipy.linalg
+            w, V = scipy.linalg.eigh(S)
+        """) == ["raw-lapack"]
+
+    def test_repro_linalg_wrappers_are_fine(self):
+        assert kinds("""
+            from repro import linalg
+            U, s = linalg.svd_gram(A)
+        """) == []
+
+    def test_linalg_module_itself_is_exempt(self):
+        src = "import numpy as np\nw = np.linalg.eigh(S)\n"
+        from repro.sanitize import lint_source as ls
+
+        assert ls(src, filename="src/repro/linalg/evd.py") == []
+        assert [d.kind for d in ls(src, filename="src/repro/core/x.py")] \
+            == ["raw-lapack"]
+
+
+class TestSuppressionsAndDriver:
+    def test_skip_pragma(self):
+        assert kinds("""
+            import numpy as np
+            u = np.linalg.svd(A)  # repro-lint: skip
+        """) == []
+
+    def test_allow_pragma_is_kind_specific(self):
+        assert kinds("""
+            import numpy as np
+            u = np.linalg.svd(A)  # repro-lint: allow(raw-lapack)
+            v = np.linalg.eigh(B)  # repro-lint: allow(tag-mismatch)
+        """) == ["raw-lapack"]
+
+    def test_rule_subset(self):
+        src = """
+            import numpy as np
+            def prog(comm, buf):
+                u = np.linalg.svd(buf)
+                comm.send(buf, 1, 0, copy=False)
+                return buf
+        """
+        assert kinds(src, rules=("raw-lapack",)) == ["raw-lapack"]
+        assert kinds(src, rules=("use-after-move",)) == ["use-after-move"]
+
+    def test_syntax_error_becomes_diagnostic(self):
+        ds = lint("def broken(:\n")
+        assert [d.kind for d in ds] == ["syntax-error"]
+
+    def test_findings_sorted_by_line(self):
+        ds = lint("""
+            import numpy as np
+
+            def prog(comm, buf):
+                if comm.rank == 0:
+                    comm.bcast(1, root=0)
+                comm.send(buf, 1, 0, copy=False)
+                return np.linalg.svd(buf)
+        """)
+        # Sorted by (line, kind): the two line-8 findings tie-break
+        # alphabetically.
+        assert [d.kind for d in ds] == [
+            "rank-divergent-collective", "raw-lapack", "use-after-move",
+        ]
+        assert [d.line for d in ds] == sorted(d.line for d in ds)
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        from repro.sanitize import lint_paths
+
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "import numpy as np\nu = np.linalg.svd(A)\n"
+        )
+        (pkg / "good.py").write_text("x = 1\n")
+        (pkg / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "junk.py").write_text("np.linalg.svd(A)\n")
+        ds = lint_paths([str(tmp_path)])
+        assert [d.kind for d in ds] == ["raw-lapack"]
+        assert ds[0].file.endswith("bad.py")

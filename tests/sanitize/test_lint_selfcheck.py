@@ -1,0 +1,45 @@
+"""The repository must pass its own lint: ``repro lint`` over the
+package sources and examples reports zero findings.
+
+This is the CI gate (`.github/workflows/ci.yml` runs
+``python tools/lint_repo.py``); keeping it green means every
+intentional exception carries an explicit ``# repro-lint:`` pragma.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sanitize import format_diagnostics, lint_paths
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)
+)))
+
+
+def _lint_root(rel: str):
+    root = os.path.join(REPO, rel)
+    assert os.path.isdir(root), root
+    return lint_paths([root])
+
+
+def test_package_sources_are_clean():
+    findings = _lint_root(os.path.join("src", "repro"))
+    assert findings == [], "\n" + format_diagnostics(findings)
+
+
+def test_examples_are_clean():
+    findings = _lint_root("examples")
+    assert findings == [], "\n" + format_diagnostics(findings)
+
+
+def test_cli_strict_mode_passes_on_repo(capsys):
+    from repro.cli import main
+
+    rc = main([
+        "lint", "--strict",
+        os.path.join(REPO, "src", "repro"),
+        os.path.join(REPO, "examples"),
+    ])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out

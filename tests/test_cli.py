@@ -258,3 +258,60 @@ class TestTraceCommand:
                   "--grid", "2", "1", "1", "--tol", "1e-4",
                   "--ranks", "2", "2", "2",
                   "--out", str(tmp_path / "y")])
+
+
+class TestSanitizedTraceCommand:
+    def test_trace_sanitize_reports_clean(self, tmp_path, capsys):
+        rc = main(["trace", "--shape", "12", "12", "12",
+                   "--grid", "2", "1", "1", "--tol", "1e-4",
+                   "--out", str(tmp_path / "san"), "--sanitize"])
+        assert rc == 0
+        assert "sanitizer:     clean" in capsys.readouterr().out
+
+    def test_trace_without_sanitize_says_nothing(self, tmp_path, capsys):
+        rc = main(["trace", "--shape", "12", "12", "12",
+                   "--grid", "2", "1", "1", "--tol", "1e-4",
+                   "--out", str(tmp_path / "plain")])
+        assert rc == 0
+        assert "sanitizer" not in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("def f(comm):\n    return comm.allreduce(1)\n")
+        rc = main(["lint", "--strict", str(tmp_path)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_strict_fails_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "def f(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.bcast(1, root=0)\n"
+            "    return np.linalg.svd(np.eye(2))\n"
+        )
+        rc = main(["lint", "--strict", str(bad)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "rank-divergent-collective" in out
+        assert "raw-lapack" in out
+        assert "bad.py:4" in out
+
+    def test_non_strict_reports_but_passes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nu = np.linalg.svd(A)\n")
+        rc = main(["lint", str(bad)])
+        assert rc == 0
+        assert "raw-lapack" in capsys.readouterr().out
+
+    def test_rule_subset_flag(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nu = np.linalg.svd(A)\n")
+        # Paths go before --rules: the greedy nargs would swallow them.
+        assert main(["lint", "--strict", str(bad),
+                     "--rules", "tag-mismatch"]) == 0
+        assert main(["lint", "--strict", str(bad),
+                     "--rules", "raw-lapack"]) == 1

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Run the SPMD lint over the repository's source trees.
+
+Thin wrapper around ``repro lint --strict`` that works without an
+installed package (it prepends ``src/`` to ``sys.path``), so CI and
+pre-commit hooks can call it from a bare checkout:
+
+    python tools/lint_repo.py            # lint src/ and examples/
+    python tools/lint_repo.py tests      # lint additional trees too
+
+Exits non-zero when any finding is reported; see docs/sanitizer.md for
+the rule catalogue and the ``# repro-lint:`` suppression pragmas.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    roots = sys.argv[1:] or [
+        os.path.join(REPO, "src"),
+        os.path.join(REPO, "examples"),
+    ]
+    sys.exit(main(["lint", "--strict", *roots]))
