@@ -304,7 +304,7 @@ def _cmd_trace(args) -> int:
 
     trace_path = os.path.join(args.out, "trace.json")
     with open(trace_path, "w") as f:
-        json.dump(chrome_trace(tracer), f)
+        json.dump(chrome_trace(tracer, comm_trace=comm_trace), f)
     write("phases.txt", phase_table(tracer))
     write("imbalance.txt", imbalance_table(tracer))
     write("comm.txt", comm_trace.as_table())
@@ -341,6 +341,121 @@ def _cmd_trace(args) -> int:
         print(f"sanitizer:     {'clean' if n == 0 else f'{n} finding(s)'}")
     print(f"artifacts:     {args.out}/ (trace.json, phases.txt, "
           f"imbalance.txt, comm.txt, metrics.txt, model_diff.txt)")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Seeded fault matrix over the fault-tolerant parallel ST-HOSVD.
+
+    Calibrates crash points from a fault-free run's operation counts,
+    then replays each scenario ``--replays`` times, asserting: the run
+    completes (shrinking when a rank was killed), the reconstruction
+    error stays within ``--error-factor`` of the fault-free error, and
+    the fired-fault trace is identical on every replay (determinism).
+    """
+    from .core.ft import sthosvd_fault_tolerant
+    from .data.synthetic import tensor_with_mode_spectra
+    from .faults import CrashRule, FaultPlan, KernelFaultRule, MessageFaultRule
+    from .mpi import run_spmd
+    from .util.tables import format_table
+
+    shape = tuple(args.shape)
+    nprocs = args.procs
+    rng = np.random.default_rng(args.seed)
+    spectra = [[args.decay ** k for k in range(extent)] for extent in shape]
+    X = tensor_with_mode_spectra(shape, spectra, rng=rng).data
+    if args.precision == "single":
+        X = X.astype(np.float32)
+    ranks = tuple(args.ranks) if args.ranks else None
+
+    def program(comm):
+        res = sthosvd_fault_tolerant(
+            comm, X if comm.rank == 0 else None,
+            tol=args.tol, ranks=ranks, method=args.method,
+        )
+        tucker = res.result.to_tucker()  # collective: every rank calls
+        err = None
+        if res.comm.rank == 0:
+            rec = np.asarray(tucker.reconstruct().data)
+            err = float(
+                np.linalg.norm((rec - X).ravel()) / np.linalg.norm(X.ravel())
+            )
+        return {"err": err, "survivors": res.comm.size,
+                "recoveries": res.recoveries}
+
+    def launch(plan):
+        return run_spmd(program, nprocs, faults=plan, resilience=True)
+
+    # Fault-free baseline: the reference error, and per-rank operation
+    # counts that place injected crashes mid-run (after the first
+    # checkpoint exists, before the final mode completes).
+    base = launch(FaultPlan(seed=args.seed))
+    base_err = next(v["err"] for v in base.values if v and v["err"] is not None)
+    ops = base.faults.ops_per_rank()
+    print(f"baseline: rel error {base_err:.3e}, "
+          f"ops/rank {[ops.get(r, 0) for r in range(nprocs)]}")
+
+    scenarios = [
+        (f"crash-rank{r}", FaultPlan(
+            seed=args.seed,
+            crashes=(CrashRule(rank=r, at_op=max(2, ops.get(r, 2) // 2)),),
+        ))
+        for r in range(nprocs)
+    ]
+    scenarios += [
+        ("drop-1pct", FaultPlan(
+            seed=args.seed,
+            messages=(MessageFaultRule(kind="drop", prob=args.drop),),
+        )),
+        ("kernel-nan", FaultPlan(
+            seed=args.seed,
+            kernels=(KernelFaultRule(
+                kernel="gesvd" if args.method == "qr" else "eigh",
+                call_index=0, kind="nan",
+            ),),
+        )),
+        ("crash+drop", FaultPlan(
+            seed=args.seed,
+            crashes=(CrashRule(
+                rank=nprocs - 1,
+                at_op=max(2, ops.get(nprocs - 1, 2) // 2),
+            ),),
+            messages=(MessageFaultRule(kind="drop", prob=args.drop),),
+        )),
+    ]
+
+    rows = []
+    failures = 0
+    for name, plan in scenarios:
+        keys, errs, survivors, recoveries, fired = [], [], None, None, 0
+        for _ in range(args.replays):
+            res = launch(plan)
+            keys.append(res.faults.trace_key())
+            fired = len(res.faults.trace)
+            done = [v for v in res.values if v is not None]
+            errs.append(next(v["err"] for v in done if v["err"] is not None))
+            survivors = done[0]["survivors"]
+            recoveries = done[0]["recoveries"]
+        deterministic = all(k == keys[0] for k in keys)
+        ratio = errs[0] / base_err if base_err else 1.0
+        ok = deterministic and ratio <= args.error_factor
+        failures += not ok
+        rows.append([
+            name, fired, survivors, recoveries,
+            f"{errs[0]:.3e}", f"{ratio:.3f}",
+            "yes" if deterministic else "NO",
+            "ok" if ok else "FAIL",
+        ])
+    print(format_table(
+        ["scenario", "faults", "survivors", "recoveries", "rel error",
+         "vs baseline", "deterministic", "status"],
+        rows, title=f"chaos matrix ({args.replays} replays each)",
+    ))
+    if failures:
+        print(f"chaos: {failures} scenario(s) FAILED")
+        return 1
+    print(f"chaos: all scenarios ok ({len(scenarios)} scenarios x "
+          f"{args.replays} replays)")
     return 0
 
 
@@ -465,6 +580,31 @@ def build_parser() -> argparse.ArgumentParser:
                          "deadlock detection, move enforcement)")
     tr.set_defaults(fn=_cmd_trace)
 
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded fault matrix over the fault-tolerant parallel "
+             "ST-HOSVD (crashes, drops, kernel NaN), with replay "
+             "determinism checks",
+    )
+    ch.add_argument("--shape", type=int, nargs="+", required=True)
+    ch.add_argument("--procs", type=int, required=True)
+    ch.add_argument("--tol", type=float, default=None)
+    ch.add_argument("--ranks", type=int, nargs="+", default=None)
+    ch.add_argument("--method", default="qr", choices=["qr", "gram"])
+    ch.add_argument("--precision", default="double", choices=["single", "double"])
+    ch.add_argument("--seed", type=int, default=0,
+                    help="fault plan seed (and synthetic data seed)")
+    ch.add_argument("--decay", type=float, default=0.7,
+                    help="geometric decay of the synthetic mode spectra")
+    ch.add_argument("--drop", type=float, default=0.01,
+                    help="message drop probability for the drop scenarios")
+    ch.add_argument("--replays", type=int, default=3,
+                    help="runs per scenario; fault traces must be identical")
+    ch.add_argument("--error-factor", type=float, default=10.0,
+                    help="max allowed reconstruction error relative to the "
+                         "fault-free run")
+    ch.set_defaults(fn=_cmd_chaos)
+
     ln = sub.add_parser(
         "lint",
         help="static SPMD lint: rank-divergent collectives, use-after-move, "
@@ -497,7 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command in ("compress", "recompress", "trace") and (
+    if args.command in ("compress", "recompress", "trace", "chaos") and (
         args.tol is None
     ) == (args.ranks is None):
         raise SystemExit(f"{args.command}: pass exactly one of --tol / --ranks")

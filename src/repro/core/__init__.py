@@ -14,6 +14,11 @@ from .hosvd_parallel import hosvd_parallel
 from .evaluate import streaming_rel_error, rel_error_lowmem
 from .auto import choose_variant, compress, VariantChoice
 from .recompress import recompress
+from .ft import (
+    FaultTolerantResult,
+    hooi_fault_tolerant,
+    sthosvd_fault_tolerant,
+)
 from . import checkpoint
 
 __all__ = [
@@ -47,4 +52,7 @@ __all__ = [
     "METHODS",
     "sthosvd_parallel",
     "ParallelSthosvdResult",
+    "FaultTolerantResult",
+    "sthosvd_fault_tolerant",
+    "hooi_fault_tolerant",
 ]

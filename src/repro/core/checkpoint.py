@@ -29,6 +29,28 @@ __all__ = ["CheckpointState", "save_checkpoint", "load_checkpoint", "clear_check
 MANIFEST = "checkpoint.json"
 
 
+def _library_version() -> str:
+    # Deferred: the top-level package imports this module at init time.
+    import repro
+
+    return repro.__version__
+
+
+def _write_atomic(path: str, write) -> None:
+    """Write a file via tmp + rename so a crash never leaves a torn file.
+
+    A checkpoint interrupted *while saving* must not destroy the
+    previous valid checkpoint: every artifact lands under its final
+    name only once fully written and flushed.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        write(f)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
 @dataclass
 class CheckpointState:
     """Resumable state: completed steps, factors, sigmas, current tensor."""
@@ -70,30 +92,44 @@ def save_checkpoint(
     """
     os.makedirs(directory, exist_ok=True)
     tensor_path = os.path.join(directory, f"state{step}.bin")
-    # Copy the scratch file (streamed).
-    with open(current.path, "rb") as src, open(tensor_path, "wb") as dst:
-        while True:
-            buf = src.read(1 << 24)
-            if not buf:
-                break
-            dst.write(buf)
+
+    def copy_scratch(dst):
+        # Copy the scratch file (streamed).
+        with open(current.path, "rb") as src:
+            while True:
+                buf = src.read(1 << 24)
+                if not buf:
+                    break
+                dst.write(buf)
+
+    _write_atomic(tensor_path, copy_scratch)
     for mode, U in factors.items():
-        np.save(os.path.join(directory, f"factor{mode}.npy"), U)
+        _write_atomic(
+            os.path.join(directory, f"factor{mode}.npy"),
+            lambda f, U=U: np.save(f, U),
+        )
     for mode, s in sigmas.items():
-        np.save(os.path.join(directory, f"sigma{mode}.npy"), s)
+        _write_atomic(
+            os.path.join(directory, f"sigma{mode}.npy"),
+            lambda f, s=s: np.save(f, s),
+        )
     manifest = {
         "completed_steps": step,
         "tensor_file": os.path.basename(tensor_path),
         "tensor_shape": list(current.shape),
+        "tensor_dtype": np.dtype(current.dtype).name,
         "norm_sq": norm_sq,
         "modes_done": sorted(factors),
         "ranks_chosen": {str(k): int(v) for k, v in ranks_chosen.items()},
         "fingerprint": fingerprint,
+        "library_version": _library_version(),
     }
-    tmp = os.path.join(directory, MANIFEST + ".tmp")
-    with open(tmp, "w") as f:
-        json.dump(manifest, f)
-    os.replace(tmp, os.path.join(directory, MANIFEST))
+    # The manifest lands last: its rename is the commit point that makes
+    # the already-written artifacts the checkpoint of record.
+    _write_atomic(
+        os.path.join(directory, MANIFEST),
+        lambda f: f.write(json.dumps(manifest).encode()),
+    )
     # Drop the previous step's tensor copy.
     prev = os.path.join(directory, f"state{step - 1}.bin")
     if os.path.exists(prev):
@@ -114,10 +150,34 @@ def load_checkpoint(directory: str, fingerprint: dict) -> CheckpointState | None
         return None
     with open(path) as f:
         manifest = json.load(f)
-    if manifest["fingerprint"] != fingerprint:
+    stored = manifest["fingerprint"]
+    if stored != fingerprint:
+        # Name the mismatched fields — "different configuration" alone
+        # sends users diffing JSON by hand.  Dtype gets a dedicated
+        # message: resuming a float64 run in float32 (or vice versa)
+        # silently changes the accuracy story the paper measures.
+        if stored.get("dtype") != fingerprint.get("dtype"):
+            version = manifest.get("library_version", "unknown")
+            raise ConfigurationError(
+                f"checkpoint holds {stored.get('dtype')} data (written by "
+                f"repro {version}) but this run uses "
+                f"{fingerprint.get('dtype')}; precision must match to "
+                f"resume — clear the checkpoint or set the original dtype"
+            )
+        fields = sorted(
+            k for k in set(stored) | set(fingerprint)
+            if stored.get(k) != fingerprint.get(k)
+        )
         raise ConfigurationError(
-            "checkpoint was written by a different configuration; "
-            "clear it or match the original arguments"
+            f"checkpoint was written by a different configuration "
+            f"(mismatched: {', '.join(fields)}); clear it or match the "
+            f"original arguments"
+        )
+    tensor_dtype = manifest.get("tensor_dtype")
+    if tensor_dtype is not None and tensor_dtype != stored["dtype"]:
+        raise ConfigurationError(
+            f"checkpoint manifest is inconsistent: tensor file is "
+            f"{tensor_dtype} but the run fingerprint says {stored['dtype']}"
         )
     factors = {}
     sigmas = {}
@@ -144,5 +204,9 @@ def clear_checkpoint(directory: str) -> None:
     if not os.path.isdir(directory):
         return
     for name in os.listdir(directory):
-        if name == MANIFEST or name.endswith(".npy") or name.endswith(".bin"):
+        if (
+            name == MANIFEST
+            or name.endswith((".npy", ".bin"))
+            or name.endswith(".tmp")  # torn write left by a crash mid-save
+        ):
             os.unlink(os.path.join(directory, name))

@@ -1,0 +1,192 @@
+"""Fault-tolerant driver loop: run, and on rank failure shrink + resume.
+
+The parallel drivers themselves are fail-stop: a dead partner surfaces
+as :class:`~repro.errors.RankFailedError` out of whatever collective
+touched it.  This module wraps them in the ULFM-style recovery loop:
+
+1. every survivor catches the failure, **revokes** the current
+   communicator epoch (unblocking peers stuck in stale collectives),
+   and joins the **shrink** rendezvous, producing a dense-ranked
+   communicator of the survivors;
+2. the newest complete :class:`~repro.faults.DistributedCheckpoint`
+   step is reassembled on the shrunk world's root — the dead rank's
+   block survives in its buddy's store;
+3. the tensor is redistributed over whatever grid the survivors form,
+   and the driver resumes from the recorded step with the replicated
+   factors restored.
+
+Call these from inside an SPMD program (they are collective over
+``comm``); the input tensor lives on the root rank, exactly like
+:func:`repro.dist.redistribute.distribute_from_root`:
+
+>>> def program(comm):
+...     res = sthosvd_fault_tolerant(comm, X if comm.rank == 0 else None,
+...                                  tol=1e-5, method="qr")
+...     return res.result.estimated_rel_error()
+>>> run_spmd(program, 4, faults=plan, resilience=True)
+
+Because recovery re-plans the processor grid for the shrunk world and
+resumes from a replicated checkpoint, the surviving ranks complete the
+decomposition with no participation from the dead rank — the injected
+crash costs one repeated mode (or sweep) plus the redistribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..errors import RankFailedError
+from ..dist.dtensor import GridComms
+from ..dist.grid import ProcessorGrid
+from ..dist.redistribute import distribute_from_root
+from ..faults.checkpoint import DistributedCheckpoint
+from ..obs.tracer import trace_span
+from .hooi_parallel import ParallelHooiResult, hooi_parallel
+from .sthosvd_parallel import ParallelSthosvdResult, sthosvd_parallel
+
+__all__ = [
+    "FaultTolerantResult",
+    "sthosvd_fault_tolerant",
+    "hooi_fault_tolerant",
+]
+
+
+@dataclass
+class FaultTolerantResult:
+    """A driver result plus the recovery history that produced it.
+
+    ``comm`` is the communicator the run *finished* on — the original
+    world when nothing failed, else the latest shrunk communicator
+    (``result.core`` is distributed over it).  ``events`` records one
+    entry per recovery: ``("rank_failure", {...})`` with the survivor
+    count and the step resumed from.
+    """
+
+    result: Any
+    comm: Any
+    recoveries: int = 0
+    events: list = field(default_factory=list)
+
+
+def _recover_loop(comm, full, run, *, max_recoveries: int, ckpt):
+    """Shared run/catch/shrink/resume loop for both drivers.
+
+    ``run(comm, full, resume)`` executes one attempt over a freshly
+    built grid and returns the driver result; ``full`` is the (root
+    only) tensor the attempt distributes.
+    """
+    resume = None
+    recoveries = 0
+    events: list = []
+    while True:
+        try:
+            result = run(comm, full, resume)
+            return FaultTolerantResult(
+                result=result, comm=comm, recoveries=recoveries, events=events,
+            )
+        except RankFailedError as exc:
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise
+            with trace_span("ft.recover", attempt=recoveries):
+                # Revoke before shrink: peers still blocked inside the
+                # dead epoch's collectives wake with CommRevokedError
+                # (a RankFailedError) and land in this same handler.
+                comm.revoke()
+                comm = comm.shrink()
+                step, meta, recovered = ckpt.recover(comm, root=0)
+            resume = meta
+            full = recovered if comm.rank == 0 else None
+            events.append((
+                "rank_failure",
+                {
+                    "recovery": recoveries,
+                    "survivors": comm.size,
+                    "resumed_step": step,
+                    "cause": f"{type(exc).__name__}: {exc}",
+                },
+            ))
+
+
+def _bcast_ndim(comm, full) -> int:
+    return int(comm.bcast(full.ndim if comm.rank == 0 else None, root=0))
+
+
+def sthosvd_fault_tolerant(
+    comm,
+    full,
+    *,
+    tol: float | None = None,
+    ranks: Sequence[int] | None = None,
+    method: str = "qr",
+    mode_order="forward",
+    backend: str = "lapack",
+    svd_strategy: str = "replicated",
+    max_recoveries: int = 2,
+    checkpoint_name: str = "sthosvd",
+    checkpoint_keep: int = 2,
+    progress: Callable[[dict], None] | None = None,
+) -> FaultTolerantResult:
+    """Fault-tolerant parallel ST-HOSVD (collective over ``comm``).
+
+    ``full`` is the input tensor on ``comm``'s rank 0 (None elsewhere).
+    Decomposition arguments match :func:`~repro.core.sthosvd_parallel.
+    sthosvd_parallel`.  Up to ``max_recoveries`` rank failures are
+    survived; one more re-raises the :class:`~repro.errors.
+    RankFailedError`.  The returned ``result`` is a
+    :class:`~repro.core.sthosvd_parallel.ParallelSthosvdResult` whose
+    core is distributed over ``FaultTolerantResult.comm``.
+    """
+    ckpt = DistributedCheckpoint(checkpoint_name, keep=checkpoint_keep)
+    ndim = _bcast_ndim(comm, full)
+
+    def run(comm, full, resume) -> ParallelSthosvdResult:
+        grid = ProcessorGrid.for_size(comm.size, ndim)
+        comms = GridComms(comm, grid)
+        dt = distribute_from_root(comms, full, root=0)
+        return sthosvd_parallel(
+            dt, tol=tol, ranks=ranks, method=method, mode_order=mode_order,
+            backend=backend, svd_strategy=svd_strategy, progress=progress,
+            checkpoint=ckpt, resume=resume,
+        )
+
+    return _recover_loop(comm, full, run, max_recoveries=max_recoveries, ckpt=ckpt)
+
+
+def hooi_fault_tolerant(
+    comm,
+    full,
+    ranks: Sequence[int],
+    *,
+    method: str = "qr",
+    init: str = "sthosvd",
+    max_iters: int = 25,
+    fit_tol: float = 1e-9,
+    backend: str = "lapack",
+    svd_strategy: str = "replicated",
+    max_recoveries: int = 2,
+    checkpoint_name: str = "hooi",
+    checkpoint_keep: int = 2,
+    progress: Callable[[dict], None] | None = None,
+) -> FaultTolerantResult:
+    """Fault-tolerant distributed HOOI (collective over ``comm``).
+
+    ``full`` is the input tensor on rank 0.  Checkpoints are taken per
+    completed sweep, so a failure costs at most one repeated sweep plus
+    the recovery redistribution.
+    """
+    ckpt = DistributedCheckpoint(checkpoint_name, keep=checkpoint_keep)
+    ndim = _bcast_ndim(comm, full)
+
+    def run(comm, full, resume) -> ParallelHooiResult:
+        grid = ProcessorGrid.for_size(comm.size, ndim)
+        comms = GridComms(comm, grid)
+        dt = distribute_from_root(comms, full, root=0)
+        return hooi_parallel(
+            dt, ranks, method=method, init=init, max_iters=max_iters,
+            fit_tol=fit_tol, backend=backend, svd_strategy=svd_strategy,
+            progress=progress, checkpoint=ckpt, resume=resume,
+        )
+
+    return _recover_loop(comm, full, run, max_recoveries=max_recoveries, ckpt=ckpt)

@@ -29,8 +29,8 @@ from ..instrument import (
 from ..obs.tracer import current_tracer, trace_span
 from ..precision import Precision, resolve_precision
 from ..dist.dtensor import DistributedTensor
-from ..dist.svd import par_tensor_gram_svd, par_tensor_qr_svd
 from ..dist.ttm import par_ttm_truncate
+from ..faults.guards import guarded_mode_svd
 from .sthosvd_parallel import sthosvd_parallel
 from .tucker import TuckerTensor
 
@@ -51,6 +51,7 @@ class ParallelHooiResult:
     norm_x: float
     flops: FlopCounter = field(default_factory=FlopCounter)
     timer: PhaseTimer = field(default_factory=PhaseTimer)
+    numeric_recoveries: list = field(default_factory=list)
 
     @property
     def ranks(self) -> tuple[int, ...]:
@@ -76,6 +77,8 @@ def hooi_parallel(
     backend: str = "lapack",
     svd_strategy: str = "replicated",
     progress: Callable[[dict], None] | None = None,
+    checkpoint=None,
+    resume: dict | None = None,
 ) -> ParallelHooiResult:
     """Distributed rank-constrained Tucker refinement (collective).
 
@@ -88,6 +91,16 @@ def hooi_parallel(
     with ``{"step", "total_steps", "iteration", "mode", "ranks",
     "seconds"}`` (``total_steps`` assumes ``max_iters`` full sweeps;
     early convergence just stops emitting).
+
+    ``checkpoint`` is an optional
+    :class:`~repro.faults.DistributedCheckpoint` saved once per
+    completed sweep at *iteration* granularity: the blocks are the
+    input tensor itself (each sweep recontracts from ``dt``), the meta
+    carries factors, fits, and the input norm.  ``resume`` is the
+    recovered meta; the ST-HOSVD initialization is then skipped and the
+    sweep loop restarts at the recorded iteration.  See
+    :func:`repro.core.ft.hooi_fault_tolerant` for the full recovery
+    loop.
     """
     if method not in ("qr", "gram"):
         raise ConfigurationError(
@@ -107,21 +120,45 @@ def hooi_parallel(
 
     counter = FlopCounter()
     timer = PhaseTimer()
-    norm_x = dt.norm()
 
-    seed = sthosvd_parallel(
-        dt, ranks=ranks, method=method, backend=backend,
-        svd_strategy=svd_strategy,
-    )
-    factors = list(seed.factors)
-    counter.merge(seed.flops)
+    recoveries: list = []
+    if resume is not None:
+        # Restored state replays the interrupted sweep exactly: the
+        # recorded norm keeps fit values (and hence the convergence
+        # decision) identical to what the unfailed run would produce.
+        norm_x = float(resume["norm_x"])
+        factors = [np.asarray(f) for f in resume["factors"]]
+        fits = [float(f) for f in resume["fits"]]
+        start_iter = int(resume["iteration"])
+        recoveries = list(resume.get("numeric_recoveries", []))
+    else:
+        norm_x = dt.norm()
+        seed = sthosvd_parallel(
+            dt, ranks=ranks, method=method, backend=backend,
+            svd_strategy=svd_strategy,
+        )
+        factors = list(seed.factors)
+        counter.merge(seed.flops)
+        fits = []
+        start_iter = 0
+
+    def ckpt_meta(iteration: int) -> dict:
+        return {
+            "iteration": iteration,
+            "factors": list(factors),
+            "fits": list(fits),
+            "norm_x": norm_x,
+            "numeric_recoveries": list(recoveries),
+        }
+
+    if checkpoint is not None:
+        checkpoint.save(dt, start_iter, meta=ckpt_meta(start_iter))
 
     tracer = current_tracer()
     svd_phase = PHASE_LQ if method == "qr" else PHASE_GRAM
-    fits: list[float] = []
     converged = False
     core: DistributedTensor | None = None
-    for iteration in range(max_iters):
+    for iteration in range(start_iter, max_iters):
         for n in range(ndim):
             mode_start = time.perf_counter()
             with trace_span("hooi.mode", mode=n, iteration=iteration):
@@ -141,15 +178,13 @@ def hooi_parallel(
                         )
                 mark = tracer.local_mark() if tracer is not None else 0
                 with timer.phase(svd_phase, n):
-                    if method == "qr":
-                        U, _sigma = par_tensor_qr_svd(partial, n,
-                                                      backend=backend,
-                                                      strategy=svd_strategy,
-                                                      counter=counter)
-                    else:
-                        U, _sigma = par_tensor_gram_svd(partial, n,
-                                                        strategy=svd_strategy,
-                                                        counter=counter)
+                    U, _sigma, recovered = guarded_mode_svd(
+                        partial, n, method=method, backend=backend,
+                        svd_strategy=svd_strategy, counter=counter,
+                    )
+                recoveries.extend(
+                    f"iter{iteration}:mode{n}:{action}" for action in recovered
+                )
                 if tracer is not None:
                     timer.attribute_comm(
                         tracer.local_phase_seconds(PHASE_COMM, since=mark),
@@ -179,6 +214,8 @@ def hooi_parallel(
         assert core is not None
         fit = core.norm() / norm_x if norm_x > 0 else 1.0
         fits.append(float(fit))
+        if checkpoint is not None:
+            checkpoint.save(dt, iteration + 1, meta=ckpt_meta(iteration + 1))
         if iteration > 0 and abs(fits[-1] - fits[-2]) < fit_tol:
             converged = True
             break
@@ -194,4 +231,5 @@ def hooi_parallel(
         norm_x=norm_x,
         flops=counter,
         timer=timer,
+        numeric_recoveries=recoveries,
     )

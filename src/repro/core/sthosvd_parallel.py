@@ -38,8 +38,8 @@ from ..instrument import (
 from ..obs.tracer import current_tracer, trace_span
 from ..precision import Precision, resolve_precision
 from ..dist.dtensor import DistributedTensor
-from ..dist.svd import par_tensor_qr_svd, par_tensor_gram_svd
 from ..dist.ttm import par_ttm_truncate
+from ..faults.guards import guarded_mode_svd
 from .ordering import resolve_mode_order
 from .sthosvd import METHODS
 from .truncation import choose_rank, error_budget_per_mode
@@ -66,6 +66,7 @@ class ParallelSthosvdResult:
     norm_x: float
     flops: FlopCounter = field(default_factory=FlopCounter)
     timer: PhaseTimer = field(default_factory=PhaseTimer)
+    numeric_recoveries: list = field(default_factory=list)
 
     @property
     def ranks(self) -> tuple[int, ...]:
@@ -105,6 +106,8 @@ def sthosvd_parallel(
     backend: str = "lapack",
     svd_strategy: str = "replicated",
     progress: Callable[[dict], None] | None = None,
+    checkpoint=None,
+    resume: dict | None = None,
 ) -> ParallelSthosvdResult:
     """Distributed ST-HOSVD (collective over ``dt``'s communicator).
 
@@ -120,6 +123,17 @@ def sthosvd_parallel(
     ``progress`` is called on rank 0 only, once per completed mode,
     with ``{"step", "total_steps", "mode", "ranks", "seconds"}`` —
     the same event shape the out-of-core driver emits.
+
+    ``checkpoint`` is an optional
+    :class:`~repro.faults.DistributedCheckpoint`: the partially
+    truncated tensor plus the replicated resume state is saved after
+    every completed mode (and on entry, so a crash in mode 0 — or on
+    the first mode after a recovery — is also covered).  ``resume`` is
+    the ``meta`` dict recovered from such a checkpoint; ``dt`` must
+    then be the recovered (partially truncated) tensor, redistributed
+    over the surviving ranks.  :func:`repro.core.ft.
+    sthosvd_fault_tolerant` drives the full
+    crash-shrink-recover-resume loop.
     """
     if method not in ("qr", "gram"):
         raise ConfigurationError(
@@ -139,29 +153,52 @@ def sthosvd_parallel(
 
     counter = FlopCounter()
     timer = PhaseTimer()
-    norm_x_sq = dt.norm_squared()
+    if resume is not None:
+        # The original tensor's norm drives the error budget; the
+        # recovered `dt` is already truncated, so never recompute it.
+        norm_x_sq = float(resume["norm_x_sq"])
+        start_step = int(resume["completed_steps"])
+        factors = [None if f is None else np.asarray(f) for f in resume["factors"]]
+        sigmas = {int(k): np.asarray(v) for k, v in resume["sigmas"].items()}
+        recoveries = list(resume.get("numeric_recoveries", []))
+    else:
+        norm_x_sq = dt.norm_squared()
+        start_step = 0
+        factors = [None] * ndim
+        sigmas = {}
+        recoveries = []
     norm_x = float(np.sqrt(norm_x_sq))
     budget = error_budget_per_mode(norm_x_sq, tol, ndim) if tol is not None else None
 
+    def ckpt_meta(completed: int) -> dict:
+        return {
+            "completed_steps": completed,
+            "factors": list(factors),
+            "sigmas": dict(sigmas),
+            "norm_x_sq": norm_x_sq,
+            "numeric_recoveries": list(recoveries),
+        }
+
     tracer = current_tracer()
     current = dt
-    factors: list = [None] * ndim
-    sigmas: dict[int, np.ndarray] = {}
+    if checkpoint is not None:
+        # Entry save doubles as the post-recovery re-replication: on a
+        # fresh epoch every surviving rank re-seeds its buddy, so a
+        # *second* failure still finds a complete step.
+        checkpoint.save(current, start_step, meta=ckpt_meta(start_step))
     for step, n in enumerate(order):
+        if step < start_step:
+            continue
         mode_start = time.perf_counter()
         with trace_span("sthosvd.mode", mode=n, step=step):
             svd_phase = PHASE_LQ if method == "qr" else PHASE_GRAM
             mark = tracer.local_mark() if tracer is not None else 0
             with timer.phase(svd_phase, n):
-                if method == "qr":
-                    U, sigma = par_tensor_qr_svd(
-                        current, n, backend=backend,
-                        strategy=svd_strategy, counter=counter,
-                    )
-                else:
-                    U, sigma = par_tensor_gram_svd(
-                        current, n, strategy=svd_strategy, counter=counter,
-                    )
+                U, sigma, recovered = guarded_mode_svd(
+                    current, n, method=method, backend=backend,
+                    svd_strategy=svd_strategy, counter=counter,
+                )
+            recoveries.extend(f"mode{n}:{action}" for action in recovered)
             if tracer is not None:
                 # Pull the measured comm time out of the kernel bucket
                 # into the Comm row (span tracer knows exactly how long
@@ -187,6 +224,8 @@ def sthosvd_parallel(
                     tracer.local_phase_seconds(PHASE_COMM, since=mark),
                     PHASE_TTM, n,
                 )
+            if checkpoint is not None:
+                checkpoint.save(current, step + 1, meta=ckpt_meta(step + 1))
         if progress is not None and dt.comm.rank == 0:
             progress({
                 "step": step + 1,
@@ -206,4 +245,5 @@ def sthosvd_parallel(
         norm_x=norm_x,
         flops=counter,
         timer=timer,
+        numeric_recoveries=recoveries,
     )

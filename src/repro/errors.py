@@ -21,6 +21,9 @@ __all__ = [
     "UseAfterMoveError",
     "MessageLeakError",
     "RankFailedError",
+    "RankKilledError",
+    "CommRevokedError",
+    "CheckpointError",
 ]
 
 
@@ -66,6 +69,46 @@ class RankFailedError(CommunicatorError):
     def __init__(self, message: str, diagnostic=None) -> None:
         super().__init__(message)
         self.diagnostic = diagnostic
+
+
+class WorldAbortedError(CommunicatorError):
+    """The SPMD world was aborted while this rank was blocked.
+
+    Always a *secondary* symptom: some other rank raised (or timed out)
+    first, the launcher set the world abort flag, and this rank's
+    blocking operation woke on it.  The launcher re-raises every other
+    error class ahead of this one so callers see the root cause.
+    """
+
+
+class RankKilledError(CommunicatorError):
+    """An injected fault (see :mod:`repro.faults`) crashed this rank.
+
+    Raised inside the victim rank by the fault injector when a
+    ``CrashRule`` fires.  The launcher treats it as a *simulated*
+    failure: the rank is marked failed so partners observe
+    :class:`RankFailedError`, but the world is not aborted — surviving
+    ranks get the chance to shrink and recover.  It is never re-raised
+    to the caller of :func:`repro.mpi.run_spmd` when fault injection is
+    active; inspect ``SpmdResult.failed_ranks`` instead.
+    """
+
+
+class CommRevokedError(RankFailedError):
+    """The communicator epoch was revoked after a rank failure.
+
+    The analogue of ULFM's ``MPI_ERR_REVOKED``: once any survivor calls
+    :meth:`Communicator.revoke`, every operation on communicators of the
+    current epoch (the world and all sub-communicators split from it)
+    raises this error, releasing ranks blocked in exchanges with *live*
+    partners that have already left for recovery.  Derives from
+    :class:`RankFailedError` so ``except RankFailedError`` recovery
+    loops catch both the original detection and the revocation echo.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be saved, validated, or recovered."""
 
 
 class SanitizerError(ReproError, RuntimeError):

@@ -1,0 +1,56 @@
+"""Deterministic fault injection and fault tolerance for the SPMD runtime.
+
+Three layers (see ``docs/fault-tolerance.md``):
+
+* :class:`FaultPlan` / :class:`FaultInjector` — a seeded, replayable
+  schedule of rank crashes, message faults, and kernel corruption,
+  installed via ``run_spmd(faults=plan)``.
+* :class:`Resilience` — the tolerance knobs (retry/backoff, checksums,
+  sequence numbers) the communicator uses to survive message faults,
+  installed via ``run_spmd(resilience=...)``.
+* :class:`DistributedCheckpoint` — in-memory, buddy-replicated
+  checkpoints that let ``sthosvd_parallel``/``hooi_parallel`` resume on
+  a shrunk communicator after a rank death (imported lazily: it sits on
+  top of :mod:`repro.dist`, which itself sits on top of the linalg
+  kernels that host this package's injection hooks).
+
+This ``__init__`` deliberately imports only the plan and injector
+modules (numpy + errors only): ``repro.linalg`` imports
+``repro.faults.injector`` for its kernel hooks, so anything heavier
+here would be an import cycle.
+"""
+
+from __future__ import annotations
+
+from .injector import FaultInjector, current_injector
+from .plan import (
+    CrashRule,
+    FaultEvent,
+    FaultPlan,
+    KernelFaultRule,
+    MessageFaultRule,
+    Resilience,
+)
+
+__all__ = [
+    "FaultPlan",
+    "CrashRule",
+    "MessageFaultRule",
+    "KernelFaultRule",
+    "Resilience",
+    "FaultEvent",
+    "FaultInjector",
+    "current_injector",
+    "DistributedCheckpoint",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: faults.checkpoint imports repro.dist (gather/redistribute),
+    # which transitively imports repro.linalg, which imports
+    # faults.injector — eager import here would close that cycle.
+    if name == "DistributedCheckpoint":
+        from .checkpoint import DistributedCheckpoint
+
+        return DistributedCheckpoint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

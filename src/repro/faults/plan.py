@@ -1,0 +1,235 @@
+"""Declarative, seeded fault plans for the simulated SPMD runtime.
+
+A :class:`FaultPlan` describes *what goes wrong* in a run — rank
+crashes, message-level faults (drop/delay/duplicate/corrupt), and
+transient numerical corruption inside named linalg kernels — without
+saying anything about *when the code runs*.  The plan is installed via
+``run_spmd(faults=plan)``; the :class:`~repro.faults.FaultInjector`
+built from it draws every probabilistic decision from per-rank
+``numpy`` generator streams keyed by ``(seed, rank)``, so the same plan
+and seed reproduce the identical fault schedule on every replay (the
+runtime's message schedules are deterministic per rank, which makes the
+draw sequence deterministic too).
+
+:class:`Resilience` is the other half of the contract: the tolerance
+knobs (retry budget, backoff, checksums) the runtime uses to survive
+what the plan injects.  Keeping them separate means a plan can be run
+*without* tolerance to demonstrate the failure mode, then *with* it to
+demonstrate the recovery — same seed, same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "CrashRule",
+    "MessageFaultRule",
+    "KernelFaultRule",
+    "FaultPlan",
+    "Resilience",
+    "FaultEvent",
+    "MESSAGE_FAULT_KINDS",
+    "KERNEL_FAULT_KINDS",
+]
+
+MESSAGE_FAULT_KINDS = ("drop", "delay", "duplicate", "corrupt")
+KERNEL_FAULT_KINDS = ("nan", "inf")
+
+
+@dataclass(frozen=True)
+class CrashRule:
+    """Kill one rank after its ``at_op``-th communicator operation.
+
+    ``at_op`` counts the rank's own point-to-point sends and receives
+    (including those inside collectives), so "mid-mode" crashes are
+    expressed as an operation count, not wall time — deterministic by
+    construction.  The victim raises
+    :class:`~repro.errors.RankKilledError` from inside the operation.
+    """
+
+    rank: int
+    at_op: int
+
+    def validate(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"crash rule rank must be >= 0, got {self.rank}")
+        if self.at_op < 1:
+            raise ConfigurationError(f"crash rule at_op must be >= 1, got {self.at_op}")
+
+
+@dataclass(frozen=True)
+class MessageFaultRule:
+    """Probabilistic per-message fault on the (simulated) wire.
+
+    Each outgoing message that matches the predicate draws one uniform
+    variate from the *sender's* stream; the rule fires when the draw is
+    below ``prob``.  The first matching rule that fires wins.
+
+    Predicate fields (``None`` matches everything):
+
+    ``tags``
+        Exact tags, or the strings ``"user"`` (tag >= 0) /
+        ``"collectives"`` (the runtime's negative internal tag space).
+    ``min_bytes`` / ``max_bytes``
+        Inclusive bounds on the modeled payload size.
+    ``senders``
+        World ranks whose outgoing messages are eligible.
+
+    Kinds: ``"drop"`` (message lost; retransmitted when
+    :class:`Resilience` is active), ``"delay"`` (logical-clock stall of
+    ``delay_seconds`` before delivery), ``"duplicate"`` (delivered
+    twice; deduplicated by sequence number under resilience),
+    ``"corrupt"`` (one byte of an ndarray payload is bit-flipped in a
+    *copy*; detected and discarded when checksums are enabled).
+    """
+
+    kind: str
+    prob: float
+    tags: object = None
+    min_bytes: int = 0
+    max_bytes: int | None = None
+    senders: Sequence[int] | None = None
+    delay_seconds: float = 1e-3
+
+    def validate(self) -> None:
+        if self.kind not in MESSAGE_FAULT_KINDS:
+            raise ConfigurationError(
+                f"message fault kind must be one of {MESSAGE_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not 0.0 <= self.prob <= 1.0:
+            raise ConfigurationError(f"prob must be in [0, 1], got {self.prob}")
+        if isinstance(self.tags, str) and self.tags not in ("user", "collectives"):
+            raise ConfigurationError(
+                f"tags must be 'user', 'collectives', or a tag collection, "
+                f"got {self.tags!r}"
+            )
+
+    def matches(self, sender: int, tag: int, nbytes: int) -> bool:
+        if self.senders is not None and sender not in self.senders:
+            return False
+        if self.tags is not None:
+            if self.tags == "user":
+                if tag < 0:
+                    return False
+            elif self.tags == "collectives":
+                if tag >= 0:
+                    return False
+            elif tag not in self.tags:
+                return False
+        if nbytes < self.min_bytes:
+            return False
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class KernelFaultRule:
+    """Transient numerical corruption in one named linalg kernel call.
+
+    ``kernel`` names the hook point (``"gesvd"``, ``"eigh"``,
+    ``"gelq"``, ``"geqr"``); ``call_index`` is the 0-based per-rank call
+    count at which the fault fires — count-based, not probabilistic, so
+    replays corrupt the same call.  ``ranks=None`` (the default) fires
+    on *every* rank at that call index, matching the replicated-SVD
+    execution model where each rank computes the same small
+    decomposition redundantly — corrupting all copies keeps the
+    replicated factors bitwise identical, so the fault tests the
+    numerical guards rather than manufacturing divergence the sanitizer
+    would (correctly) flag.
+    """
+
+    kernel: str
+    call_index: int
+    kind: str = "nan"
+    ranks: Sequence[int] | None = None
+
+    def validate(self) -> None:
+        if self.kind not in KERNEL_FAULT_KINDS:
+            raise ConfigurationError(
+                f"kernel fault kind must be one of {KERNEL_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.call_index < 0:
+            raise ConfigurationError(
+                f"call_index must be >= 0, got {self.call_index}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of injected faults for one SPMD run.
+
+    An empty plan is valid and useful: the injector still counts
+    operations per rank (``FaultInjector.ops_per_rank``), which is how
+    the chaos driver calibrates "mid-run" crash points.
+    """
+
+    seed: int = 0
+    crashes: tuple[CrashRule, ...] = ()
+    messages: tuple[MessageFaultRule, ...] = ()
+    kernels: tuple[KernelFaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "messages", tuple(self.messages))
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+        for rule in (*self.crashes, *self.messages, *self.kernels):
+            rule.validate()
+        by_rank = [c.rank for c in self.crashes]
+        if len(by_rank) != len(set(by_rank)):
+            raise ConfigurationError("at most one crash rule per rank")
+
+
+@dataclass(frozen=True)
+class Resilience:
+    """Tolerance configuration for a lossy (injected-fault) world.
+
+    ``max_retries``
+        Send attempts beyond the first before the sender gives up and
+        raises :class:`~repro.errors.CommunicatorError`.
+    ``backoff_base``
+        Logical seconds charged to the sender's clock for the first
+        retransmission; doubles per attempt (exponential backoff).
+    ``checksums``
+        Attach a payload checksum to every message; receivers discard
+        envelopes whose payload no longer matches (bit corruption) and
+        wait for the retransmission.
+    ``poll_interval``
+        Seconds between dead-partner/revocation polls while blocked in
+        a receive or a rendezvous (split/shrink).
+    """
+
+    max_retries: int = 16
+    backoff_base: float = 1e-6
+    checksums: bool = True
+    poll_interval: float = 0.05
+
+    def validate(self) -> None:
+        if self.max_retries < 1:
+            raise ConfigurationError("max_retries must be >= 1")
+        if self.poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+
+
+# Default event-trace capacity per run; a fuse against pathological
+# plans (e.g. prob=1 drops with a large retry budget) ballooning memory.
+DEFAULT_TRACE_LIMIT = 100_000
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault occurrence (for replay verification)."""
+
+    rank: int
+    op_index: int
+    kind: str  # "crash" | message kind | "kernel:<name>"
+    detail: tuple = field(default_factory=tuple)
+
+    def as_tuple(self) -> tuple:
+        return (self.rank, self.op_index, self.kind, tuple(self.detail))

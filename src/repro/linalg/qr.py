@@ -16,6 +16,7 @@ import numpy as np
 import scipy.linalg
 
 from ..errors import ConfigurationError, ShapeError
+from ..faults.injector import current_injector
 from ..instrument import FlopCounter, PHASE_LQ
 from ..obs.tracer import trace_span
 from .flops import qr_flops, lq_flops
@@ -29,6 +30,14 @@ BACKENDS = ("lapack", "householder", "blocked")
 def _check_backend(backend: str) -> None:
     if backend not in BACKENDS:
         raise ConfigurationError(f"backend must be one of {BACKENDS}, got {backend!r}")
+
+
+def _inject(kernel: str, M: np.ndarray) -> np.ndarray:
+    """Fault-injection hook (one thread-local read when disabled)."""
+    inj = current_injector()
+    if inj is not None:
+        M, _ = inj.kernel_fault(kernel, M)
+    return M
 
 
 def geqr(
@@ -52,17 +61,17 @@ def geqr(
     with trace_span("geqr", phase=PHASE_LQ, mode=mode, rows=m, cols=n,
                     backend=backend):
         if backend == "householder":
-            return qr_r(A, counter=counter, mode=mode)
+            return _inject("geqr", qr_r(A, counter=counter, mode=mode))
         if backend == "blocked":
             from .blocked import qr_r_blocked
 
-            return qr_r_blocked(A, counter=counter, mode=mode)
+            return _inject("geqr", qr_r_blocked(A, counter=counter, mode=mode))
         R = scipy.linalg.qr(A, mode="r", check_finite=False)[0]
         R = np.ascontiguousarray(R[: min(m, n), :])
         if counter is not None:
             k = min(m, n)
             counter.add(qr_flops(max(m, n), k), phase=PHASE_LQ, mode=mode)
-        return R
+        return _inject("geqr", R)
 
 
 def gelq(
@@ -85,12 +94,12 @@ def gelq(
     with trace_span("gelq", phase=PHASE_LQ, mode=mode, rows=m, cols=n,
                     backend=backend):
         if backend == "householder":
-            return lq_l(A, counter=counter, mode=mode)
+            return _inject("gelq", lq_l(A, counter=counter, mode=mode))
         if backend == "blocked":
             from .blocked import qr_r_blocked
 
             R = qr_r_blocked(A.T, counter=counter, mode=mode)
-            return np.ascontiguousarray(R.T)
+            return _inject("gelq", np.ascontiguousarray(R.T))
         # LQ(A) = QR(A^T)^T; A.T is a zero-copy view, and LAPACK handles
         # either memory order.
         R = scipy.linalg.qr(A.T, mode="r", check_finite=False)[0]
@@ -98,4 +107,4 @@ def gelq(
         if counter is not None:
             k = min(m, n)
             counter.add(lq_flops(k, max(m, n)), phase=PHASE_LQ, mode=mode)
-        return L
+        return _inject("gelq", L)

@@ -21,6 +21,7 @@ import numpy as np
 import scipy.linalg
 
 from ..errors import ShapeError
+from ..faults.injector import current_injector
 from ..instrument import FlopCounter, PHASE_SVD, PHASE_EVD
 from ..obs.tracer import trace_span
 from ..tensor.dense import DenseTensor
@@ -62,7 +63,13 @@ def svd_from_gram(
         order = np.argsort(sigma)[::-1]
         if counter is not None:
             counter.add(eigh_flops(G.shape[0]), phase=PHASE_EVD, mode=mode)
-        return V[:, order], sigma[order]
+        U, sigma = V[:, order], sigma[order]
+        # Fault-injection hook (one thread-local read when disabled):
+        # a KernelFaultRule targeting "eigh" corrupts this call's output.
+        inj = current_injector()
+        if inj is not None:
+            U, sigma = inj.kernel_fault("eigh", U, sigma)
+        return U, sigma
 
 
 def left_svd_of_triangle(
@@ -86,6 +93,10 @@ def left_svd_of_triangle(
         )
         if counter is not None:
             counter.add(svd_flops(*L.shape), phase=PHASE_SVD, mode=mode)
+        # Fault-injection hook (one thread-local read when disabled).
+        inj = current_injector()
+        if inj is not None:
+            U, sigma = inj.kernel_fault("gesvd", U, sigma)
         return U, sigma
 
 

@@ -57,6 +57,7 @@ tracer (or a disabled one) each hook is a single thread-local read.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -137,6 +138,25 @@ def _is_readonly_array(obj: Any) -> bool:
     return isinstance(obj, np.ndarray) and not obj.flags.writeable
 
 
+def _payload_checksum(obj: Any, acc: int = 0) -> int:
+    """CRC32 digest of a payload's array bytes (resilience checksums).
+
+    Covers exactly the structures fault injection can corrupt (ndarrays,
+    possibly nested in lists/tuples) plus raw byte payloads; everything
+    else contributes its repr so mismatched scalars are caught too.
+    """
+    if isinstance(obj, np.ndarray):
+        acc = zlib.crc32(np.ascontiguousarray(obj).tobytes(), acc)
+        return zlib.crc32(repr(obj.shape).encode(), acc)
+    if isinstance(obj, (list, tuple)):
+        for x in obj:
+            acc = _payload_checksum(x, acc)
+        return acc
+    if isinstance(obj, (bytes, bytearray)):
+        return zlib.crc32(bytes(obj), acc)
+    return zlib.crc32(repr(obj).encode(), acc)
+
+
 def _block_bounds(length: int, nprocs: int, proc: int) -> tuple[int, int]:
     """Exact integer block partition ``[start, stop)`` of ``length``.
 
@@ -205,6 +225,13 @@ class Communicator:
         # space: nested collectives like the tree allreduce consume
         # check slots without consuming tags).
         self._san_seq = 0
+        # Resilience state (unused without run_spmd(resilience=...)):
+        # per-(partner, tag) send sequence numbers and the receiver's
+        # next expected sequence, for duplicate discard and
+        # retransmission matching.  Shrink rendezvous counter.
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._recv_seq: dict[tuple[int, int], int] = {}
+        self._shrink_seq = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -223,6 +250,11 @@ class Communicator:
     def world_rank(self) -> int:
         """Underlying world rank (stable across sub-communicators)."""
         return self._members[self._rank]
+
+    @property
+    def comm_id(self) -> int:
+        """This communicator's id — the epoch key for fault tolerance."""
+        return self._comm_id
 
     @property
     def context(self) -> SpmdContext:
@@ -311,6 +343,103 @@ class Communicator:
             self._send_internal(obj, dest, tag, copy=copy)
 
     def _send_internal(self, obj: Any, dest: int, tag: int, *, copy: bool = True) -> None:
+        ctx = self._context
+        # Fault-tolerance hooks, ordered cheapest-first: the clean path
+        # (no faults, no resilience, nothing revoked) costs two extra
+        # attribute reads and an integer compare.
+        if self._comm_id < ctx.revoked_below:
+            ctx.check_revoked(self._comm_id)
+        if ctx.faults is not None or ctx.resilience is not None:
+            self._send_resilient(obj, dest, tag, copy=copy)
+            return
+        self._deliver(obj, dest, tag, copy=copy)
+
+    def _send_resilient(self, obj: Any, dest: int, tag: int, *, copy: bool) -> None:
+        """Send through the (possibly lossy) injected link.
+
+        The mailbox layer itself never loses messages, so the lossy link
+        is *simulated at the sender*: a dropped attempt just isn't
+        delivered, a corrupted attempt delivers a corrupted copy, and
+        the stop-and-wait ack/retry protocol a real lossy transport
+        needs collapses into a synchronous retry loop whose backoff is
+        charged to the logical clock.  Retransmissions reuse the same
+        sequence number, which is how receivers discard duplicates and
+        corrupted precursors.
+        """
+        ctx = self._context
+        faults = ctx.faults
+        res = ctx.resilience
+        me_world = self.world_rank
+        if faults is not None:
+            faults.on_op(me_world)
+        nbytes = _payload_nbytes(obj)
+        seq = checksum = None
+        if res is not None:
+            key = (dest, tag)
+            seq = self._send_seq.get(key, 0)
+            self._send_seq[key] = seq + 1
+            if res.checksums:
+                checksum = _payload_checksum(obj)
+        trace = ctx.comm_trace
+        attempts = 0
+        while True:
+            rule = None
+            if faults is not None:
+                rule = faults.message_outcome(
+                    me_world, self._members[dest], tag, nbytes
+                )
+            if rule is None:
+                self._deliver(obj, dest, tag, copy=copy, seq=seq,
+                              checksum=checksum)
+                return
+            if rule.kind == "delay":
+                if self.clock is not None:
+                    self.clock.advance(rule.delay_seconds)
+                self._deliver(obj, dest, tag, copy=copy, seq=seq,
+                              checksum=checksum)
+                return
+            if rule.kind == "duplicate":
+                # Deliver the duplicate first from a snapshot so the
+                # final delivery keeps the caller's copy/move semantics.
+                self._deliver(obj, dest, tag, copy=True, seq=seq,
+                              checksum=checksum)
+                self._deliver(obj, dest, tag, copy=copy, seq=seq,
+                              checksum=checksum)
+                return
+            if rule.kind == "corrupt":
+                bad = faults.corrupted_copy(me_world, obj)
+                if bad is None:
+                    # Nothing corruptible in the payload; degrade to a
+                    # clean delivery.
+                    self._deliver(obj, dest, tag, copy=copy, seq=seq,
+                                  checksum=checksum)
+                    return
+                self._deliver(bad, dest, tag, copy=False, seq=seq,
+                              checksum=checksum)
+                if checksum is None:
+                    return  # silent corruption: no checksums, no retry
+            else:  # "drop"
+                if trace is not None:
+                    trace.record_dropped(me_world)
+                if res is None:
+                    return  # lost for good: no resilience configured
+            # The simulated ack timed out (drop) or the receiver will
+            # discard the corrupted envelope — retransmit with backoff.
+            attempts += 1
+            if attempts > res.max_retries:
+                raise CommunicatorError(
+                    f"message to rank {dest} (tag {tag}) lost after "
+                    f"{res.max_retries} retransmissions"
+                )
+            if trace is not None:
+                trace.record_retried(me_world)
+            if self.clock is not None:
+                self.clock.advance(res.backoff_base * (2 ** (attempts - 1)))
+
+    def _deliver(
+        self, obj: Any, dest: int, tag: int, *, copy: bool = True,
+        seq: int | None = None, checksum: int | None = None,
+    ) -> None:
         self._context.check_alive()
         nbytes = _payload_nbytes(obj)
         moved = (not copy) or _is_readonly_array(obj)
@@ -341,7 +470,7 @@ class Communicator:
             arrival = 0.0
         env = Envelope(
             payload=payload, send_time=arrival, moved=moved, nbytes=nbytes,
-            origin=origin,
+            origin=origin, seq=seq, checksum=checksum,
         )
         box = self._context.mailbox(self._comm_id, self._members[dest])
         box.put(self._rank, tag, env)
@@ -355,11 +484,19 @@ class Communicator:
             return self._recv_internal(source, tag)
 
     def _recv_internal(self, source: int, tag: int) -> Any:
-        self._context.check_alive()
-        box = self._context.mailbox(self._comm_id, self.world_rank)
-        env = box.try_get(source, tag)
-        if env is None:
-            env = self._recv_blocking(box, source, tag)
+        ctx = self._context
+        ctx.check_alive()
+        if self._comm_id < ctx.revoked_below:
+            ctx.check_revoked(self._comm_id)
+        if ctx.faults is not None:
+            ctx.faults.on_op(self.world_rank)
+        box = ctx.mailbox(self._comm_id, self.world_rank)
+        while True:
+            env = box.try_get(source, tag)
+            if env is None:
+                env = self._recv_blocking(box, source, tag)
+            if self._validate_envelope(env, source, tag):
+                break
         san = self._context.sanitizer
         if san is not None and env.moved:
             san.note_received_move(env.payload, self.world_rank, env.origin)
@@ -368,6 +505,30 @@ class Communicator:
         if self.clock is not None:
             self.clock.sync_to(env.send_time)
         return env.payload
+
+    def _validate_envelope(self, env: Envelope, source: int, tag: int) -> bool:
+        """Accept or discard one envelope (checksum + duplicate filter).
+
+        Plain envelopes (``seq is None`` — no resilience at the sender)
+        are always accepted: one identity check on the hot path.
+        Corrupted envelopes are discarded (counted as checksum
+        failures) and duplicates of an already-accepted sequence number
+        are dropped silently; the caller loops to await the
+        retransmission, which reuses the same sequence number.
+        """
+        if env.seq is None:
+            return True
+        ctx = self._context
+        if env.checksum is not None and _payload_checksum(env.payload) != env.checksum:
+            if ctx.comm_trace is not None:
+                ctx.comm_trace.record_checksum_failure(self.world_rank)
+            return False
+        key = (source, tag)
+        expected = self._recv_seq.get(key, 0)
+        if env.seq < expected:
+            return False  # duplicate of an accepted message
+        self._recv_seq[key] = env.seq + 1
+        return True
 
     def _recv_blocking(self, box, source: int, tag: int) -> Envelope:
         """Block for a matched message, watching for dead partners.
@@ -386,11 +547,14 @@ class Communicator:
         src_world = self._members[source]
 
         def poll() -> None:
+            if self._comm_id < ctx.revoked_below:
+                ctx.check_revoked(self._comm_id)
             status = ctx.rank_status(src_world)
             if status != "running" and not box.has(source, tag):
                 if san is not None:
                     diag = san.describe_failed_partner(
-                        me, src_world, source, tag, status, box
+                        me, src_world, source, tag, status, box,
+                        expected=ctx.faults is not None and status == "failed",
                     )
                     raise RankFailedError(diag.message, diagnostic=diag)
                 where = (
@@ -404,7 +568,10 @@ class Communicator:
             if san is not None:
                 san.on_stall(me)
 
-        interval = san.watchdog_interval if san is not None else None
+        interval = (
+            san.watchdog_interval if san is not None
+            else ctx.fault_poll_interval
+        )
         if san is not None:
             san.begin_wait(me, src_world, source, tag, self._comm_id, box)
         try:
@@ -456,14 +623,14 @@ class Communicator:
         box = self._context.mailbox(self._comm_id, self.world_rank)
 
         def complete(blocking: bool):
-            if blocking:
+            while True:
                 env = box.try_get(source, tag)
                 if env is None:
+                    if not blocking:
+                        return False, None
                     env = self._recv_blocking(box, source, tag)
-            else:
-                env = box.try_get(source, tag)
-                if env is None:
-                    return False, None
+                if self._validate_envelope(env, source, tag):
+                    break
             if self.clock is not None:
                 self.clock.sync_to(env.send_time)
             return True, env.payload
@@ -1050,8 +1217,32 @@ class Communicator:
                           [old for _, old in members])
             return out
 
+        ctx = self._context
+
+        def poll(contributed: set) -> None:
+            # A split blocked on a member that already died can never
+            # complete; fail fast like a blocked receive would.
+            if self._comm_id < ctx.revoked_below:
+                ctx.check_revoked(self._comm_id)
+            ctx.check_alive()
+            for old, world in enumerate(self._members):
+                if old not in contributed:
+                    status = ctx.rank_status(world)
+                    if status != "running":
+                        raise RankFailedError(
+                            f"rank {self.world_rank} blocked in split "
+                            f"but member rank {world} already {status}"
+                        )
+
+        interval = (
+            ctx.sanitizer.watchdog_interval if ctx.sanitizer is not None
+            else ctx.fault_poll_interval
+        )
+        if interval is None:
+            interval = 0.25  # dead-member detection even without faults
         result = table.contribute(
-            self._rank, (color, sort_key), combine, self._context.recv_timeout
+            self._rank, (color, sort_key), combine, ctx.recv_timeout,
+            poll=poll, interval=interval,
         )
         if color is None:
             return None
@@ -1066,3 +1257,55 @@ class Communicator:
         child = self.split(color=0)
         assert child is not None
         return child
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (ULFM-style revoke / shrink)
+    # ------------------------------------------------------------------
+    def revoke(self) -> None:
+        """Poison the current communicator epoch (MPI_Comm_revoke).
+
+        Call after catching :class:`~repro.errors.RankFailedError`:
+        every operation on *any* communicator created so far — this
+        one, the world, fiber sub-communicators — raises
+        :class:`~repro.errors.CommRevokedError` on every rank, breaking
+        survivors out of exchanges with live partners that have already
+        left for recovery.  Communicators created after the subsequent
+        :meth:`shrink` are unaffected.  Idempotent.
+        """
+        self._context.revoke_current(
+            f"rank {self.world_rank} revoked the epoch after a failure"
+        )
+
+    def shrink(self) -> "Communicator":
+        """Dense-ranked communicator of the survivors (MPI_Comm_shrink).
+
+        Collective over the *surviving* members of this communicator —
+        every survivor must call it, typically right after
+        :meth:`revoke` in a recovery handler.  Survivors keep their
+        relative order; the result is a fresh epoch on which all
+        operations (including the sanitizer's collective matching, which
+        keys on the new communicator id and size) behave normally.
+        Unlike every other method, it works on a revoked communicator —
+        that is its entire point.
+        """
+        ctx = self._context
+        self._shrink_seq += 1
+        table = ctx.shrink_table(self._comm_id, self._shrink_seq)
+        members = self._members
+
+        def running_old_ranks() -> set:
+            ctx.check_alive()
+            running = ctx.running_world_ranks()
+            return {i for i, w in enumerate(members) if w in running}
+
+        interval = ctx.fault_poll_interval or 0.25
+        with self._comm_span("shrink"):
+            new_id, ordered_old = table.contribute(
+                self._rank, self.world_rank, running_old_ranks,
+                ctx.allocate_comm_id, ctx.recv_timeout, interval,
+            )
+        new_members = [members[i] for i in ordered_old]
+        new_rank = ordered_old.index(self._rank)
+        return Communicator(
+            ctx, new_id, new_members, new_rank, clock=self.clock
+        )

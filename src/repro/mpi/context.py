@@ -19,7 +19,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..errors import CommunicatorError
+from ..errors import CommunicatorError, WorldAbortedError
 from .costmodel import CostModel
 from .tuning import CollectiveTuning
 
@@ -39,6 +39,12 @@ class Envelope:
     payloads are frozen (read-only) so sender-side reuse cannot race
     the receiver.  ``nbytes`` carries the sender's modeled wire size so
     receive-side tallies never re-measure the payload.
+
+    ``seq`` and ``checksum`` are populated only under a
+    :class:`~repro.faults.Resilience` configuration: ``seq`` is the
+    sender's per-(destination, tag) sequence number (receivers discard
+    duplicates), ``checksum`` the payload digest receivers verify to
+    detect injected bit corruption and wait for the retransmission.
     """
 
     payload: Any
@@ -48,6 +54,8 @@ class Envelope:
     # Sender provenance (a repro.sanitize MoveOrigin / call-site record),
     # populated only when a Sanitizer is attached to the world.
     origin: Any = None
+    seq: int | None = None
+    checksum: int | None = None
 
 
 class _Mailbox:
@@ -91,7 +99,7 @@ class _Mailbox:
                 if q:
                     return q.popleft()
                 if self._abort.is_set():
-                    raise CommunicatorError(
+                    raise WorldAbortedError(
                         "SPMD world aborted while receiving"
                     )
                 remaining = deadline - time.monotonic()
@@ -124,7 +132,7 @@ class _Mailbox:
         """Non-blocking matched receive; None when no message is ready."""
         with self._cond:
             if self._abort.is_set():
-                raise CommunicatorError("SPMD world aborted while receiving")
+                raise WorldAbortedError("SPMD world aborted while receiving")
             q = self._queues.get((source, tag))
             if q:
                 return q.popleft()
@@ -151,7 +159,28 @@ class _SplitBarrier:
         self._result: Any = None
         self._done = False
 
-    def contribute(self, rank: int, value: Any, combine, timeout: float):
+    def contribute(
+        self,
+        rank: int,
+        value: Any,
+        combine,
+        timeout: float,
+        poll: Callable[[set], None] | None = None,
+        interval: float | None = None,
+    ):
+        """Contribute and block until every member has (honors ``timeout``).
+
+        ``poll``, when given, runs (outside the lock) with the set of
+        ranks that have contributed so far each time the wait wakes
+        without a result — every ``interval`` seconds, or whenever the
+        context wakes rendezvous tables on an abort/rank-death/revoke.
+        It may raise to abort the wait, which is how a split blocked on
+        a member that has already died fails fast with
+        :class:`~repro.errors.RankFailedError` instead of sitting out
+        the full timeout.
+        """
+        deadline = time.monotonic() + timeout
+        step = timeout if interval is None else min(interval, timeout)
         with self._cond:
             if rank in self._contributions:
                 raise CommunicatorError(f"rank {rank} contributed twice to a split")
@@ -160,11 +189,83 @@ class _SplitBarrier:
                 self._result = combine(self._contributions)
                 self._done = True
                 self._cond.notify_all()
-            else:
-                while not self._done:
-                    if not self._cond.wait(timeout=timeout):
-                        raise CommunicatorError("collective setup timed out — likely deadlock")
-            return self._result
+                return self._result
+        while True:
+            with self._cond:
+                if self._done:
+                    return self._result
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CommunicatorError(
+                        "collective setup timed out — likely deadlock"
+                    )
+                self._cond.wait(timeout=min(step, remaining))
+                contributed = set(self._contributions)
+            if poll is not None:
+                poll(contributed)
+
+    def wake(self) -> None:
+        """Wake blocked contributors so they re-run their poll hooks."""
+        with self._cond:
+            self._cond.notify_all()
+
+
+class _ShrinkTable:
+    """Rendezvous for :meth:`Communicator.shrink` (ULFM shrink analogue).
+
+    Unlike :class:`_SplitBarrier`, the membership is *discovered*, not
+    fixed: the table freezes its result once every member of the parent
+    communicator that is still running has contributed.  Ranks that die
+    mid-shrink simply fall out of the survivor set on the next poll, so
+    the rendezvous tolerates exactly the failures it exists to recover
+    from.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._contributions: dict[int, int] = {}  # old rank -> world rank
+        self._result: tuple[int, list[int]] | None = None
+
+    def contribute(
+        self,
+        rank: int,
+        world_rank: int,
+        running_old_ranks: Callable[[], set],
+        allocate_comm_id: Callable[[], int],
+        timeout: float,
+        interval: float,
+    ) -> tuple[int, list[int]]:
+        """Register a survivor; returns ``(new_comm_id, ordered old ranks)``.
+
+        ``running_old_ranks`` is re-evaluated on every wake (it may also
+        raise, e.g. on world abort); the freeze happens when the set of
+        contributors covers every still-running member, and the *new*
+        communicator id is allocated inside the freeze — after any
+        survivor's revocation, so the fresh epoch is never poisoned by
+        the revocation threshold.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            survivors = running_old_ranks()
+            with self._cond:
+                self._contributions.setdefault(rank, world_rank)
+                if self._result is None and survivors <= set(self._contributions):
+                    ordered = sorted(r for r in self._contributions if r in survivors)
+                    self._result = (allocate_comm_id(), ordered)
+                    self._cond.notify_all()
+                if self._result is not None:
+                    return self._result
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CommunicatorError(
+                        f"shrink timed out after {timeout}s waiting for "
+                        f"survivors {sorted(survivors - set(self._contributions))}"
+                    )
+                self._cond.wait(timeout=min(interval, remaining))
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
 
 
 class SpmdContext:
@@ -180,6 +281,8 @@ class SpmdContext:
         tuning: CollectiveTuning | None = None,
         tracer=None,
         sanitizer=None,
+        faults=None,
+        resilience=None,
     ) -> None:
         if world_size <= 0:
             raise CommunicatorError("world size must be positive")
@@ -189,6 +292,8 @@ class SpmdContext:
         self.comm_trace = comm_trace
         self.tracer = tracer  # repro.obs.Tracer bound per rank thread
         self.sanitizer = sanitizer  # repro.sanitize.Sanitizer, or None
+        self.faults = faults  # repro.faults.FaultInjector, or None
+        self.resilience = resilience  # repro.faults.Resilience, or None
         self.tuning = tuning if tuning is not None else CollectiveTuning()
         self.abort_event = threading.Event()
         self.abort_reason: str | None = None
@@ -196,8 +301,23 @@ class SpmdContext:
         self._mailbox_lock = threading.Lock()
         self._comm_id_counter = itertools.count(1)
         self._comm_id_lock = threading.Lock()
+        self._last_comm_id = 0
         self._split_tables: dict[tuple[int, int], _SplitBarrier] = {}
         self._split_lock = threading.Lock()
+        self._shrink_tables: dict[tuple[int, int], _ShrinkTable] = {}
+        self._shrink_lock = threading.Lock()
+        # Epoch revocation (ULFM MPI_Comm_revoke analogue): operations on
+        # any communicator with id below this threshold raise
+        # CommRevokedError.  Monotone non-decreasing; 0 disables.
+        self.revoked_below = 0
+        self.revoke_reason: str | None = None
+        # Per-rank "node memory" for in-memory distributed checkpoints:
+        # holder world rank -> {key: entry}.  A holder only ever reads
+        # its *own* slot (buddy copies travel as real messages), so rank
+        # death makes the dead rank's slot unreachable — exactly the
+        # failure model of node-local RAM checkpoints.
+        self._node_store: dict[int, dict] = defaultdict(dict)
+        self._node_store_lock = threading.Lock()
         # Lifecycle of each world rank: "running" -> "finalized"|"failed".
         # Blocked receives consult this (via their poll hook) so waiting
         # on a rank that can never send again raises RankFailedError
@@ -227,6 +347,18 @@ class SpmdContext:
         """Wake every blocked receiver so it re-runs its poll hook."""
         for _key, box in self.mailboxes():
             box.wake_all()
+        self.wake_rendezvous()
+
+    def wake_rendezvous(self) -> None:
+        """Wake ranks blocked in split/shrink rendezvous (re-poll)."""
+        with self._split_lock:
+            split_tables = list(self._split_tables.values())
+        for table in split_tables:
+            table.wake()
+        with self._shrink_lock:
+            shrink_tables = list(self._shrink_tables.values())
+        for table in shrink_tables:
+            table.wake()
 
     # -- rank lifecycle ------------------------------------------------
     def rank_status(self, world_rank: int) -> str:
@@ -247,6 +379,20 @@ class SpmdContext:
             self._rank_status[world_rank] = "failed"
         self.wake_all_mailboxes()
 
+    def failed_ranks(self) -> list[int]:
+        """World ranks currently marked failed."""
+        with self._status_lock:
+            return [
+                r for r, s in enumerate(self._rank_status) if s == "failed"
+            ]
+
+    def running_world_ranks(self) -> set[int]:
+        """World ranks still marked running."""
+        with self._status_lock:
+            return {
+                r for r, s in enumerate(self._rank_status) if s == "running"
+            }
+
     # -- abort handling ------------------------------------------------
     def abort(self, reason: str) -> None:
         """Mark the world dead and wake every blocked receiver."""
@@ -256,11 +402,12 @@ class SpmdContext:
             boxes = list(self._mailboxes.values())
         for box in boxes:
             box.wake_all()
+        self.wake_rendezvous()
 
     def check_alive(self) -> None:
-        """Raise CommunicatorError if the world has been aborted."""
+        """Raise WorldAbortedError if the world has been aborted."""
         if self.abort_event.is_set():
-            raise CommunicatorError(
+            raise WorldAbortedError(
                 f"SPMD world aborted: {self.abort_reason or 'unknown reason'}"
             )
 
@@ -268,7 +415,8 @@ class SpmdContext:
     def allocate_comm_id(self) -> int:
         """Hand out a fresh communicator id (thread-safe)."""
         with self._comm_id_lock:
-            return next(self._comm_id_counter)
+            self._last_comm_id = next(self._comm_id_counter)
+            return self._last_comm_id
 
     def split_barrier(self, parent_comm_id: int, seqno: int, size: int) -> _SplitBarrier:
         """Rendezvous table for the ``seqno``-th collective setup op."""
@@ -279,3 +427,74 @@ class SpmdContext:
                 table = _SplitBarrier(size)
                 self._split_tables[key] = table
             return table
+
+    def shrink_table(self, parent_comm_id: int, seqno: int) -> _ShrinkTable:
+        """Rendezvous table for the ``seqno``-th shrink of one communicator."""
+        key = (parent_comm_id, seqno)
+        with self._shrink_lock:
+            table = self._shrink_tables.get(key)
+            if table is None:
+                table = _ShrinkTable()
+                self._shrink_tables[key] = table
+            return table
+
+    # -- epoch revocation ----------------------------------------------
+    def revoke_current(self, reason: str) -> None:
+        """Poison every communicator allocated so far (MPI_Comm_revoke).
+
+        Any operation on a communicator whose id predates this call
+        raises :class:`~repro.errors.CommRevokedError`; blocked
+        receivers and rendezvous waiters are woken so they observe it
+        immediately.  Communicator ids allocated *after* the revocation
+        (the post-shrink epoch) are unaffected.  Idempotent and safe to
+        call concurrently from several survivors: the threshold only
+        ever grows, and :class:`_ShrinkTable` allocates the new epoch's
+        id strictly after every survivor has revoked and contributed.
+        """
+        with self._comm_id_lock:
+            threshold = self._last_comm_id + 1
+            if threshold > self.revoked_below:
+                self.revoked_below = threshold
+                self.revoke_reason = reason
+        self.wake_all_mailboxes()
+
+    def check_revoked(self, comm_id: int) -> None:
+        """Raise CommRevokedError when ``comm_id`` belongs to a revoked epoch."""
+        if comm_id < self.revoked_below:
+            from ..errors import CommRevokedError
+
+            raise CommRevokedError(
+                f"communicator {comm_id} was revoked: "
+                f"{self.revoke_reason or 'rank failure'}"
+            )
+
+    # -- fault-tolerance plumbing --------------------------------------
+    @property
+    def fault_poll_interval(self) -> float | None:
+        """Seconds between dead-partner polls while blocked (or None).
+
+        Populated when faults or resilience are active so blocked
+        receives notice revocation and rank death promptly even without
+        the sanitizer's watchdog.
+        """
+        if self.resilience is not None:
+            return self.resilience.poll_interval
+        if self.faults is not None:
+            return 0.05
+        return None
+
+    # -- node-local checkpoint store -----------------------------------
+    def store_put(self, holder: int, key, value) -> None:
+        """Stash ``value`` in ``holder``'s node-local slot."""
+        with self._node_store_lock:
+            self._node_store[holder][key] = value
+
+    def store_items(self, holder: int) -> list[tuple]:
+        """Snapshot of ``holder``'s (key, value) pairs."""
+        with self._node_store_lock:
+            return list(self._node_store.get(holder, {}).items())
+
+    def store_delete(self, holder: int, key) -> None:
+        """Drop one entry from ``holder``'s slot (no-op when absent)."""
+        with self._node_store_lock:
+            self._node_store.get(holder, {}).pop(key, None)

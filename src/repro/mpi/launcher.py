@@ -24,7 +24,19 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from ..errors import CommunicatorError, SanitizerError
+from ..errors import (
+    CommunicatorError,
+    RankFailedError,
+    RankKilledError,
+    SanitizerError,
+    WorldAbortedError,
+)
+from ..faults.injector import (
+    FaultInjector,
+    activate as faults_activate,
+    deactivate as faults_deactivate,
+)
+from ..faults.plan import FaultPlan, Resilience
 from ..obs.tracer import activate as obs_activate, deactivate as obs_deactivate
 from .communicator import Communicator
 from .context import SpmdContext
@@ -37,11 +49,19 @@ WORLD_COMM_ID = 0
 
 @dataclass
 class SpmdResult:
-    """Results of an SPMD run: per-rank return values and logical clocks."""
+    """Results of an SPMD run: per-rank return values and logical clocks.
+
+    Under fault injection, ranks killed by an injected crash report
+    ``None`` in ``values`` and appear in ``failed_ranks``; ``faults``
+    is the run's :class:`~repro.faults.FaultInjector` carrying the
+    fired-fault trace for replay verification.
+    """
 
     values: list
     clocks: list  # RankClock per rank, or None when no cost model
     sanitizer: Any = None  # the run's Sanitizer when sanitize= was given
+    faults: Any = None  # the run's FaultInjector when faults= was given
+    failed_ranks: list = None  # world ranks dead at exit (injected crashes)
 
     def __iter__(self):
         return iter(self.values)
@@ -77,6 +97,8 @@ def run_spmd(
     tuning=None,
     tracer=None,
     sanitize=False,
+    faults=None,
+    resilience=None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -110,6 +132,20 @@ def run_spmd(
         wait-for-graph deadlock detection, zero-copy move enforcement,
         and a message-leak report at finalize.  ``False`` (default)
         costs a single ``is None`` check per communicator operation.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or a prebuilt
+        :class:`~repro.faults.FaultInjector`) injecting deterministic,
+        seeded faults: rank crashes, message drop/delay/duplicate/
+        corruption, kernel NaN/Inf.  Injected crashes do *not* abort
+        the world — survivors observe :class:`~repro.errors.
+        RankFailedError` and may ``revoke()``/``shrink()`` to recover;
+        the victims' slots in ``values`` stay None and their world
+        ranks land in ``SpmdResult.failed_ranks``.
+    resilience:
+        ``True`` (defaults) or a :class:`~repro.faults.Resilience`
+        enabling message-level tolerance: per-message sequence numbers,
+        payload checksums, and sender retry with exponential backoff —
+        the machinery that survives what ``faults=`` injects.
 
     Returns
     -------
@@ -128,10 +164,23 @@ def run_spmd(
             sanitizer = Sanitizer()
         else:
             sanitizer = sanitize
+    injector = None
+    if faults is not None:
+        injector = faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+    res_cfg = None
+    if resilience:
+        if resilience is True:
+            res_cfg = Resilience()
+        elif isinstance(resilience, Resilience):
+            res_cfg = resilience
+        else:
+            raise CommunicatorError(
+                f"resilience= expects True or a Resilience, got {resilience!r}"
+            )
     context = SpmdContext(
         nprocs, cost_model=cost_model, recv_timeout=recv_timeout,
         comm_trace=comm_trace, tuning=tuning, tracer=tracer,
-        sanitizer=sanitizer,
+        sanitizer=sanitizer, faults=injector, resilience=res_cfg,
     )
     members = list(range(nprocs))
     values: list = [None] * nprocs
@@ -143,9 +192,18 @@ def run_spmd(
         clocks[rank] = comm.clock
         if tracer is not None:
             obs_activate(tracer, rank)
+        if injector is not None:
+            faults_activate(injector, rank)
         try:
             values[rank] = fn(comm, *args, **kwargs)
             context.mark_finalized(rank)
+        except RankKilledError as exc:
+            # An injected crash is a *simulated* failure: record the
+            # death so partners observe RankFailedError, but leave the
+            # world running — survivors get the chance to shrink and
+            # recover.  Only a real error aborts everyone.
+            errors[rank] = exc
+            context.mark_failed(rank)
         except BaseException as exc:  # noqa: BLE001 - must abort the world
             if sanitizer is not None:
                 # A write into a frozen (moved) buffer surfaces as
@@ -158,6 +216,8 @@ def run_spmd(
             context.mark_failed(rank)
             context.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
         finally:
+            if injector is not None:
+                faults_deactivate()
             if tracer is not None:
                 obs_deactivate()
 
@@ -176,16 +236,38 @@ def run_spmd(
 
     # Sanitizer findings are root causes; CommunicatorError is usually a
     # secondary symptom (a rank unblocked by the world abort) — re-raise
-    # in that priority order.
-    for rank, err in enumerate(errors):
-        if err is not None and isinstance(err, SanitizerError):
-            raise err
-    for rank, err in enumerate(errors):
-        if err is not None and not isinstance(err, CommunicatorError):
-            raise err
-    for rank, err in enumerate(errors):
-        if err is not None:
-            raise err
+    # in that priority order.  Injected crashes (RankKilledError) are
+    # expected outcomes of a fault plan, not program errors: they are
+    # reported through failed_ranks, never re-raised.
+    def reportable(err) -> bool:
+        return err is not None and not (
+            injector is not None and isinstance(err, RankKilledError)
+        )
+
+    # Root-cause tiers, most causal first.  A plain CommunicatorError
+    # (a timeout, an exhausted retry budget) outranks a RankFailedError
+    # — the observer of someone else's death — which in turn outranks
+    # WorldAbortedError, by construction fallout of another rank's
+    # failure.  Without the tiers, which rank's error surfaces would
+    # depend on the race between the first failure and its observers.
+    def tier(err) -> int:
+        if isinstance(err, SanitizerError):
+            return 0
+        if not isinstance(err, CommunicatorError):
+            return 1
+        if isinstance(err, WorldAbortedError):
+            return 4
+        if isinstance(err, RankFailedError):
+            return 3
+        return 2
+
+    for level in range(5):
+        for rank, err in enumerate(errors):
+            if reportable(err) and tier(err) == level:
+                raise err
     if sanitizer is not None:
         sanitizer.finalize_world(context)
-    return SpmdResult(values=values, clocks=clocks, sanitizer=sanitizer)
+    return SpmdResult(
+        values=values, clocks=clocks, sanitizer=sanitizer, faults=injector,
+        failed_ranks=context.failed_ranks(),
+    )

@@ -44,6 +44,12 @@ class CommTrace:
         self._moved: dict = defaultdict(int)  # bytes transferred zero-copy
         self._recv_messages: dict = defaultdict(int)
         self._recv_bytes: dict = defaultdict(int)
+        # Reliability counters (fault injection / resilience), per rank.
+        # Run-wide — not split by context label: a retransmission isn't
+        # meaningfully attributable to an algorithm stage.
+        self._dropped: dict = defaultdict(int)  # injected drops (sender)
+        self._retried: dict = defaultdict(int)  # retransmissions (sender)
+        self._checksum_failures: dict = defaultdict(int)  # discards (receiver)
         self._context = threading.local()
 
     # -- context labels (per-thread, i.e. per-rank) ---------------------
@@ -87,6 +93,21 @@ class CommTrace:
             for c in ({ctx, "all"} if ctx != "all" else {"all"}):
                 self._recv_messages[(rank, c)] += 1
                 self._recv_bytes[(rank, c)] += nbytes
+
+    def record_dropped(self, rank: int) -> None:
+        """Tally one injected message drop at sender ``rank``."""
+        with self._lock:
+            self._dropped[rank] += 1
+
+    def record_retried(self, rank: int) -> None:
+        """Tally one retransmission by sender ``rank``."""
+        with self._lock:
+            self._retried[rank] += 1
+
+    def record_checksum_failure(self, rank: int) -> None:
+        """Tally one corrupted envelope discarded by receiver ``rank``."""
+        with self._lock:
+            self._checksum_failures[rank] += 1
 
     # -- queries ---------------------------------------------------------
     def sent_messages(self, rank: int, context: str = "all") -> int:
@@ -147,6 +168,27 @@ class CommTrace:
                 v for (r, c), v in self._recv_bytes.items() if c == context
             )
 
+    def dropped_messages(self, rank: int | None = None) -> int:
+        """Injected drops at sender ``rank`` (or all ranks)."""
+        with self._lock:
+            if rank is not None:
+                return self._dropped.get(rank, 0)
+            return sum(self._dropped.values())
+
+    def retried_messages(self, rank: int | None = None) -> int:
+        """Retransmissions by sender ``rank`` (or all ranks)."""
+        with self._lock:
+            if rank is not None:
+                return self._retried.get(rank, 0)
+            return sum(self._retried.values())
+
+    def checksum_failures(self, rank: int | None = None) -> int:
+        """Corrupted envelopes discarded by receiver ``rank`` (or all)."""
+        with self._lock:
+            if rank is not None:
+                return self._checksum_failures.get(rank, 0)
+            return sum(self._checksum_failures.values())
+
     def in_flight_messages(self, context: str = "all") -> int:
         """Messages sent but not (yet) received under ``context``.
 
@@ -179,9 +221,11 @@ class CommTrace:
         """Plain-dict snapshot of the tallies under ``context``.
 
         ``{"context", "ranks": {rank: {sent_messages, sent_bytes,
-        copied_bytes, moved_bytes, recv_messages, recv_bytes}},
+        copied_bytes, moved_bytes, recv_messages, recv_bytes,
+        dropped_messages, retried_messages, checksum_failures}},
         "totals": {...same keys...}}`` — JSON-serialisable, for report
-        files and the metrics bridge.
+        files and the metrics bridge.  The reliability counters are
+        run-wide (identical under every context label).
         """
         per_rank = {}
         for r in self.ranks(context):
@@ -192,6 +236,9 @@ class CommTrace:
                 "moved_bytes": self.moved_bytes(r, context),
                 "recv_messages": self.recv_messages(r, context),
                 "recv_bytes": self.recv_bytes(r, context),
+                "dropped_messages": self.dropped_messages(r),
+                "retried_messages": self.retried_messages(r),
+                "checksum_failures": self.checksum_failures(r),
             }
         totals = {
             "sent_messages": self.total_messages(context),
@@ -200,6 +247,9 @@ class CommTrace:
             "moved_bytes": self.total_moved_bytes(context),
             "recv_messages": self.total_recv_messages(context),
             "recv_bytes": self.total_recv_bytes(context),
+            "dropped_messages": self.dropped_messages(),
+            "retried_messages": self.retried_messages(),
+            "checksum_failures": self.checksum_failures(),
         }
         return {"context": context, "ranks": per_rank, "totals": totals}
 
@@ -208,21 +258,41 @@ class CommTrace:
         from ..util.tables import format_table
 
         snap = self.to_dict(context)
+        # Reliability columns appear only when any fault-tolerance
+        # traffic was recorded, keeping the common table compact.
+        t = snap["totals"]
+        reliability = bool(
+            t["dropped_messages"] or t["retried_messages"]
+            or t["checksum_failures"]
+        )
         headers = [
             "rank", "sent msgs", "sent bytes", "copied", "moved",
             "recv msgs", "recv bytes",
         ]
+        if reliability:
+            headers += ["dropped", "retried", "cksum fail"]
         rows = []
         for r, d in sorted(snap["ranks"].items()):
-            rows.append([
+            row = [
                 r, d["sent_messages"], d["sent_bytes"], d["copied_bytes"],
                 d["moved_bytes"], d["recv_messages"], d["recv_bytes"],
-            ])
-        t = snap["totals"]
-        rows.append([
+            ]
+            if reliability:
+                row += [
+                    d["dropped_messages"], d["retried_messages"],
+                    d["checksum_failures"],
+                ]
+            rows.append(row)
+        total_row = [
             "total", t["sent_messages"], t["sent_bytes"], t["copied_bytes"],
             t["moved_bytes"], t["recv_messages"], t["recv_bytes"],
-        ])
+        ]
+        if reliability:
+            total_row += [
+                t["dropped_messages"], t["retried_messages"],
+                t["checksum_failures"],
+            ]
+        rows.append(total_row)
         return format_table(
             headers, rows,
             title=title or f"Communication tallies (context={context})",

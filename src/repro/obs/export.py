@@ -55,12 +55,17 @@ def _span_event(span: Span) -> dict:
     }
 
 
-def chrome_trace(tracer: Tracer) -> dict:
+def chrome_trace(tracer: Tracer, comm_trace=None) -> dict:
     """Trace Event Format document: one track per rank, 'X' span events.
 
     Load the serialized result in ``chrome://tracing`` or
     https://ui.perfetto.dev — ranks appear as named threads of one
     process, with nested spans stacked exactly as they executed.
+
+    ``comm_trace`` (a :class:`~repro.mpi.tracing.CommTrace`) adds one
+    ``comm.reliability`` counter sample per rank that recorded dropped/
+    retried/corrupted traffic — fault-tolerance activity shows up next
+    to the spans it perturbed.
     """
     spans = tracer.spans
     ranks = sorted({s.rank for s in spans})
@@ -88,13 +93,31 @@ def chrome_trace(tracer: Tracer) -> dict:
             "args": {"sort_index": rank},
         })
     events.extend(_span_event(s) for s in spans)
+    if comm_trace is not None:
+        for rank in sorted(set(ranks) | set(comm_trace.ranks())):
+            counters = {
+                "dropped": comm_trace.dropped_messages(rank),
+                "retried": comm_trace.retried_messages(rank),
+                "checksum_failures": comm_trace.checksum_failures(rank),
+            }
+            if any(counters.values()):
+                events.append({
+                    "name": "comm.reliability",
+                    "ph": "C",
+                    "ts": 0,
+                    "pid": 0,
+                    "tid": rank,
+                    "args": counters,
+                })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(tracer: Tracer, path: str, *, indent: int | None = None) -> None:
+def write_chrome_trace(
+    tracer: Tracer, path: str, *, indent: int | None = None, comm_trace=None,
+) -> None:
     """Serialize :func:`chrome_trace` to ``path`` as JSON."""
     with open(path, "w") as f:
-        json.dump(chrome_trace(tracer), f, indent=indent)
+        json.dump(chrome_trace(tracer, comm_trace=comm_trace), f, indent=indent)
 
 
 def _phases_in_order(tracer: Tracer) -> list[str]:

@@ -241,6 +241,14 @@ def ingest_comm_trace(registry: MetricsRegistry, trace) -> None:
             registry.counter(f"comm.recv_messages[{ctx}]").inc(recv_msgs)
             registry.counter(f"comm.recv_bytes[{ctx}]").inc(
                 trace.total_recv_bytes(ctx))
+    # Reliability counters (run-wide, populated under fault injection).
+    for name, total in (
+        ("comm.dropped_messages", trace.dropped_messages()),
+        ("comm.retried_messages", trace.retried_messages()),
+        ("comm.checksum_failures", trace.checksum_failures()),
+    ):
+        if total:
+            registry.counter(name).inc(total)
 
 
 def ingest_flop_counter(registry: MetricsRegistry, flops) -> None:

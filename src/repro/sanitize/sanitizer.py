@@ -51,6 +51,7 @@ from ..errors import (
 )
 from .diagnostics import (
     ERROR,
+    WARNING,
     CallSite,
     Diagnostic,
     capture_call_site,
@@ -386,12 +387,17 @@ class Sanitizer:
         tag: int,
         status: str,
         mailbox,
+        expected: bool = False,
     ) -> Diagnostic:
         """Diagnostic for a receive whose partner finalized or died.
 
         Inspects the waiter's mailbox for undelivered messages from the
         same source under *different* tags — the signature of a tag
-        mismatch — and says so explicitly.
+        mismatch — and says so explicitly.  ``expected`` marks deaths a
+        :class:`~repro.faults.FaultPlan` injected on purpose: the
+        observation is still recorded (the recovery path should be
+        visible in reports) but at WARNING, since surviving it is the
+        point of the experiment.
         """
         site = capture_call_site()
         pending = [
@@ -409,8 +415,12 @@ class Sanitizer:
                 f"; undelivered message(s) from it with tag(s) "
                 f"{sorted(pending)} are pending — mismatched send/recv tags?"
             )
+        severity = ERROR
+        if expected and kind == "rank-failed":
+            severity = WARNING
+            msg += " (injected fault — expected under the active FaultPlan)"
         diag = Diagnostic(
-            kind=kind, message=msg, severity=ERROR,
+            kind=kind, message=msg, severity=severity,
             file=site.file if site else None,
             line=site.line if site else None,
             rank=world_rank,
@@ -551,8 +561,14 @@ class Sanitizer:
         Each (destination, source, tag) with pending envelopes yields one
         ``message-leak`` diagnostic attributed to the sender (with the
         sending call site when the message was sent under sanitizing).
-        Raises :class:`MessageLeakError` in strict mode.
+        Raises :class:`MessageLeakError` in strict mode — unless any
+        rank died during the run: a crashed rank legitimately strands
+        in-flight messages (and survivors' recovery may leave exchanges
+        with the dead rank half-done), so leaks are then reported as
+        warnings instead of errors.
         """
+        failed = context.failed_ranks() if hasattr(context, "failed_ranks") else []
+        severity = WARNING if failed else ERROR
         leaks: list[Diagnostic] = []
         for (comm_id, dest_world), box in context.mailboxes():
             for (source, tag), envs in box.pending_envelopes().items():
@@ -571,8 +587,13 @@ class Sanitizer:
                 )
                 if site is not None:
                     msg += f"; first sent at {site}"
+                if failed:
+                    msg += (
+                        f" (rank(s) {failed} died — expected residue of "
+                        f"a failed/recovered run)"
+                    )
                 leaks.append(Diagnostic(
-                    kind="message-leak", message=msg, severity=ERROR,
+                    kind="message-leak", message=msg, severity=severity,
                     file=site.file if site else None,
                     line=site.line if site else None,
                     rank=sender,
@@ -581,7 +602,7 @@ class Sanitizer:
                 ))
         for d in leaks:
             self._record(d)
-        if leaks and self.strict:
+        if leaks and self.strict and not failed:
             raise MessageLeakError(
                 format_diagnostics(
                     leaks,

@@ -113,3 +113,60 @@ class TestResume:
 
     def test_clear_missing_is_noop(self, tmp_path):
         clear_checkpoint(str(tmp_path / "absent"))
+
+
+class TestManifestHardening:
+    def _interrupted(self, raw, tmp_path, monkeypatch, name):
+        X, path = raw
+        ck = str(tmp_path / name)
+        _crash_after(monkeypatch, 1)
+        with pytest.raises(RuntimeError):
+            sthosvd_out_of_core(path, X.shape, tol=1e-6, checkpoint_dir=ck)
+        monkeypatch.undo()
+        return X, path, ck
+
+    def test_manifest_records_version_and_dtype(self, raw, tmp_path, monkeypatch):
+        import json
+
+        import repro
+
+        _, _, ck = self._interrupted(raw, tmp_path, monkeypatch, "ckv")
+        with open(os.path.join(ck, "checkpoint.json")) as f:
+            manifest = json.load(f)
+        assert manifest["library_version"] == repro.__version__
+        assert manifest["tensor_dtype"] == "float64"
+        assert manifest["fingerprint"]["dtype"] == "float64"
+
+    def test_dtype_mismatch_gets_dedicated_message(self, raw, tmp_path, monkeypatch):
+        X, _, ck = self._interrupted(raw, tmp_path, monkeypatch, "ckd")
+        fp = _fingerprint(X.shape, np.float32, 1e-6, None, "qr", (0, 1, 2, 3))
+        with pytest.raises(ConfigurationError, match="float64.*float32"):
+            load_checkpoint(ck, fp)
+
+    def test_inconsistent_tensor_dtype_refused(self, raw, tmp_path, monkeypatch):
+        import json
+
+        X, _, ck = self._interrupted(raw, tmp_path, monkeypatch, "cki")
+        mpath = os.path.join(ck, "checkpoint.json")
+        with open(mpath) as f:
+            manifest = json.load(f)
+        manifest["tensor_dtype"] = "float32"
+        with open(mpath, "w") as f:
+            json.dump(manifest, f)
+        fp = _fingerprint(X.shape, np.float64, 1e-6, None, "qr", (0, 1, 2, 3))
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            load_checkpoint(ck, fp)
+
+    def test_no_torn_tmp_files_after_save(self, raw, tmp_path, monkeypatch):
+        _, _, ck = self._interrupted(raw, tmp_path, monkeypatch, "ckt")
+        assert not [n for n in os.listdir(ck) if n.endswith(".tmp")]
+
+    def test_clear_removes_torn_tmp_files(self, raw, tmp_path, monkeypatch):
+        _, _, ck = self._interrupted(raw, tmp_path, monkeypatch, "ckc")
+        torn = os.path.join(ck, "checkpoint.json.tmp")
+        with open(torn, "wb") as f:
+            f.write(b"{half a mani")
+        clear_checkpoint(ck)
+        assert not os.path.exists(torn)
+        assert not [n for n in os.listdir(ck)
+                    if n.endswith((".npy", ".bin", ".tmp"))]

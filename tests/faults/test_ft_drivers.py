@@ -1,0 +1,169 @@
+"""Fault-tolerant ST-HOSVD/HOOI: the ISSUE's acceptance scenario.
+
+A seeded plan that kills one rank mid-mode and drops a percent of
+messages must still yield a completed decomposition on the shrunk
+communicator, with reconstruction error within 10x of the fault-free
+run, deterministically across replays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ft import hooi_fault_tolerant, sthosvd_fault_tolerant
+from repro.errors import ConvergenceError, RankFailedError
+from repro.faults import (
+    CrashRule,
+    FaultPlan,
+    KernelFaultRule,
+    MessageFaultRule,
+)
+from repro.mpi import run_spmd
+from repro.obs import Tracer
+
+SHAPE = (16, 14, 12)
+RANKS = (6, 5, 4)
+FULL = np.asfortranarray(
+    np.random.default_rng(3).standard_normal(SHAPE)
+)
+
+
+def _sthosvd_prog(comm):
+    res = sthosvd_fault_tolerant(
+        comm, FULL if comm.rank == 0 else None, ranks=RANKS, method="qr",
+    )
+    tucker = res.result.to_tucker()
+    err = None
+    if res.comm.rank == 0:
+        rec = np.asarray(tucker.reconstruct().data)
+        err = float(np.linalg.norm((rec - FULL).ravel())
+                    / np.linalg.norm(FULL.ravel()))
+    return {
+        "survivors": res.comm.size,
+        "recoveries": res.recoveries,
+        "err": err,
+        "events": res.events,
+        "numeric": res.result.numeric_recoveries,
+    }
+
+
+def _first_err(res):
+    return next(v["err"] for v in res.values
+                if v is not None and v["err"] is not None)
+
+
+class TestSthosvdFaultTolerant:
+    def test_clean_run_matches_plain_driver(self):
+        res = run_spmd(_sthosvd_prog, 4)
+        assert all(v["recoveries"] == 0 for v in res.values)
+        assert all(v["survivors"] == 4 for v in res.values)
+
+    def test_acceptance_crash_plus_drops(self):
+        base = run_spmd(_sthosvd_prog, 4)
+        base_err = _first_err(base)
+
+        plan = FaultPlan(
+            seed=42,
+            crashes=(CrashRule(rank=1, at_op=20),),  # mid-mode
+            messages=(MessageFaultRule(kind="drop", prob=0.01),),
+        )
+        keys = []
+        for _ in range(3):
+            res = run_spmd(_sthosvd_prog, 4, faults=plan, resilience=True)
+            keys.append(res.faults.trace_key())
+            done = [v for v in res.values if v is not None]
+            assert len(done) == 3 and res.failed_ranks == [1]
+            assert all(v["survivors"] == 3 for v in done)
+            assert all(v["recoveries"] == 1 for v in done)
+            assert _first_err(res) <= 10 * base_err
+            (kind, detail), = done[0]["events"]
+            assert kind == "rank_failure" and detail["survivors"] == 3
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_crash_of_data_root_recovers(self):
+        plan = FaultPlan(seed=8, crashes=(CrashRule(rank=0, at_op=25),))
+        res = run_spmd(_sthosvd_prog, 4, faults=plan, resilience=True)
+        assert res.failed_ranks == [0]
+        done = [v for v in res.values if v is not None]
+        assert all(v["survivors"] == 3 for v in done)
+        base_err = _first_err(run_spmd(_sthosvd_prog, 4))
+        assert _first_err(res) <= 10 * base_err
+
+    def test_max_recoveries_exhausted_reraises(self):
+        def prog(comm):
+            return sthosvd_fault_tolerant(
+                comm, FULL if comm.rank == 0 else None, ranks=RANKS,
+                max_recoveries=0,
+            )
+
+        plan = FaultPlan(seed=8, crashes=(CrashRule(rank=2, at_op=25),))
+        with pytest.raises(RankFailedError):
+            run_spmd(prog, 4, faults=plan, resilience=True)
+
+
+class TestNumericDegradation:
+    def test_kernel_nan_triggers_guard_not_corruption(self):
+        tracer = Tracer()
+        plan = FaultPlan(seed=0, kernels=(
+            KernelFaultRule("gesvd", 0, kind="nan"),
+        ))
+        base = run_spmd(_sthosvd_prog, 4)
+        res = run_spmd(_sthosvd_prog, 4, faults=plan, resilience=True,
+                       tracer=tracer)
+        assert res.failed_ranks == []
+        # Factors stayed finite and the error did not blow up.
+        assert _first_err(res) <= 10 * _first_err(base)
+        recs = res.values[0]["numeric"]
+        assert recs and recs[0].endswith("qr->jacobi")
+        # Escalation is visible in tracer metrics and spans.
+        assert tracer.metrics.counter("ft.numeric_recoveries").value > 0
+        assert any(s.name == "ft.numeric_recovery" for s in tracer.spans)
+
+    def test_persistent_nan_exhausts_ladder(self):
+        from repro.dist import DistributedTensor, GridComms
+        from repro.dist.grid import ProcessorGrid
+        from repro.dist.redistribute import distribute_from_root
+        from repro.faults.guards import guarded_mode_svd
+
+        def prog(comm):
+            grid = ProcessorGrid.for_size(comm.size, len(SHAPE))
+            comms = GridComms(comm, grid)
+            dt = distribute_from_root(
+                comms, FULL if comm.rank == 0 else None, root=0)
+            with pytest.raises(ConvergenceError, match="non-finite"):
+                guarded_mode_svd(dt, 0, method="qr")
+            return "raised"
+
+        # Corrupt the primary gesvd AND the Jacobi fallback's kernels:
+        # every rung of the float64 ladder stays non-finite.
+        plan = FaultPlan(seed=0, kernels=tuple(
+            KernelFaultRule(k, i, kind="nan")
+            for k in ("gesvd", "geqr", "gelq")
+            for i in range(6)
+        ))
+        res = run_spmd(prog, 4, faults=plan)
+        assert all(v == "raised" for v in res.values)
+
+
+class TestHooiFaultTolerant:
+    def test_crash_mid_sweep_recovers(self):
+        def prog(comm):
+            res = hooi_fault_tolerant(
+                comm, FULL if comm.rank == 0 else None, RANKS,
+                method="gram", max_iters=4,
+            )
+            fit = res.result.final_fit if res.comm.rank == 0 else None
+            return (res.comm.size, res.recoveries,
+                    res.result.iterations, fit)
+
+        base = run_spmd(prog, 4)
+        base_fit = base.values[0][3]
+
+        plan = FaultPlan(seed=9, crashes=(CrashRule(rank=2, at_op=60),))
+        res = run_spmd(prog, 4, faults=plan, resilience=True)
+        done = [v for v in res.values if v is not None]
+        assert res.failed_ranks == [2]
+        assert all(v[0] == 3 and v[1] == 1 for v in done)
+        fit = next(v[3] for v in done if v[3] is not None)
+        assert fit == pytest.approx(base_fit, rel=1e-9)

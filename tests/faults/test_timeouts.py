@@ -1,0 +1,48 @@
+"""Blocking paths honor ``recv_timeout`` (S1): no path hangs forever."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import run_spmd
+
+
+class TestBlockingTimeouts:
+    def test_split_missing_member_times_out(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.split(color=0, key=0)  # rank 1 never joins
+            return "done"
+
+        with pytest.raises(CommunicatorError, match="timed out|deadlock|already finalized"):
+            run_spmd(prog, 2, recv_timeout=0.6)
+
+    def test_barrier_missing_member_times_out(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()  # rank 1 never arrives
+            return "done"
+
+        with pytest.raises(CommunicatorError, match="timed out|deadlock|already finalized"):
+            run_spmd(prog, 2, recv_timeout=0.6)
+
+    def test_sendrecv_missing_partner_times_out(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.sendrecv(np.arange(4), partner=1, tag=2)
+            return "done"
+
+        with pytest.raises(CommunicatorError, match="timed out|deadlock|already finalized"):
+            run_spmd(prog, 2, recv_timeout=0.6)
+
+    def test_shrink_is_woken_not_timed_out_by_late_joiners(self):
+        # All ranks shrink with nobody dead: the rendezvous completes
+        # well inside the timeout and yields an identical communicator.
+        def prog(comm):
+            new = comm.shrink()
+            return (new.rank, new.size)
+
+        res = run_spmd(prog, 3, recv_timeout=5.0)
+        assert res.values == [(0, 3), (1, 3), (2, 3)]

@@ -255,7 +255,9 @@ class TestExports:
         assert snap["context"] == "all"
         assert sorted(snap["ranks"]) == [0, 1, 2, 3]
         keys = {"sent_messages", "sent_bytes", "copied_bytes",
-                "moved_bytes", "recv_messages", "recv_bytes"}
+                "moved_bytes", "recv_messages", "recv_bytes",
+                "retried_messages", "dropped_messages",
+                "checksum_failures"}
         for d in snap["ranks"].values():
             assert set(d) == keys
         assert set(snap["totals"]) == keys

@@ -276,6 +276,28 @@ class TestSanitizedTraceCommand:
         assert "sanitizer" not in capsys.readouterr().out
 
 
+class TestChaosCommand:
+    def test_small_matrix_all_ok(self, capsys):
+        rc = main(["chaos", "--shape", "8", "6", "4", "--procs", "2",
+                   "--ranks", "3", "2", "2", "--replays", "1"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "chaos matrix" in printed
+        assert "all scenarios ok" in printed
+        assert "FAIL" not in printed
+        # One crash scenario per rank plus drop / kernel-nan / crash+drop.
+        for name in ("crash-rank0", "crash-rank1", "drop-1pct",
+                     "kernel-nan", "crash+drop"):
+            assert name in printed
+
+    def test_requires_exactly_one_of_tol_ranks(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--shape", "8", "6", "4", "--procs", "2"])
+        with pytest.raises(SystemExit):
+            main(["chaos", "--shape", "8", "6", "4", "--procs", "2",
+                  "--tol", "1e-4", "--ranks", "3", "2", "2"])
+
+
 class TestLintCommand:
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         good = tmp_path / "good.py"
