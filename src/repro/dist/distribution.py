@@ -1,0 +1,26 @@
+"""Block distribution arithmetic shared by every distributed kernel.
+
+The rule matches the runtime's collective block partitioning (and MPI's
+conventional uneven block distribution): the first ``length % nprocs``
+processes get one extra element, so block sizes differ by at most one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["block_range"]
+
+
+def block_range(length: int, nprocs: int, proc: int) -> tuple[int, int]:
+    """Half-open index range ``[start, stop)`` owned by ``proc``.
+
+    ``length`` elements are distributed over ``nprocs`` processes in
+    contiguous blocks whose sizes differ by at most one; the first
+    ``length % nprocs`` processes receive the larger blocks.  This is
+    the same rule :class:`repro.mpi.Communicator` uses internally for
+    reduce-scatter/allgather blocks, so tensor layouts and collective
+    payloads stay aligned.
+    """
+    base, extra = divmod(length, nprocs)
+    start = proc * base + min(proc, extra)
+    stop = start + base + (1 if proc < extra else 0)
+    return start, stop

@@ -1,0 +1,100 @@
+"""Data movement between tensor layouts (paper Sec. 3.2).
+
+Two operations live here: seeding a block distribution from data held
+only at the root, and the per-mode *unfolding redistribution* at the
+heart of the parallel kernels — converting the block layout into a
+column distribution of the mode-``n`` unfolding over the mode fiber,
+so each fiber rank holds full-height columns ``Y_(n)[:, c0:c1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs.tracer import trace_span
+from ..tensor.dense import DenseTensor
+from .distribution import block_range
+from .dtensor import DistributedTensor, GridComms
+
+__all__ = ["distribute_from_root", "redistribute_unfolding_to_columns"]
+
+# Reserved tag band for distribution traffic, clear of user tags and of
+# the checkpoint layer's buddy exchanges (988_000).
+_DIST_TAG = 987_000
+
+
+def distribute_from_root(
+    comms: GridComms, full, root: int = 0
+) -> DistributedTensor:
+    """Scatter a full tensor held only on ``root`` into the block layout.
+
+    ``full`` (ndarray or :class:`DenseTensor`) is consulted only on the
+    root rank; every other rank may pass ``None``.  The root peels off
+    each rank's block and sends it point-to-point, keeping its own
+    slice locally.  Collective over ``comms.comm``.
+    """
+    comm = comms.comm
+    grid = comms.grid
+    if comm.rank == root:
+        data = full.data if isinstance(full, DenseTensor) else np.asarray(full)
+        meta = (tuple(data.shape), data.dtype.str)
+    else:
+        meta = None
+    shape, dtype_str = comm.bcast(meta, root=root)
+    if len(shape) != grid.ndim:
+        raise ValueError(f"{len(shape)}-mode tensor on a {grid.ndim}-mode grid")
+
+    if comm.rank == root:
+        own = None
+        for r in range(comm.size):
+            slices = tuple(
+                slice(*block_range(s, p, c))
+                for s, p, c in zip(shape, grid.dims, grid.coords_of(r))
+            )
+            block = np.ascontiguousarray(data[slices])
+            if r == root:
+                own = block
+            else:
+                block.flags.writeable = False
+                comm.send(block, r, tag=_DIST_TAG, copy=False)
+        local = np.asfortranarray(own)
+    else:
+        local = np.asfortranarray(comm.recv(root, tag=_DIST_TAG))
+        if local.dtype.str != dtype_str:  # pragma: no cover - defensive
+            local = local.astype(np.dtype(dtype_str))
+    return DistributedTensor(comms, DenseTensor(local), shape)
+
+
+def redistribute_unfolding_to_columns(dt: DistributedTensor, n: int) -> np.ndarray:
+    """Columns of the global mode-``n`` unfolding owned by this rank.
+
+    Within the mode-``n`` fiber, each rank trades the column-split
+    pieces of its local unfolding for the row blocks of its column
+    range — one pairwise all-to-all of ``P_n - 1`` messages per rank.
+    The returned slab has all ``I_n`` global rows and this fiber rank's
+    contiguous share of the columns.  When ``P_n == 1`` the local
+    unfolding already is the slab and no messages are exchanged.
+    Staged pieces are frozen and moved, not copied.
+    """
+    grid = dt.grid
+    p_n = grid.dims[n]
+    M = dt.local.unfold(n)
+    if p_n == 1:
+        return M
+    with trace_span("redistribute", mode=n, rows=M.shape[0], cols=M.shape[1]):
+        fiber = dt.comms.fiber(n)
+        me = fiber.rank
+        cols_local = M.shape[1]
+        pieces = []
+        for q in range(p_n):
+            c0, c1 = block_range(cols_local, p_n, q)
+            piece = np.ascontiguousarray(M[:, c0:c1])
+            piece.flags.writeable = False
+            pieces.append(piece)
+        received = fiber.alltoall(pieces, copy=False)
+        # Fiber rank p holds the mode-n row block block_range(I_n, P_n, p)
+        # of the global unfolding; stack in rank order to recover all rows.
+        c0, c1 = block_range(cols_local, p_n, me)
+        if c1 == c0:
+            return np.zeros((dt.global_shape[n], 0), dtype=dt.dtype)
+        return np.concatenate(received, axis=0)

@@ -18,10 +18,12 @@ def X():
 
 
 def _run(X, grid_dims, **kwargs):
+    single = kwargs.pop("_single", False)
+
     def prog(comm):
         comms = GridComms(comm, ProcessorGrid(grid_dims))
         dt = DistributedTensor.from_full(comms, X.data)
-        if kwargs.pop("_single", False):
+        if single:
             dt = dt.astype("single")
         res = sthosvd_parallel(dt, **kwargs)
         return {
