@@ -1,0 +1,193 @@
+"""Strong-scaling snapshot: threaded vs process-backend ST-HOSVD.
+
+Runs the parallel ST-HOSVD driver and the parallel-LQ (TSQR)
+microbenchmark at 1, 2, and 4 ranks on both transport backends and
+emits a machine-readable ``BENCH_sthosvd_scaling.json`` snapshot —
+the first artifact of the ROADMAP's benchmark-gating item: versioned
+JSON carrying the config, the commit, measured wall/compute times, and
+the CommTrace message/byte counters, so future changes to the hot
+paths can be diffed against it with tolerance bands.
+
+Honesty notes recorded in the snapshot itself:
+
+* ``host.cpu_count`` is embedded because the threads-vs-procs
+  comparison is meaningful only on a multi-core host.  On a single
+  core the process backend's fork/IPC overhead makes it *slower* —
+  the expected crossover needs >= 2 cores and shows up in CI's
+  multi-core runners.
+* wall times include world spawn/teardown (what a user experiences);
+  ``compute_s`` is the slowest rank's in-program time, excluding
+  transport setup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sthosvd_scaling.py [--reps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import sthosvd_parallel  # noqa: E402
+from repro.dist import (  # noqa: E402
+    DistributedTensor,
+    GridComms,
+    ProcessorGrid,
+    block_range,
+    butterfly_tsqr_reduce,
+)
+from repro.mpi import CommTrace, run_spmd  # noqa: E402
+
+SHAPE = (96, 64, 48)
+RANKS = (12, 10, 8)
+METHOD = "qr"
+RANK_COUNTS = (1, 2, 4)
+BACKENDS = ("threads", "procs")
+
+LQ_ROWS = 4096
+LQ_COLS = 64
+
+REPORT = os.path.join(os.path.dirname(__file__), "reports",
+                      "BENCH_sthosvd_scaling.json")
+
+
+def _commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(__file__), check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _sthosvd_prog(comm, data):
+    comms = GridComms(comm, ProcessorGrid((comm.size, 1, 1)))
+    dt = DistributedTensor.from_full(comms, data)
+    t0 = time.perf_counter()
+    res = sthosvd_parallel(dt, ranks=RANKS, method=METHOD)
+    elapsed = time.perf_counter() - t0
+    return {"elapsed": elapsed, "ranks": res.ranks}
+
+
+def _lq_prog(comm):
+    start, stop = block_range(LQ_ROWS, comm.size, comm.rank)
+    local = np.random.default_rng(1000 + comm.rank).standard_normal(
+        (stop - start, LQ_COLS)
+    )
+    t0 = time.perf_counter()
+    R_local = np.linalg.qr(local, mode="r")
+    R = butterfly_tsqr_reduce(comm, R_local)
+    elapsed = time.perf_counter() - t0
+    return {"elapsed": elapsed, "check": float(np.abs(R).sum())}
+
+
+def _measure(fn, nprocs, backend, reps, *args, comm_trace=None):
+    walls, computes = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = run_spmd(fn, nprocs, *args, backend=backend,
+                       comm_trace=comm_trace)
+        walls.append(time.perf_counter() - t0)
+        computes.append(max(v["elapsed"] for v in res.values))
+    return {
+        "wall_s": [round(w, 4) for w in walls],
+        "best_wall_s": round(min(walls), 4),
+        "best_compute_s": round(min(computes), 4),
+    }
+
+
+def _trace_counters(trace: CommTrace) -> dict:
+    snap = trace.to_dict()["totals"]
+    return {k: snap[k] for k in (
+        "sent_messages", "sent_bytes", "copied_bytes", "moved_bytes",
+        "recv_messages", "recv_bytes",
+    )}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per configuration (min is kept)")
+    parser.add_argument("--out", default=REPORT)
+    args = parser.parse_args(argv)
+
+    data = np.asfortranarray(
+        np.random.default_rng(7).standard_normal(SHAPE)
+    )
+
+    sthosvd: dict = {}
+    lq: dict = {}
+    traces: dict = {}
+    for backend in BACKENDS:
+        sthosvd[backend] = {}
+        lq[backend] = {}
+        for nprocs in RANK_COUNTS:
+            sthosvd[backend][str(nprocs)] = _measure(
+                _sthosvd_prog, nprocs, backend, args.reps, data
+            )
+            lq[backend][str(nprocs)] = _measure(
+                _lq_prog, nprocs, backend, args.reps
+            )
+            print(f"sthosvd {backend:7s} P={nprocs}: "
+                  f"{sthosvd[backend][str(nprocs)]['best_wall_s']:.3f}s wall, "
+                  f"lq: {lq[backend][str(nprocs)]['best_wall_s']:.3f}s")
+        trace = CommTrace()
+        run_spmd(_sthosvd_prog, max(RANK_COUNTS), data, backend=backend,
+                 comm_trace=trace)
+        traces[backend] = _trace_counters(trace)
+
+    p = str(max(RANK_COUNTS))
+    speedup = (sthosvd["threads"][p]["best_wall_s"]
+               / sthosvd["procs"][p]["best_wall_s"])
+    snapshot = {
+        "bench": "sthosvd_scaling",
+        "version": 1,
+        "commit": _commit(),
+        "generated_unix": int(time.time()),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "note": (
+            "procs-over-threads speedup requires a multi-core host; on "
+            "cpu_count=1 the process backend pays fork/IPC overhead with "
+            "no parallelism to win back (see docs/mpi-runtime.md)."
+        ),
+        "config": {
+            "shape": list(SHAPE),
+            "ranks": list(RANKS),
+            "method": METHOD,
+            "rank_counts": list(RANK_COUNTS),
+            "reps": args.reps,
+            "lq_rows": LQ_ROWS,
+            "lq_cols": LQ_COLS,
+        },
+        "sthosvd": sthosvd,
+        "lq_microbench": lq,
+        "comm_trace_totals": traces,
+        "speedup_procs_over_threads_at_max_ranks": round(speedup, 3),
+    }
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {args.out} "
+          f"(speedup procs/threads at P={p}: {speedup:.2f}x "
+          f"on {os.cpu_count()} cpus)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -290,7 +290,7 @@ def _cmd_trace(args) -> int:
 
     res = run_spmd(
         program, nprocs, tracer=tracer, comm_trace=comm_trace,
-        sanitize=args.sanitize,
+        sanitize=args.sanitize, backend=args.backend,
     )
     result = res[0]
 
@@ -384,7 +384,8 @@ def _cmd_chaos(args) -> int:
                 "recoveries": res.recoveries}
 
     def launch(plan):
-        return run_spmd(program, nprocs, faults=plan, resilience=True)
+        return run_spmd(program, nprocs, faults=plan, resilience=True,
+                        backend=args.backend)
 
     # Fault-free baseline: the reference error, and per-rank operation
     # counts that place injected crashes mid-run (after the first
@@ -575,6 +576,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="directory for trace.json and the report tables")
     tr.add_argument("--verbose", action="store_true",
                     help="per-mode progress events from rank 0")
+    tr.add_argument("--backend", default=None, choices=["threads", "procs"],
+                    help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")
     tr.add_argument("--sanitize", action="store_true",
                     help="run under the SPMD sanitizer (collective matching, "
                          "deadlock detection, move enforcement)")
@@ -603,6 +606,8 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--error-factor", type=float, default=10.0,
                     help="max allowed reconstruction error relative to the "
                          "fault-free run")
+    ch.add_argument("--backend", default=None, choices=["threads", "procs"],
+                    help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")
     ch.set_defaults(fn=_cmd_chaos)
 
     ln = sub.add_parser(

@@ -88,6 +88,53 @@ class GridComms:
         return f"GridComms(grid={self._grid!r}, rank={self._comm.rank})"
 
 
+class _DetachedGridComms:
+    """Stand-in for :class:`GridComms` after a process-boundary crossing.
+
+    A live communicator graph cannot be pickled (the ``procs``
+    transport ships rank return values back to the master process), so
+    a pickled :class:`DistributedTensor` detaches: the grid layout,
+    this rank's coordinates, and the local block survive, while
+    anything that would communicate raises :class:`DistributionError`
+    instead of hanging or corrupting state.
+    """
+
+    def __init__(self, dims: Sequence[int], rank: int):
+        self._grid = ProcessorGrid(tuple(dims))
+        self._rank = int(rank)
+
+    @property
+    def grid(self) -> ProcessorGrid:
+        return self._grid
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        return self._grid.coords_of(self._rank)
+
+    def _no_world(self):
+        raise DistributionError(
+            "this DistributedTensor was detached from its SPMD world when "
+            "it crossed a process boundary (e.g. returned from "
+            "run_spmd(backend='procs')); layout metadata and the local "
+            "block remain usable, but collective operations need a live "
+            "communicator — run them inside the rank program instead"
+        )
+
+    @property
+    def comm(self):
+        self._no_world()
+
+    @property
+    def cart(self):
+        self._no_world()
+
+    def fiber(self, n: int):
+        self._no_world()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_DetachedGridComms(grid={self._grid!r}, rank={self._rank})"
+
+
 class DistributedTensor:
     """A dense tensor block-distributed over a processor grid.
 
@@ -239,6 +286,25 @@ class DistributedTensor:
         for slices, block in pieces:
             full[tuple(slices)] = block
         return DenseTensor(full)
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Detach for pickling: keep layout + local block, drop the world."""
+        if isinstance(self._comms, _DetachedGridComms):
+            rank = self._comms._rank
+        else:
+            rank = self._comms.comm.rank
+        return {
+            "dims": self.grid.dims,
+            "rank": rank,
+            "local": np.asarray(self._local.data),
+            "global_shape": self._global_shape,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._comms = _DetachedGridComms(state["dims"], state["rank"])
+        self._local = DenseTensor(state["local"])
+        self._global_shape = tuple(state["global_shape"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

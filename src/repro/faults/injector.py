@@ -242,3 +242,24 @@ class FaultInjector:
         """Operation counts per rank (calibrates crash points)."""
         with self._states_lock:
             return {r: st.ops for r, st in sorted(self._states.items())}
+
+    def absorb(self, events, ops_per_rank) -> None:
+        """Merge a worker shard: fired events plus per-rank op counts.
+
+        The process transport forks this injector into each worker; the
+        worker ships back only post-fork events (as :meth:`FaultEvent.
+        as_tuple` tuples) and its op counts, which merge here with
+        ``max`` — a rank's counter only ever advances in its own
+        process, so the largest value is the true one.
+        """
+        with self._trace_lock:
+            for t in events:
+                if len(self._trace) >= self._trace_limit:
+                    break
+                self._trace.append(FaultEvent(t[0], t[1], t[2], tuple(t[3])))
+        with self._states_lock:
+            for rank, ops in ops_per_rank.items():
+                st = self._states.setdefault(
+                    rank, _RankState(self.plan.seed, rank)
+                )
+                st.ops = max(st.ops, ops)

@@ -15,6 +15,7 @@ from .costmodel import CommCosts, ComputeRates, CostModel, RankClock
 from .launcher import run_spmd, SpmdResult
 from .request import Request, waitall
 from .tracing import CommTrace
+from .transport import Transport, available_backends
 from .tuning import CollectiveTuning
 from .cart import CartComm
 from .algorithms import (
@@ -36,6 +37,8 @@ __all__ = [
     "Request",
     "waitall",
     "CommTrace",
+    "Transport",
+    "available_backends",
     "CollectiveTuning",
     "CartComm",
     "allreduce_recursive_doubling",

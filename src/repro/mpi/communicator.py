@@ -342,7 +342,8 @@ class Communicator:
         with self._comm_span("send", dest=dest):
             self._send_internal(obj, dest, tag, copy=copy)
 
-    def _send_internal(self, obj: Any, dest: int, tag: int, *, copy: bool = True) -> None:
+    def _send_internal(self, obj: Any, dest: int, tag: int, *,
+                       copy: bool = True, asynchronous: bool = False):
         ctx = self._context
         # Fault-tolerance hooks, ordered cheapest-first: the clean path
         # (no faults, no resilience, nothing revoked) costs two extra
@@ -350,9 +351,12 @@ class Communicator:
         if self._comm_id < ctx.revoked_below:
             ctx.check_revoked(self._comm_id)
         if ctx.faults is not None or ctx.resilience is not None:
+            # The retry protocol may deliver several times; completion
+            # tracking degenerates to "staged once the loop returns".
             self._send_resilient(obj, dest, tag, copy=copy)
-            return
-        self._deliver(obj, dest, tag, copy=copy)
+            return None
+        return self._deliver(obj, dest, tag, copy=copy,
+                             asynchronous=asynchronous)
 
     def _send_resilient(self, obj: Any, dest: int, tag: int, *, copy: bool) -> None:
         """Send through the (possibly lossy) injected link.
@@ -439,7 +443,8 @@ class Communicator:
     def _deliver(
         self, obj: Any, dest: int, tag: int, *, copy: bool = True,
         seq: int | None = None, checksum: int | None = None,
-    ) -> None:
+        asynchronous: bool = False,
+    ):
         self._context.check_alive()
         nbytes = _payload_nbytes(obj)
         moved = (not copy) or _is_readonly_array(obj)
@@ -472,8 +477,17 @@ class Communicator:
             payload=payload, send_time=arrival, moved=moved, nbytes=nbytes,
             origin=origin, seq=seq, checksum=checksum,
         )
-        box = self._context.mailbox(self._comm_id, self._members[dest])
-        box.put(self._rank, tag, env)
+        # The transport seam: the threads backend appends to the shared
+        # in-process mailbox, the process backend stages the payload
+        # into a shared-memory ring toward the master-resident mailbox.
+        if asynchronous:
+            return self._context.deliver_async(
+                self._comm_id, self._members[dest], self._rank, tag, env
+            )
+        self._context.deliver(
+            self._comm_id, self._members[dest], self._rank, tag, env
+        )
+        return None
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive matched on (source, tag) within this communicator."""
@@ -542,6 +556,12 @@ class Communicator:
         active sanitizer, drives the wait-for-graph deadlock watchdog.
         """
         ctx = self._context
+        if getattr(ctx, "remote_recv", False):
+            # Process backend: the canonical blocked-receive protocol —
+            # failed-partner fast-fail, revocation checks, sanitizer
+            # wait-graph bookkeeping — runs master-side inside the RPC
+            # this proxy get issues; the worker just blocks on the reply.
+            return box.get(source, tag, ctx.recv_timeout)
         san = ctx.sanitizer
         me = self.world_rank
         src_world = self._members[source]
@@ -606,12 +626,30 @@ class Communicator:
     # Nonblocking point-to-point
     # ------------------------------------------------------------------
     def isend(self, obj: Any, dest: int, tag: int = 0, *, copy: bool = True):
-        """Nonblocking send.  Sends are buffered, so the returned request
-        is already complete; it exists for mpi4py-style code symmetry."""
+        """Nonblocking send; completion means the payload is staged.
+
+        On the threads backend staging *is* delivery (a mailbox
+        append), so the request comes back already complete.  On the
+        process backend the payload still has to travel through the
+        shared-memory ring to the master, and the request completes
+        only once that buffer handoff finishes — ``test()`` reports the
+        true staging state instead of pretending the send was
+        instantaneous.  Either way, completion never implies the
+        receiver has *matched* the message (MPI buffered-send
+        semantics).
+        """
         from .request import Request
 
-        self.send(obj, dest, tag, copy=copy)
-        return Request.completed(kind="send")
+        self._check_rank(dest, "destination")
+        if tag < 0:
+            raise CommunicatorError("user tags must be non-negative")
+        with self._comm_span("isend", dest=dest):
+            token = self._send_internal(
+                obj, dest, tag, copy=copy, asynchronous=True
+            )
+        if token is None:
+            return Request.completed(kind="send")
+        return Request.from_token(token, kind="send")
 
     def irecv(self, source: int, tag: int = 0):
         """Nonblocking receive; complete with ``.wait()`` or poll ``.test()``."""
@@ -1197,52 +1235,19 @@ class Communicator:
         if san is not None:
             self._sanitize_collective(san, "split")
         self._coll_seq += 1
-        table = self._context.split_barrier(self._comm_id, self._coll_seq, self.size)
         sort_key = self._rank if key is None else key
         with self._comm_span("split"):
-            return self._split_internal(table, color, sort_key)
+            return self._split_internal(color, sort_key)
 
-    def _split_internal(self, table, color, sort_key) -> "Communicator | None":
-
-        def combine(contributions: dict[int, tuple]) -> dict:
-            groups: dict[int, list] = {}
-            for old_rank, (c, k) in contributions.items():
-                if c is not None:
-                    groups.setdefault(c, []).append((k, old_rank))
-            out = {}
-            for c, members in groups.items():
-                members.sort()
-                new_id = self._context.allocate_comm_id()
-                out[c] = (new_id, [self._members[old] for _, old in members],
-                          [old for _, old in members])
-            return out
-
-        ctx = self._context
-
-        def poll(contributed: set) -> None:
-            # A split blocked on a member that already died can never
-            # complete; fail fast like a blocked receive would.
-            if self._comm_id < ctx.revoked_below:
-                ctx.check_revoked(self._comm_id)
-            ctx.check_alive()
-            for old, world in enumerate(self._members):
-                if old not in contributed:
-                    status = ctx.rank_status(world)
-                    if status != "running":
-                        raise RankFailedError(
-                            f"rank {self.world_rank} blocked in split "
-                            f"but member rank {world} already {status}"
-                        )
-
-        interval = (
-            ctx.sanitizer.watchdog_interval if ctx.sanitizer is not None
-            else ctx.fault_poll_interval
-        )
-        if interval is None:
-            interval = 0.25  # dead-member detection even without faults
-        result = table.contribute(
-            self._rank, (color, sort_key), combine, ctx.recv_timeout,
-            poll=poll, interval=interval,
+    def _split_internal(self, color, sort_key) -> "Communicator | None":
+        # The rendezvous (grouping, ordering, comm-id allocation) runs
+        # wherever the world state lives — in-process for the threads
+        # backend, on the master for the process backend — so new
+        # communicator ids are allocated exactly once per color group.
+        result = self._context.split_rendezvous(
+            self._comm_id, self._coll_seq, self.size,
+            self._rank, (color, sort_key), list(self._members),
+            self.world_rank,
         )
         if color is None:
             return None
@@ -1290,19 +1295,14 @@ class Communicator:
         """
         ctx = self._context
         self._shrink_seq += 1
-        table = ctx.shrink_table(self._comm_id, self._shrink_seq)
         members = self._members
-
-        def running_old_ranks() -> set:
-            ctx.check_alive()
-            running = ctx.running_world_ranks()
-            return {i for i, w in enumerate(members) if w in running}
-
-        interval = ctx.fault_poll_interval or 0.25
         with self._comm_span("shrink"):
-            new_id, ordered_old = table.contribute(
-                self._rank, self.world_rank, running_old_ranks,
-                ctx.allocate_comm_id, ctx.recv_timeout, interval,
+            # Survivor discovery and the fresh-epoch comm-id allocation
+            # are one authoritative computation where the world state
+            # lives (master-side under the process backend).
+            new_id, ordered_old = ctx.shrink_rendezvous(
+                self._comm_id, self._shrink_seq,
+                self._rank, self.world_rank, list(members),
             )
         new_members = [members[i] for i in ordered_old]
         new_rank = ordered_old.index(self._rank)

@@ -19,7 +19,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..errors import CommunicatorError, WorldAbortedError
+from ..errors import CommunicatorError, RankFailedError, WorldAbortedError
 from .costmodel import CostModel
 from .tuning import CollectiveTuning
 
@@ -283,9 +283,15 @@ class SpmdContext:
         sanitizer=None,
         faults=None,
         resilience=None,
+        transport=None,
     ) -> None:
         if world_size <= 0:
             raise CommunicatorError("world size must be positive")
+        if transport is None:
+            from .transport.threads import ThreadTransport
+
+            transport = ThreadTransport()
+        self.transport = transport
         self.world_size = world_size
         self.cost_model = cost_model
         self.recv_timeout = recv_timeout
@@ -324,6 +330,10 @@ class SpmdContext:
         # instead of deadlocking until the receive timeout.
         self._rank_status = ["running"] * world_size
         self._status_lock = threading.Lock()
+        # Transport hooks: run on abort / revocation so backends with
+        # out-of-process ranks can propagate the state change promptly.
+        self._abort_hooks: list = []
+        self._revoke_hooks: list = []
         if sanitizer is not None:
             sanitizer.attach(self)
 
@@ -342,6 +352,21 @@ class SpmdContext:
         """Snapshot of ``((comm_id, world_rank), mailbox)`` pairs."""
         with self._mailbox_lock:
             return list(self._mailboxes.items())
+
+    # -- delivery (routed through the transport) -----------------------
+    def deliver(self, comm_id: int, dest_world: int, source: int,
+                tag: int, envelope: Envelope) -> None:
+        """Hand one envelope to the transport (blocking handoff)."""
+        self.transport.deliver(
+            self, comm_id, dest_world, source, tag, envelope
+        )
+
+    def deliver_async(self, comm_id: int, dest_world: int, source: int,
+                      tag: int, envelope: Envelope):
+        """Nonblocking handoff; a completion token, or None when done."""
+        return self.transport.deliver_async(
+            self, comm_id, dest_world, source, tag, envelope
+        )
 
     def wake_all_mailboxes(self) -> None:
         """Wake every blocked receiver so it re-runs its poll hook."""
@@ -394,6 +419,19 @@ class SpmdContext:
             }
 
     # -- abort handling ------------------------------------------------
+    def add_abort_hook(self, hook) -> None:
+        """Register ``hook(reason)`` to run on :meth:`abort`.
+
+        The process transport uses this to push the abort out-of-band
+        to every worker process, whose local abort mirrors would
+        otherwise only learn of it at their next RPC.
+        """
+        self._abort_hooks.append(hook)
+
+    def add_revoke_hook(self, hook) -> None:
+        """Register ``hook(threshold, reason)`` to run on a revocation."""
+        self._revoke_hooks.append(hook)
+
     def abort(self, reason: str) -> None:
         """Mark the world dead and wake every blocked receiver."""
         self.abort_reason = reason
@@ -403,6 +441,8 @@ class SpmdContext:
         for box in boxes:
             box.wake_all()
         self.wake_rendezvous()
+        for hook in self._abort_hooks:
+            hook(reason)
 
     def check_alive(self) -> None:
         """Raise WorldAbortedError if the world has been aborted."""
@@ -438,6 +478,102 @@ class SpmdContext:
                 self._shrink_tables[key] = table
             return table
 
+    def _rendezvous_interval(self) -> float:
+        """Poll cadence for rendezvous waits (dead-member detection)."""
+        interval = (
+            self.sanitizer.watchdog_interval if self.sanitizer is not None
+            else self.fault_poll_interval
+        )
+        # Dead-member detection even without faults or a sanitizer.
+        return 0.25 if interval is None else interval
+
+    def split_rendezvous(
+        self,
+        parent_comm_id: int,
+        seqno: int,
+        size: int,
+        rank: int,
+        value: tuple,
+        members: list[int],
+        world_rank: int,
+    ) -> dict:
+        """One rank's contribution to a collective split, blocking for all.
+
+        Runs entirely on the side that owns the world state (the caller
+        for the threads backend, the master for the process backend):
+        grouping, ordering, *and the new communicator-id allocation*
+        happen once, inside the last contributor's combine, so ids are
+        handed out exactly once per color group regardless of which
+        process asked.  Returns the full ``{color: (new_comm_id,
+        world_members, old_ranks)}`` map.
+        """
+        table = self.split_barrier(parent_comm_id, seqno, size)
+
+        def combine(contributions: dict[int, tuple]) -> dict:
+            groups: dict[int, list] = {}
+            for old_rank, (c, k) in contributions.items():
+                if c is not None:
+                    groups.setdefault(c, []).append((k, old_rank))
+            out = {}
+            for c, group in groups.items():
+                group.sort()
+                new_id = self.allocate_comm_id()
+                out[c] = (
+                    new_id,
+                    [members[old] for _, old in group],
+                    [old for _, old in group],
+                )
+            return out
+
+        def poll(contributed: set) -> None:
+            # A split blocked on a member that already died can never
+            # complete; fail fast like a blocked receive would.
+            if parent_comm_id < self.revoked_below:
+                self.check_revoked(parent_comm_id)
+            self.check_alive()
+            for old, world in enumerate(members):
+                if old not in contributed:
+                    status = self.rank_status(world)
+                    if status != "running":
+                        raise RankFailedError(
+                            f"rank {world_rank} blocked in split "
+                            f"but member rank {world} already {status}"
+                        )
+
+        return table.contribute(
+            rank, value, combine, self.recv_timeout,
+            poll=poll, interval=self._rendezvous_interval(),
+        )
+
+    def shrink_rendezvous(
+        self,
+        parent_comm_id: int,
+        seqno: int,
+        rank: int,
+        world_rank: int,
+        members: list[int],
+    ) -> tuple[int, list[int]]:
+        """One survivor's contribution to a shrink, blocking for the rest.
+
+        Like :meth:`split_rendezvous`, this runs where the world state
+        lives, so the survivor discovery (``running_world_ranks``) and
+        the post-revocation communicator-id allocation are a single
+        authoritative computation.  Returns ``(new_comm_id, ordered old
+        ranks)``.
+        """
+        table = self.shrink_table(parent_comm_id, seqno)
+
+        def running_old_ranks() -> set:
+            self.check_alive()
+            running = self.running_world_ranks()
+            return {i for i, w in enumerate(members) if w in running}
+
+        interval = self.fault_poll_interval or 0.25
+        return table.contribute(
+            rank, world_rank, running_old_ranks,
+            self.allocate_comm_id, self.recv_timeout, interval,
+        )
+
     # -- epoch revocation ----------------------------------------------
     def revoke_current(self, reason: str) -> None:
         """Poison every communicator allocated so far (MPI_Comm_revoke).
@@ -457,6 +593,8 @@ class SpmdContext:
                 self.revoked_below = threshold
                 self.revoke_reason = reason
         self.wake_all_mailboxes()
+        for hook in self._revoke_hooks:
+            hook(self.revoked_below, reason)
 
     def check_revoked(self, comm_id: int) -> None:
         """Raise CommRevokedError when ``comm_id`` belongs to a revoked epoch."""

@@ -20,9 +20,8 @@ See :mod:`repro.sanitize` and ``docs/sanitizer.md``.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from ..errors import (
     CommunicatorError,
@@ -31,20 +30,14 @@ from ..errors import (
     SanitizerError,
     WorldAbortedError,
 )
-from ..faults.injector import (
-    FaultInjector,
-    activate as faults_activate,
-    deactivate as faults_deactivate,
-)
-from ..faults.plan import FaultPlan, Resilience
-from ..obs.tracer import activate as obs_activate, deactivate as obs_deactivate
-from .communicator import Communicator
+from ..faults.injector import FaultInjector
+from ..faults.plan import Resilience
 from .context import SpmdContext
 from .costmodel import CostModel
+from .transport import make_transport
+from .transport.threads import WORLD_COMM_ID
 
-__all__ = ["run_spmd", "SpmdResult"]
-
-WORLD_COMM_ID = 0
+__all__ = ["run_spmd", "SpmdResult", "WORLD_COMM_ID"]
 
 
 @dataclass
@@ -99,6 +92,7 @@ def run_spmd(
     sanitize=False,
     faults=None,
     resilience=None,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -110,6 +104,17 @@ def run_spmd(
         argument; its return value is collected per rank.
     nprocs:
         Number of ranks.
+    backend:
+        Rank transport: ``"threads"`` (default — ranks as threads of
+        this process, shared address space) or ``"procs"`` (ranks as
+        forked worker processes exchanging ndarray payloads through
+        shared-memory rings — true multi-core execution for GIL-bound
+        code; requires ``fn``, its arguments, and its return values to
+        be fork-inheritable / picklable-modulo-ndarrays).  ``None``
+        reads ``REPRO_SPMD_BACKEND``, falling back to ``"threads"``.
+        Results, collectives, fault injection, tracing, and the
+        sanitizer's collective/deadlock/leak checks behave identically
+        on either backend; see ``docs/mpi-runtime.md`` (Transports).
     cost_model:
         Optional alpha-beta-gamma parameters; when given, every rank's
         communicator carries a logical clock and ``SpmdResult.clocks``
@@ -177,62 +182,14 @@ def run_spmd(
             raise CommunicatorError(
                 f"resilience= expects True or a Resilience, got {resilience!r}"
             )
+    transport = make_transport(backend)
     context = SpmdContext(
         nprocs, cost_model=cost_model, recv_timeout=recv_timeout,
         comm_trace=comm_trace, tuning=tuning, tracer=tracer,
         sanitizer=sanitizer, faults=injector, resilience=res_cfg,
+        transport=transport,
     )
-    members = list(range(nprocs))
-    values: list = [None] * nprocs
-    clocks: list = [None] * nprocs
-    errors: list = [None] * nprocs
-
-    def worker(rank: int) -> None:
-        comm = Communicator(context, WORLD_COMM_ID, members, rank)
-        clocks[rank] = comm.clock
-        if tracer is not None:
-            obs_activate(tracer, rank)
-        if injector is not None:
-            faults_activate(injector, rank)
-        try:
-            values[rank] = fn(comm, *args, **kwargs)
-            context.mark_finalized(rank)
-        except RankKilledError as exc:
-            # An injected crash is a *simulated* failure: record the
-            # death so partners observe RankFailedError, but leave the
-            # world running — survivors get the chance to shrink and
-            # recover.  Only a real error aborts everyone.
-            errors[rank] = exc
-            context.mark_failed(rank)
-        except BaseException as exc:  # noqa: BLE001 - must abort the world
-            if sanitizer is not None:
-                # A write into a frozen (moved) buffer surfaces as
-                # NumPy's read-only ValueError; re-attribute it to the
-                # zero-copy send that relinquished the buffer.
-                translated = sanitizer.explain_readonly_write(exc, rank)
-                if translated is not None:
-                    exc = translated
-            errors[rank] = exc
-            context.mark_failed(rank)
-            context.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
-        finally:
-            if injector is not None:
-                faults_deactivate()
-            if tracer is not None:
-                obs_deactivate()
-
-    if nprocs == 1:
-        # Fast path: no threads for the serial case.
-        worker(0)
-    else:
-        threads = [
-            threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
-            for r in range(nprocs)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+    values, clocks, errors = transport.execute(context, fn, args, kwargs)
 
     # Sanitizer findings are root causes; CommunicatorError is usually a
     # secondary symptom (a rank unblocked by the world abort) — re-raise

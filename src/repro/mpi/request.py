@@ -1,22 +1,38 @@
 """Nonblocking communication requests for the simulated MPI layer.
 
-``isend`` completes immediately (sends are buffered — the payload is
-snapshotted into the destination mailbox), so its request exists for API
-symmetry.  ``irecv`` returns a request whose :meth:`Request.wait`
-performs the blocking matched receive; :meth:`Request.test` polls
-without blocking.  ``waitall`` completes a batch in order.
+``isend`` completion means the payload has been *staged* out of the
+sender's hands.  On the threads backend staging is a direct mailbox
+append, so send requests come back already complete; on the process
+backend the payload still has to travel through the shared-memory ring
+to the master, and the request tracks that buffer handoff
+(:meth:`Request.from_token`).  ``irecv`` returns a request whose
+:meth:`Request.wait` performs the blocking matched receive;
+:meth:`Request.test` polls without blocking.  ``waitall`` completes a
+batch in order.
 
-These mirror the mpi4py idioms the algorithms' reference implementations
-use for overlapping the TSQR exchanges.
+Repeatedly polling an incomplete request must not busy-spin: each
+unsuccessful :meth:`Request.test` sleeps for a bounded, exponentially
+growing interval (1 µs doubling to a 1 ms cap), so a ``while not
+req.test()[0]`` loop costs microseconds of latency instead of a core.
+
+These mirror the mpi4py idioms the algorithms' reference
+implementations use for overlapping the TSQR exchanges.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Sequence
 
 from ..errors import CommunicatorError
 
 __all__ = ["Request", "waitall"]
+
+# Bounded backoff for unsuccessful test() polls: start at 1 us, double
+# to a 1 ms cap.  Keeps poll loops off the CPU without adding visible
+# latency once the operation completes.
+_BACKOFF_START = 1e-6
+_BACKOFF_CAP = 1e-3
 
 
 class Request:
@@ -27,6 +43,7 @@ class Request:
         self._complete_fn = complete_fn
         self._value = value
         self._done = complete_fn is None
+        self._backoff = _BACKOFF_START
 
     @property
     def kind(self) -> str:
@@ -40,8 +57,10 @@ class Request:
         """Poll for completion; returns ``(done, value-or-None)``.
 
         For receives, a ready message completes the request and returns
-        its payload; an empty mailbox returns ``(False, None)`` without
-        blocking.
+        its payload; for sends, completion means the payload has been
+        staged.  An incomplete poll returns ``(False, None)`` without
+        blocking, after a bounded backoff sleep (growing 1 µs → 1 ms)
+        so tight test loops do not busy-spin a core.
         """
         if self._done:
             return True, self._value
@@ -51,6 +70,9 @@ class Request:
             self._value = value
             self._done = True
             self._complete_fn = None
+        else:
+            time.sleep(self._backoff)
+            self._backoff = min(self._backoff * 2, _BACKOFF_CAP)
         return self._done, self._value
 
     def wait(self) -> Any:
@@ -68,8 +90,26 @@ class Request:
 
     @staticmethod
     def completed(value: Any = None, kind: str = "send") -> "Request":
-        """An already-complete request (buffered sends)."""
+        """An already-complete request (threads-backend buffered sends)."""
         return Request(kind, complete_fn=None, value=value)
+
+    @staticmethod
+    def from_token(token, kind: str = "send") -> "Request":
+        """A request tracking a transport handoff token.
+
+        ``token`` is ``threading.Event``-like: ``is_set()`` reports
+        whether the payload has been staged, ``wait()`` blocks for it.
+        The process backend returns one per ``isend`` so completion
+        reflects the true shared-memory ring handoff.
+        """
+
+        def complete(blocking: bool):
+            if blocking:
+                token.wait()
+                return True, None
+            return token.is_set(), None
+
+        return Request(kind, complete_fn=complete)
 
 
 def waitall(requests: Sequence[Request]) -> list:

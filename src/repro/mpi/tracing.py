@@ -209,6 +209,55 @@ class CommTrace:
                 c for (_r, c) in self._recv_messages
             }
 
+    # -- cross-process shard transfer -------------------------------------
+    def state(self) -> dict:
+        """Picklable snapshot of the raw tallies.
+
+        The process transport ships each worker's tallies back to the
+        master as one of these; combine with :meth:`diff_states` (to
+        subtract a pre-fork baseline) and :meth:`merge_state` (to fold
+        the shard into the caller's trace).
+        """
+        with self._lock:
+            return {
+                "messages": dict(self._messages),
+                "bytes": dict(self._bytes),
+                "copied": dict(self._copied),
+                "moved": dict(self._moved),
+                "recv_messages": dict(self._recv_messages),
+                "recv_bytes": dict(self._recv_bytes),
+                "dropped": dict(self._dropped),
+                "retried": dict(self._retried),
+                "checksum_failures": dict(self._checksum_failures),
+            }
+
+    @staticmethod
+    def diff_states(now: dict, base: dict) -> dict:
+        """Tally-wise difference of two :meth:`state` snapshots.
+
+        All tallies are additive, so a forked worker that inherited
+        pre-existing counts ships ``diff_states(state(), baseline)``
+        and only its own traffic reaches the master.
+        """
+        out = {}
+        for field, tallies in now.items():
+            base_tallies = base.get(field, {})
+            delta = {}
+            for key, value in tallies.items():
+                d = value - base_tallies.get(key, 0)
+                if d:
+                    delta[key] = d
+            out[field] = delta
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Add a :meth:`state` (or :meth:`diff_states`) snapshot in place."""
+        with self._lock:
+            for field, tallies in state.items():
+                target = getattr(self, "_" + field)
+                for key, value in tallies.items():
+                    target[key] += value
+
     # -- export -----------------------------------------------------------
     def ranks(self, context: str = "all") -> list[int]:
         """Ranks that recorded any traffic under ``context``, sorted."""

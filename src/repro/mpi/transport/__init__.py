@@ -1,0 +1,33 @@
+"""Pluggable rank transports for the simulated SPMD runtime.
+
+A :class:`~repro.mpi.transport.base.Transport` owns *how ranks execute
+and exchange envelopes*: :class:`~repro.mpi.transport.threads.
+ThreadTransport` (the default) runs ranks as threads of one process
+sharing the world's mailboxes directly, while :class:`~repro.mpi.
+transport.procs.ProcessTransport` runs each rank as a forked worker
+process that talks to a master-resident world through shared-memory
+ring buffers — true multi-core execution for the GIL-bound portions of
+the kernels.  Select one with ``run_spmd(..., backend="threads"|"procs")``
+or the ``REPRO_SPMD_BACKEND`` environment variable.
+"""
+
+from .base import Transport, available_backends, make_transport, resolve_backend
+from .threads import ThreadTransport
+
+__all__ = [
+    "Transport",
+    "ThreadTransport",
+    "ProcessTransport",
+    "available_backends",
+    "make_transport",
+    "resolve_backend",
+]
+
+
+def __getattr__(name):
+    """Lazily expose ProcessTransport (imports multiprocessing machinery)."""
+    if name == "ProcessTransport":
+        from .procs import ProcessTransport
+
+        return ProcessTransport
+    raise AttributeError(name)

@@ -1,0 +1,969 @@
+"""Process transport: forked rank workers around a master-resident world.
+
+True multi-core execution for the simulated runtime.  Each rank is a
+forked worker process running the user's program against a
+:class:`_WorkerContext` — a rank-local stand-in that duck-types the
+:class:`~repro.mpi.context.SpmdContext` surface the communicator,
+drivers, and checkpoint store use.  The *world* itself — mailboxes,
+split/shrink rendezvous, rank status, the node-local store, and the
+sanitizer — stays in the master process, which is the single source of
+truth exactly like an MPI runtime daemon.
+
+Wire layout per worker (all created *before* the fork so both sides
+share the mappings):
+
+* a duplex **control pipe** carrying RPC requests/replies and
+  out-of-band abort/revoke pushes (small pickled tuples);
+* a one-way **data pipe** carrying message-delivery headers;
+* three :class:`~repro.mpi.transport.shm.ShmRing` shared-memory rings
+  carrying raw ndarray bytes, pickle-free: ``data`` (worker→master,
+  message payloads), ``ctl`` (worker→master, RPC-argument arrays), and
+  ``reply`` (master→worker, RPC-result arrays).
+
+The master runs two service threads per worker: a *data* thread
+draining fire-and-forget deliveries into the destination mailbox (its
+EOF is how a hard-died worker is detected and surfaced to partners as
+:class:`~repro.errors.RankFailedError`), and a *control* thread
+serving blocking RPCs — including the canonical blocked-receive
+protocol with failed-partner fast-fail, revocation checks, and the
+sanitizer's wait-for-graph bookkeeping, all of which therefore behave
+identically to the threads backend.
+
+Delivery counters (``puts sent`` vs ``puts received``) gate the rank
+lifecycle: a worker's finalize/crash report is processed only after
+every payload it handed to the ring has reached its mailbox, so a
+partner never observes "dead with an empty queue" for a message that
+was actually sent.
+
+Observability is sharded: each worker records spans, metrics, comm
+tallies, and fault events into its forked copies and ships the
+post-fork *delta* home with its lifecycle message; the master folds
+the shards into the caller's objects, so ``tracer.spans``,
+``comm_trace`` tallies, and the fault trace look the same as a
+threaded run.  The one honest gap: zero-copy move *enforcement*
+(use-after-move attribution) does not cross the process boundary,
+because a moved buffer's identity dies with the sender's address
+space — see ``docs/mpi-runtime.md`` (Transports).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue
+import threading
+import time
+from typing import Any
+
+from ...errors import (
+    CommunicatorError,
+    CommRevokedError,
+    RankFailedError,
+    WorldAbortedError,
+)
+from ..context import Envelope
+from .base import Transport
+from .shm import (
+    DEFAULT_RING_BYTES,
+    ShmRing,
+    join_arrays,
+    prepare_arrays,
+    recv_arrays,
+    send_arrays,
+    split_arrays,
+)
+from .threads import WORLD_COMM_ID, run_rank_program
+
+__all__ = ["ProcessTransport"]
+
+# Seconds the master waits for a finishing worker's in-flight ring
+# deliveries to drain before processing its lifecycle message.
+_DRAIN_TIMEOUT = 30.0
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+def _encode_exception(exc: BaseException) -> tuple:
+    """``(pickle-or-None, type name, message)`` — survives unpicklables."""
+    try:
+        blob = pickle.dumps(exc)
+    except Exception:
+        blob = None
+    return (blob, type(exc).__name__, str(exc))
+
+
+def _decode_exception(enc: tuple) -> BaseException:
+    blob, type_name, message = enc
+    if blob is not None:
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            pass
+    # Fallback: rebuild by class name from the library's error taxonomy
+    # so except-clauses still match even when the payload (a diagnostic
+    # with live object references) could not cross the boundary.
+    from ... import errors as errors_mod
+
+    cls = getattr(errors_mod, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+        cls = CommunicatorError
+    return cls(message)
+
+
+def _encode_envelope(env: Envelope | None) -> tuple | None:
+    """Envelope minus payload-origin (provenance dies at the boundary)."""
+    if env is None:
+        return None
+    return (env.payload, env.send_time, env.moved, env.nbytes, env.seq,
+            env.checksum)
+
+
+def _decode_envelope(wire: tuple | None) -> Envelope | None:
+    if wire is None:
+        return None
+    payload, send_time, moved, nbytes, seq, checksum = wire
+    return Envelope(payload=payload, send_time=send_time, moved=moved,
+                    nbytes=nbytes, origin=None, seq=seq, checksum=checksum)
+
+
+# ----------------------------------------------------------------------
+# Per-worker plumbing bundle
+# ----------------------------------------------------------------------
+class _Link:
+    """Everything one worker shares with the master; built pre-fork."""
+
+    def __init__(self, rank: int, ring_bytes: int, mp_ctx) -> None:
+        self.rank = rank
+        self.ctl_master, self.ctl_worker = mp_ctx.Pipe(duplex=True)
+        # One-way delivery headers: (recv end, send end).
+        self.data_master, self.data_worker = mp_ctx.Pipe(duplex=False)
+        self.data_ring = ShmRing(ring_bytes)   # worker -> master payloads
+        self.ctl_ring = ShmRing(ring_bytes)    # worker -> master RPC args
+        self.reply_ring = ShmRing(ring_bytes)  # master -> worker replies
+        # Master-side: serializes RPC replies with out-of-band pushes on
+        # the control pipe, and tracks delivery drain for the lifecycle
+        # barrier.
+        self.send_lock = threading.Lock()
+        self.put_cond = threading.Condition()
+        self.puts_received = 0
+
+    @staticmethod
+    def _close(conns) -> None:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def close_worker_ends(self) -> None:
+        self._close((self.ctl_worker, self.data_worker))
+
+    def close_master_ends(self) -> None:
+        self._close((self.ctl_master, self.data_master))
+
+    def close_all_conns(self) -> None:
+        self.close_worker_ends()
+        self.close_master_ends()
+
+
+class _WorkerConfig:
+    """World parameters a worker inherits through the fork.
+
+    ``comm_trace``, ``tracer``, and ``faults`` are the *caller's*
+    objects — forked by reference so rank-program closures over them
+    keep working; the worker ships back post-fork deltas only.
+    """
+
+    __slots__ = (
+        "world_size", "cost_model", "recv_timeout", "tuning", "resilience",
+        "faults", "comm_trace", "tracer", "has_sanitizer",
+        "watchdog_interval",
+    )
+
+    def __init__(self, context) -> None:
+        self.world_size = context.world_size
+        self.cost_model = context.cost_model
+        self.recv_timeout = context.recv_timeout
+        self.tuning = context.tuning
+        self.resilience = context.resilience
+        self.faults = context.faults
+        self.comm_trace = context.comm_trace
+        self.tracer = context.tracer
+        self.has_sanitizer = context.sanitizer is not None
+        self.watchdog_interval = (
+            context.sanitizer.watchdog_interval
+            if context.sanitizer is not None else None
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _Channel:
+    """Worker-side RPC client over the control pipe and its two rings.
+
+    Single caller (the rank's main thread), so requests never
+    interleave; out-of-band abort/revoke pushes arriving while a reply
+    is awaited are applied and skipped.
+    """
+
+    def __init__(self, conn, ctl_ring: ShmRing, reply_ring: ShmRing) -> None:
+        self._conn = conn
+        self._ctl_ring = ctl_ring
+        self._reply_ring = reply_ring
+        self.state = None  # the _WorkerContext, set after construction
+
+    def call(self, method: str, *args) -> Any:
+        skeleton, arrays = split_arrays(args)
+        views, descrs = prepare_arrays(arrays)
+        try:
+            self._conn.send(("rpc", method, skeleton, descrs))
+            send_arrays(self._ctl_ring, views)
+        except (OSError, ValueError) as exc:
+            raise WorldAbortedError(
+                f"SPMD master is gone ({method} RPC failed: {exc})"
+            ) from None
+        while True:
+            try:
+                msg = self._conn.recv()
+            except (EOFError, OSError):
+                raise WorldAbortedError(
+                    f"SPMD master is gone (no reply to {method})"
+                ) from None
+            if msg[0] == "oob":
+                self.state.apply_oob(msg)
+                continue
+            break
+        if msg[0] == "err":
+            raise _decode_exception(msg[1])
+        _, skeleton, descrs = msg
+        arrays = recv_arrays(self._reply_ring, descrs)
+        return join_arrays(skeleton, arrays)
+
+    def drain_oob(self) -> None:
+        """Apply any queued abort/revoke pushes without blocking."""
+        try:
+            while self._conn.poll(0):
+                msg = self._conn.recv()
+                if msg[0] == "oob":
+                    self.state.apply_oob(msg)
+        except (EOFError, OSError):  # pragma: no cover - master gone
+            pass
+
+
+class _SendPump:
+    """Owns the worker's data path: a daemon thread draining a queue.
+
+    ``deliver`` must not block the rank on ring backpressure (buffered-
+    send semantics: the payload is already snapshotted or frozen by
+    ``_deliver``), so sends are staged here and written FIFO.  The
+    returned event is the ``isend`` completion token — set once the
+    payload has fully entered the shared-memory ring.
+    """
+
+    def __init__(self, conn, ring: ShmRing) -> None:
+        self._conn = conn
+        self._ring = ring
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self.sent = 0  # messages accepted; shipped with the lifecycle RPC
+        self.failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="spmd-send-pump"
+        )
+        self._thread.start()
+
+    def enqueue(self, comm_id: int, dest_world: int, source: int, tag: int,
+                env: Envelope) -> threading.Event:
+        if self.failure is not None:
+            raise CommunicatorError(
+                f"shared-memory send path failed: {self.failure}"
+            )
+        skeleton, arrays = split_arrays(env.payload)
+        views, descrs = prepare_arrays(arrays)
+        meta = (env.send_time, env.moved, env.nbytes, env.seq, env.checksum)
+        header = ("put", comm_id, dest_world, source, tag, meta, skeleton,
+                  descrs)
+        token = threading.Event()
+        self._queue.put((header, views, token))
+        self.sent += 1
+        return token
+
+    def _run(self) -> None:
+        while True:
+            header, views, token = self._queue.get()
+            if self.failure is None:
+                try:
+                    self._conn.send(header)
+                    send_arrays(self._ring, views)
+                except BaseException as exc:  # noqa: BLE001 - report once
+                    self.failure = exc
+            token.set()
+
+
+class _MailboxProxy:
+    """Worker-side view of one master mailbox (receive RPCs)."""
+
+    __slots__ = ("_channel", "_comm_id", "_world_rank")
+
+    def __init__(self, channel: _Channel, comm_id: int,
+                 world_rank: int) -> None:
+        self._channel = channel
+        self._comm_id = comm_id
+        self._world_rank = world_rank
+
+    def get(self, source: int, tag: int, timeout: float,
+            poll=None, interval=None) -> Envelope:
+        # poll/interval are intentionally unused: the canonical blocked-
+        # receive protocol (dead-partner fast-fail, revocation, deadlock
+        # watchdog) runs master-side inside this RPC.
+        return _decode_envelope(self._channel.call(
+            "box_get", self._comm_id, self._world_rank, source, tag
+        ))
+
+    def try_get(self, source: int, tag: int) -> Envelope | None:
+        return _decode_envelope(self._channel.call(
+            "box_try_get", self._comm_id, self._world_rank, source, tag
+        ))
+
+    def has(self, source: int, tag: int) -> bool:
+        return bool(self._channel.call(
+            "box_has", self._comm_id, self._world_rank, source, tag
+        ))
+
+
+class _WorkerSanitizer:
+    """Worker-side sanitizer proxy.
+
+    Collective matching is world state and forwards to the master's
+    sanitizer; the blocked-receive hooks (wait graph, stall watchdog,
+    failed-partner diagnosis) run master-side inside ``box_get`` and
+    are no-ops here.  Move-origin tracking does not cross the process
+    boundary — array identity dies with the sender's address space —
+    so provenance hooks degrade to no-ops (frozen payloads still arrive
+    read-only, preserving move *semantics* if not attribution).
+    """
+
+    def __init__(self, channel: _Channel, watchdog_interval: float) -> None:
+        self._channel = channel
+        self.watchdog_interval = watchdog_interval
+
+    def check_collective(self, comm_id, seq, world_rank, op, signature,
+                         comm_size) -> None:
+        self._channel.call("check_collective", comm_id, seq, world_rank, op,
+                           tuple(signature), comm_size)
+
+    # Provenance / wait-graph hooks: master-side or cross-process no-ops.
+    def note_send(self, world_rank):
+        return None
+
+    def note_move(self, payload, world_rank, op, dest=None):
+        return None
+
+    def note_received_move(self, payload, world_rank, origin) -> None:
+        pass
+
+    def explain_readonly_write(self, exc, rank):
+        return None
+
+    def begin_wait(self, *a, **k) -> None:  # pragma: no cover - unused
+        pass
+
+    def end_wait(self, world_rank) -> None:  # pragma: no cover - unused
+        pass
+
+    def on_stall(self, world_rank) -> None:  # pragma: no cover - unused
+        pass
+
+
+class _WorkerContext:
+    """Rank-local stand-in for :class:`SpmdContext` inside a worker.
+
+    World-authoritative operations (receive matching, rendezvous, rank
+    status, the node-local store) are RPCs to the master; per-rank
+    observability writes go to forked copies shipped home as deltas at
+    finalize.  ``remote_recv`` tells the communicator's blocking
+    receive to defer its dead-partner/watchdog protocol to the master.
+    """
+
+    remote_recv = True
+
+    def __init__(self, cfg: _WorkerConfig, channel: _Channel,
+                 pump: _SendPump) -> None:
+        self.world_size = cfg.world_size
+        self.cost_model = cfg.cost_model
+        self.recv_timeout = cfg.recv_timeout
+        self.tuning = cfg.tuning
+        self.resilience = cfg.resilience
+        self.faults = cfg.faults
+        self.comm_trace = cfg.comm_trace
+        self.tracer = cfg.tracer
+        self.sanitizer = (
+            _WorkerSanitizer(channel, cfg.watchdog_interval)
+            if cfg.has_sanitizer else None
+        )
+        self.abort_event = threading.Event()
+        self.abort_reason: str | None = None
+        self.revoked_below = 0
+        self.revoke_reason: str | None = None
+        self._channel = channel
+        self._pump = pump
+        self._proxies: dict = {}
+
+    # -- out-of-band state pushed by the master -------------------------
+    def apply_oob(self, msg: tuple) -> None:
+        if msg[1] == "abort":
+            self.abort_reason = msg[2]
+            self.abort_event.set()
+        elif msg[1] == "revoke":
+            if msg[2] > self.revoked_below:
+                self.revoked_below = msg[2]
+                self.revoke_reason = msg[3]
+
+    def check_alive(self) -> None:
+        if self.abort_event.is_set():
+            raise WorldAbortedError(
+                f"SPMD world aborted: {self.abort_reason or 'unknown reason'}"
+            )
+
+    def check_revoked(self, comm_id: int) -> None:
+        if comm_id < self.revoked_below:
+            raise CommRevokedError(
+                f"communicator {comm_id} was revoked: "
+                f"{self.revoke_reason or 'rank failure'}"
+            )
+
+    @property
+    def fault_poll_interval(self) -> float | None:
+        if self.resilience is not None:
+            return self.resilience.poll_interval
+        if self.faults is not None:
+            return 0.05
+        return None
+
+    # -- message paths ---------------------------------------------------
+    def mailbox(self, comm_id: int, world_rank: int) -> _MailboxProxy:
+        key = (comm_id, world_rank)
+        proxy = self._proxies.get(key)
+        if proxy is None:
+            proxy = _MailboxProxy(self._channel, comm_id, world_rank)
+            self._proxies[key] = proxy
+        return proxy
+
+    def deliver(self, comm_id: int, dest_world: int, source: int, tag: int,
+                envelope: Envelope) -> None:
+        self._channel.drain_oob()
+        self._pump.enqueue(comm_id, dest_world, source, tag, envelope)
+
+    def deliver_async(self, comm_id: int, dest_world: int, source: int,
+                      tag: int, envelope: Envelope) -> threading.Event:
+        self._channel.drain_oob()
+        return self._pump.enqueue(comm_id, dest_world, source, tag, envelope)
+
+    # -- world-authoritative operations (RPC) ----------------------------
+    def split_rendezvous(self, parent_comm_id, seqno, size, rank, value,
+                        members, world_rank) -> dict:
+        return self._channel.call(
+            "split", parent_comm_id, seqno, size, rank, tuple(value),
+            list(members), world_rank,
+        )
+
+    def shrink_rendezvous(self, parent_comm_id, seqno, rank, world_rank,
+                          members) -> tuple:
+        new_id, ordered_old = self._channel.call(
+            "shrink", parent_comm_id, seqno, rank, world_rank, list(members)
+        )
+        return new_id, list(ordered_old)
+
+    def rank_status(self, world_rank: int) -> str:
+        return self._channel.call("rank_status", world_rank)
+
+    def running_world_ranks(self) -> set:
+        return set(self._channel.call("running_world_ranks"))
+
+    def failed_ranks(self) -> list:
+        return list(self._channel.call("failed_ranks"))
+
+    def allocate_comm_id(self) -> int:
+        return self._channel.call("allocate_comm_id")
+
+    def abort(self, reason: str) -> None:
+        self.abort_reason = reason
+        self.abort_event.set()
+        self._channel.call("abort", reason)
+
+    def revoke_current(self, reason: str) -> None:
+        threshold, why = self._channel.call("revoke_current", reason)
+        if threshold > self.revoked_below:
+            self.revoked_below = threshold
+            self.revoke_reason = why
+
+    def store_put(self, holder: int, key, value) -> None:
+        self._channel.call("store_put", holder, key, value)
+
+    def store_items(self, holder: int) -> list:
+        return list(self._channel.call("store_items", holder))
+
+    def store_delete(self, holder: int, key) -> None:
+        self._channel.call("store_delete", holder, key)
+
+    # Rank lifecycle is reported through the worker main's lifecycle
+    # RPC, not these (the master owns the status table).
+    def mark_finalized(self, world_rank: int) -> None:
+        pass
+
+    def mark_failed(self, world_rank: int) -> None:
+        pass
+
+    def wake_all_mailboxes(self) -> None:  # pragma: no cover - master-side
+        pass
+
+    def wake_rendezvous(self) -> None:  # pragma: no cover - master-side
+        pass
+
+
+def _collect_shards(cfg: _WorkerConfig, ctx: _WorkerContext, comm,
+                    baselines: dict) -> dict:
+    """Post-fork observability deltas to ship with the lifecycle RPC."""
+    from ...obs.metrics import MetricsRegistry
+    from ..tracing import CommTrace
+
+    shards: dict = {}
+    if comm is not None and comm.clock is not None:
+        shards["clock"] = comm.clock
+    if cfg.tracer is not None:
+        # bind() gave this thread a fresh buffer, so local_spans is
+        # already post-fork only; metrics need the baseline diff.
+        shards["spans"] = cfg.tracer.local_spans()
+        shards["metrics"] = MetricsRegistry.diff_snapshots(
+            cfg.tracer.metrics.to_dict(), baselines["metrics"]
+        )
+    if cfg.comm_trace is not None:
+        shards["comm_trace"] = CommTrace.diff_states(
+            cfg.comm_trace.state(), baselines["comm_trace"]
+        )
+    if cfg.faults is not None:
+        events = cfg.faults.trace[baselines["fault_events"]:]
+        shards["faults"] = (
+            [e.as_tuple() for e in events], cfg.faults.ops_per_rank()
+        )
+    return shards
+
+
+def _worker_main(links: list, rank: int, fn, args, kwargs,
+                 cfg: _WorkerConfig) -> None:
+    """Entry point of a forked rank worker."""
+    from ..communicator import Communicator
+
+    own = links[rank]
+    # fd hygiene: drop the inherited copies of every other worker's pipe
+    # ends and the master's copies of our own — EOF detection on both
+    # sides depends on each fd having exactly one owner.
+    for link in links:
+        if link.rank == rank:
+            link.close_master_ends()
+        else:
+            link.close_all_conns()
+
+    baselines = {
+        "metrics": (cfg.tracer.metrics.to_dict()
+                    if cfg.tracer is not None else None),
+        "comm_trace": (cfg.comm_trace.state()
+                       if cfg.comm_trace is not None else None),
+        "fault_events": (len(cfg.faults.trace)
+                         if cfg.faults is not None else 0),
+    }
+    if cfg.comm_trace is not None:
+        # This thread is a fork-clone of the caller's: clear any context
+        # label it inherited.
+        cfg.comm_trace.set_context(None)
+
+    channel = _Channel(own.ctl_worker, own.ctl_ring, own.reply_ring)
+    pump = _SendPump(own.data_worker, own.data_ring)
+    ctx = _WorkerContext(cfg, channel, pump)
+    channel.state = ctx
+
+    comm = None
+    outcome = {"kind": "rank_error", "value": None,
+               "exc": CommunicatorError(f"rank {rank} worker never ran")}
+    try:
+        comm = Communicator(ctx, WORLD_COMM_ID, list(range(cfg.world_size)),
+                            rank)
+
+        def on_value(value) -> None:
+            outcome.update(kind="finalize", value=value, exc=None)
+
+        def on_killed(exc) -> None:
+            outcome.update(kind="rank_killed", exc=exc)
+
+        def on_error(exc) -> None:
+            outcome.update(kind="rank_error", exc=exc)
+
+        run_rank_program(ctx, comm, fn, args, kwargs, rank,
+                         on_value=on_value, on_killed=on_killed,
+                         on_error=on_error)
+    except BaseException as exc:  # noqa: BLE001 - report setup failures
+        outcome.update(kind="rank_error", exc=exc)
+
+    try:
+        shards = _collect_shards(cfg, ctx, comm, baselines)
+    except Exception:  # pragma: no cover - never lose the lifecycle msg
+        shards = {}
+    payload = (outcome["value"] if outcome["kind"] == "finalize"
+               else _encode_exception(outcome["exc"]))
+    try:
+        channel.call(outcome["kind"], payload, shards, pump.sent)
+    except (pickle.PicklingError, TypeError, ValueError,
+            AttributeError) as exc:
+        # The return value would not cross the process boundary (e.g.
+        # it holds live runtime handles).  Report a diagnostic instead
+        # of dying silently, which would surface as a spurious
+        # "worker process died unexpectedly".
+        err = CommunicatorError(
+            f"rank {rank} return value could not cross the process "
+            f"boundary ({type(exc).__name__}: {exc}); return plain "
+            f"arrays/containers from the rank program, or objects that "
+            f"detach cleanly on pickle"
+        )
+        try:
+            channel.call("rank_error", _encode_exception(err), shards,
+                         pump.sent)
+        except BaseException:  # noqa: BLE001 - master gone
+            pass
+    except BaseException:  # noqa: BLE001 - master gone; nothing to report to
+        pass
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+class ProcessTransport(Transport):
+    """Ranks as forked processes; the master hosts the world state."""
+
+    name = "procs"
+    shared_world = False
+
+    def __init__(self, *, ring_bytes: int = DEFAULT_RING_BYTES) -> None:
+        self.ring_bytes = int(ring_bytes)
+        self._comm_members: dict[int, list[int]] = {}
+        self._members_lock = threading.Lock()
+        self._values: list = []
+        self._clocks: list = []
+        self._errors: list = []
+
+    # -- transport interface --------------------------------------------
+    def deliver(self, context, comm_id: int, dest_world: int, source: int,
+                tag: int, envelope) -> None:
+        # Master-side deliveries (none in normal operation) are local.
+        context.mailbox(comm_id, dest_world).put(source, tag, envelope)
+
+    def execute(self, context, fn, args: tuple, kwargs: dict):
+        try:
+            mp_ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            raise CommunicatorError(
+                "backend='procs' needs the fork start method "
+                "(POSIX only); use backend='threads' on this platform"
+            ) from None
+        nprocs = context.world_size
+        self._values = [None] * nprocs
+        self._clocks = [None] * nprocs
+        self._errors = [None] * nprocs
+        with self._members_lock:
+            self._comm_members = {WORLD_COMM_ID: list(range(nprocs))}
+
+        links = [_Link(r, self.ring_bytes, mp_ctx) for r in range(nprocs)]
+        # Abort/revoke must reach workers blocked in pure compute, not
+        # just those parked in an RPC: push them out-of-band.
+        context.add_abort_hook(
+            lambda reason: self._broadcast(links, ("oob", "abort", reason))
+        )
+        context.add_revoke_hook(
+            lambda threshold, reason: self._broadcast(
+                links, ("oob", "revoke", threshold, reason))
+        )
+        cfg = _WorkerConfig(context)
+
+        procs = []
+        for link in links:
+            proc = mp_ctx.Process(
+                target=_worker_main,
+                args=(links, link.rank, fn, args, kwargs, cfg),
+                name=f"spmd-rank-{link.rank}",
+                daemon=True,
+            )
+            proc.start()
+            procs.append(proc)
+        for link in links:
+            link.close_worker_ends()
+
+        threads = []
+        for link in links:
+            for target, label in ((self._serve_ctl, "ctl"),
+                                  (self._serve_data, "data")):
+                thread = threading.Thread(
+                    target=target, args=(link, context), daemon=True,
+                    name=f"spmd-{label}-{link.rank}",
+                )
+                thread.start()
+                threads.append(thread)
+
+        for proc in procs:
+            proc.join()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        for link in links:
+            link.close_master_ends()
+        return self._values, self._clocks, self._errors
+
+    # -- out-of-band push ------------------------------------------------
+    @staticmethod
+    def _broadcast(links: list, msg: tuple) -> None:
+        for link in links:
+            with link.send_lock:
+                try:
+                    link.ctl_master.send(msg)
+                except (OSError, ValueError):
+                    pass  # worker already gone
+
+    # -- master service threads -----------------------------------------
+    def _reply(self, link: _Link, value) -> None:
+        skeleton, arrays = split_arrays(value)
+        views, descrs = prepare_arrays(arrays)
+        with link.send_lock:
+            link.ctl_master.send(("ok", skeleton, descrs))
+            send_arrays(link.reply_ring, views)
+
+    def _reply_err(self, link: _Link, exc: BaseException) -> None:
+        with link.send_lock:
+            link.ctl_master.send(("err", _encode_exception(exc)))
+
+    def _serve_ctl(self, link: _Link, context) -> None:
+        """Serve one worker's blocking RPCs until it disconnects."""
+        conn = link.ctl_master
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            _, method, skeleton, descrs = msg
+            try:
+                arrays = recv_arrays(link.ctl_ring, descrs)
+            except Exception:
+                return  # worker died mid-request; data thread reports it
+            request = join_arrays(skeleton, arrays)
+            try:
+                value = self._dispatch(context, link, method, request)
+            except BaseException as exc:  # noqa: BLE001 - RPC error path
+                try:
+                    self._reply_err(link, exc)
+                except (OSError, ValueError):
+                    return
+                continue
+            try:
+                self._reply(link, value)
+            except (OSError, ValueError):
+                return
+            if method in ("finalize", "rank_killed", "rank_error"):
+                return
+
+    def _serve_data(self, link: _Link, context) -> None:
+        """Drain one worker's deliveries; EOF is its death certificate."""
+        conn = link.data_master
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            _, comm_id, dest_world, source, tag, meta, skeleton, descrs = msg
+            try:
+                arrays = recv_arrays(link.data_ring, descrs)
+            except Exception:
+                break
+            payload = join_arrays(skeleton, arrays)
+            send_time, moved, nbytes, seq, checksum = meta
+            env = Envelope(payload=payload, send_time=send_time, moved=moved,
+                           nbytes=nbytes, origin=None, seq=seq,
+                           checksum=checksum)
+            context.mailbox(comm_id, dest_world).put(source, tag, env)
+            with link.put_cond:
+                link.puts_received += 1
+                link.put_cond.notify_all()
+        # A worker that vanished without a lifecycle message died hard
+        # (killed, segfaulted): record the death so blocked partners
+        # fast-fail with RankFailedError instead of timing out.
+        rank = link.rank
+        if context.rank_status(rank) == "running":
+            if self._errors[rank] is None:
+                self._errors[rank] = RankFailedError(
+                    f"rank {rank} worker process died unexpectedly"
+                )
+            context.mark_failed(rank)
+
+    # -- RPC dispatch ----------------------------------------------------
+    def _dispatch(self, context, link: _Link, method: str, args: tuple):
+        if method == "box_get":
+            comm_id, world_rank, source, tag = args
+            return _encode_envelope(
+                self._blocking_get(context, comm_id, world_rank, source, tag)
+            )
+        if method == "box_try_get":
+            comm_id, world_rank, source, tag = args
+            return _encode_envelope(
+                context.mailbox(comm_id, world_rank).try_get(source, tag)
+            )
+        if method == "box_has":
+            comm_id, world_rank, source, tag = args
+            return context.mailbox(comm_id, world_rank).has(source, tag)
+        if method == "split":
+            parent_comm_id, seqno, size, rank, value, members, world_rank = args
+            result = context.split_rendezvous(
+                parent_comm_id, seqno, size, rank, tuple(value),
+                list(members), world_rank,
+            )
+            with self._members_lock:
+                for new_id, world_members, _old in result.values():
+                    self._comm_members[new_id] = list(world_members)
+            return result
+        if method == "shrink":
+            parent_comm_id, seqno, rank, world_rank, members = args
+            new_id, ordered_old = context.shrink_rendezvous(
+                parent_comm_id, seqno, rank, world_rank, list(members)
+            )
+            with self._members_lock:
+                self._comm_members[new_id] = [members[i] for i in ordered_old]
+            return (new_id, ordered_old)
+        if method == "check_collective":
+            comm_id, seq, world_rank, op, signature, comm_size = args
+            context.sanitizer.check_collective(
+                comm_id, seq, world_rank, op, tuple(signature), comm_size
+            )
+            return None
+        if method == "rank_status":
+            return context.rank_status(args[0])
+        if method == "running_world_ranks":
+            return sorted(context.running_world_ranks())
+        if method == "failed_ranks":
+            return context.failed_ranks()
+        if method == "allocate_comm_id":
+            return context.allocate_comm_id()
+        if method == "abort":
+            context.abort(args[0])
+            return None
+        if method == "revoke_current":
+            context.revoke_current(args[0])
+            return (context.revoked_below, context.revoke_reason)
+        if method == "store_put":
+            holder, key, value = args
+            context.store_put(holder, key, value)
+            return None
+        if method == "store_items":
+            return context.store_items(args[0])
+        if method == "store_delete":
+            context.store_delete(args[0], args[1])
+            return None
+        if method in ("finalize", "rank_killed", "rank_error"):
+            payload, shards, puts_sent = args
+            return self._finish_rank(context, link, method, payload, shards,
+                                     puts_sent)
+        raise CommunicatorError(f"unknown transport RPC {method!r}")
+
+    def _blocking_get(self, context, comm_id: int, me: int, source: int,
+                      tag: int) -> Envelope:
+        """The canonical blocked receive, run master-side for a worker.
+
+        Mirrors ``Communicator._recv_blocking`` on the threads backend:
+        dead-partner fast-fail with sanitizer diagnosis, revocation
+        checks, and wait-for-graph bookkeeping, all against the
+        master's authoritative world state.
+        """
+        box = context.mailbox(comm_id, me)
+        san = context.sanitizer
+        with self._members_lock:
+            members = self._comm_members.get(comm_id)
+        src_world = members[source] if members is not None else source
+
+        def poll() -> None:
+            if comm_id < context.revoked_below:
+                context.check_revoked(comm_id)
+            status = context.rank_status(src_world)
+            if status != "running" and not box.has(source, tag):
+                if san is not None:
+                    diag = san.describe_failed_partner(
+                        me, src_world, source, tag, status, box,
+                        expected=(context.faults is not None
+                                  and status == "failed"),
+                    )
+                    raise RankFailedError(diag.message, diagnostic=diag)
+                where = (
+                    f"recv(source={source}, tag={tag})" if tag >= 0
+                    else f"a collective exchange with rank {source}"
+                )
+                raise RankFailedError(
+                    f"rank {me} blocked in {where} "
+                    f"but rank {src_world} already {status}"
+                )
+            if san is not None:
+                san.on_stall(me)
+
+        interval = (
+            san.watchdog_interval if san is not None
+            else context.fault_poll_interval
+        )
+        if san is not None:
+            san.begin_wait(me, src_world, source, tag, comm_id, box)
+        try:
+            poll()  # the partner may already be gone
+            return box.get(
+                source, tag, context.recv_timeout, poll=poll,
+                interval=interval,
+            )
+        finally:
+            if san is not None:
+                san.end_wait(me)
+
+    def _finish_rank(self, context, link: _Link, method: str, payload,
+                     shards: dict, puts_sent: int) -> bool:
+        # Delivery-drain barrier: the rank is not done until every
+        # payload it handed to the ring sits in a mailbox — otherwise a
+        # partner could observe "failed with an empty queue" and raise
+        # RankFailedError for a message that was actually sent.
+        with link.put_cond:
+            deadline = time.monotonic() + _DRAIN_TIMEOUT
+            while (link.puts_received < puts_sent
+                   and time.monotonic() < deadline):
+                link.put_cond.wait(timeout=0.1)
+        self._merge_shards(context, link.rank, shards)
+        rank = link.rank
+        if method == "finalize":
+            self._values[rank] = payload
+            context.mark_finalized(rank)
+        elif method == "rank_killed":
+            self._errors[rank] = _decode_exception(payload)
+            context.mark_failed(rank)
+        else:
+            exc = _decode_exception(payload)
+            self._errors[rank] = exc
+            context.mark_failed(rank)
+            context.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        return True
+
+    def _merge_shards(self, context, rank: int, shards: dict) -> None:
+        clock = shards.get("clock")
+        if clock is not None:
+            self._clocks[rank] = clock
+        tracer = context.tracer
+        if tracer is not None:
+            spans = shards.get("spans")
+            if spans:
+                tracer.absorb_spans(spans)
+            metrics = shards.get("metrics")
+            if metrics:
+                tracer.metrics.merge_snapshot(metrics)
+        trace = context.comm_trace
+        if trace is not None and shards.get("comm_trace"):
+            trace.merge_state(shards["comm_trace"])
+        injector = context.faults
+        if injector is not None and shards.get("faults"):
+            events, ops = shards["faults"]
+            injector.absorb(events, ops)

@@ -1,0 +1,268 @@
+"""Shared-memory SPSC ring buffers and the pickle-free ndarray codec.
+
+The process transport moves ndarray payloads between a worker process
+and the master through :class:`ShmRing` — a bounded byte ring over an
+anonymous shared ``mmap`` created *before* the fork, so both sides
+address the same physical pages with no filesystem object to leak and
+no cleanup to race (the mapping dies with its last process).  Only raw
+array bytes travel through the ring; everything else about a message —
+the container skeleton, dtype/shape/order descriptors, envelope
+metadata — rides the control pipe as small picklable tuples.  Array
+*data* is never pickled.
+
+The codec (:func:`split_arrays` / :func:`join_arrays` /
+:func:`prepare_arrays` / :func:`materialize_array`) lifts ndarrays out
+of arbitrarily nested tuples/lists/dicts, replacing each with a
+positional :class:`ArrayRef`; the receiver reconstructs views over the
+ring bytes with the original dtype, shape, memory order, and
+writability (moved payloads arrive read-only, preserving the zero-copy
+move contract across the process boundary).
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import time
+from typing import Any
+
+import numpy as np
+
+from ...errors import CommunicatorError
+
+__all__ = [
+    "ShmRing",
+    "ArrayRef",
+    "split_arrays",
+    "join_arrays",
+    "prepare_arrays",
+    "materialize_array",
+    "recv_arrays",
+    "send_arrays",
+    "DEFAULT_RING_BYTES",
+]
+
+#: Default per-direction ring capacity.  Payloads larger than the ring
+#: stream through it in chunks, so this bounds memory, not message size.
+DEFAULT_RING_BYTES = 8 * 1024 * 1024
+
+# Spin-wait backoff for a full (writer) / empty (reader) ring: start at
+# 1 us, double to a 0.5 ms cap — cheap enough to stay responsive, long
+# enough to get off the CPU when the peer is busy.
+_BACKOFF_START = 1e-6
+_BACKOFF_CAP = 5e-4
+
+_U64 = struct.Struct("<Q")
+_MASK = (1 << 64) - 1
+
+
+class ShmRing:
+    """Single-producer single-consumer byte ring over shared anonymous mmap.
+
+    The first 16 bytes are two monotonically increasing 64-bit cursors:
+    ``head`` (bytes consumed, written only by the reader) and ``tail``
+    (bytes produced, written only by the writer).  Each side mutates
+    only its own cursor, so no lock is needed; 8-byte aligned loads and
+    stores are atomic on every platform this runtime targets.  Create
+    the ring *before* forking — both processes then share the mapping.
+    """
+
+    _CTRL = 16
+    _HEAD = 0
+    _TAIL = 8
+
+    def __init__(self, capacity: int = DEFAULT_RING_BYTES) -> None:
+        if capacity <= 0:
+            raise CommunicatorError("ring capacity must be positive")
+        self.capacity = int(capacity)
+        self._mm = mmap.mmap(-1, self._CTRL + self.capacity)
+        self._buf = memoryview(self._mm)[self._CTRL:]
+
+    def _load(self, offset: int) -> int:
+        return _U64.unpack_from(self._mm, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._mm, offset, value & _MASK)
+
+    def _wait(self, deadline: float, backoff: float, what: str) -> float:
+        if time.monotonic() > deadline:
+            raise CommunicatorError(
+                f"shared-memory ring stalled while {what} — peer process "
+                "is not draining (likely dead or deadlocked)"
+            )
+        time.sleep(backoff)
+        return min(backoff * 2, _BACKOFF_CAP)
+
+    def write(self, data, *, timeout: float = 600.0) -> None:
+        """Stream ``data`` (a 1-D byte view) into the ring, blocking on space.
+
+        Publishes the tail cursor after every chunk, so a payload larger
+        than the ring flows through it while the reader drains
+        concurrently.
+        """
+        view = memoryview(data).cast("B")
+        n = len(view)
+        written = 0
+        tail = self._load(self._TAIL)
+        deadline = time.monotonic() + timeout
+        backoff = _BACKOFF_START
+        while written < n:
+            head = self._load(self._HEAD)
+            free = self.capacity - (tail - head)
+            if free == 0:
+                backoff = self._wait(deadline, backoff, "writing")
+                continue
+            backoff = _BACKOFF_START
+            pos = tail % self.capacity
+            chunk = min(n - written, free, self.capacity - pos)
+            self._buf[pos:pos + chunk] = view[written:written + chunk]
+            written += chunk
+            tail += chunk
+            self._store(self._TAIL, tail)
+
+    def read_into(self, out, *, timeout: float = 600.0) -> None:
+        """Fill ``out`` (a writable 1-D byte view) from the ring, blocking."""
+        view = memoryview(out).cast("B")
+        n = len(view)
+        got = 0
+        head = self._load(self._HEAD)
+        deadline = time.monotonic() + timeout
+        backoff = _BACKOFF_START
+        while got < n:
+            tail = self._load(self._TAIL)
+            avail = tail - head
+            if avail == 0:
+                backoff = self._wait(deadline, backoff, "reading")
+                continue
+            backoff = _BACKOFF_START
+            pos = head % self.capacity
+            chunk = min(n - got, avail, self.capacity - pos)
+            view[got:got + chunk] = self._buf[pos:pos + chunk]
+            got += chunk
+            head += chunk
+            self._store(self._HEAD, head)
+
+    def read_bytes(self, n: int, *, timeout: float = 600.0) -> bytearray:
+        """Read exactly ``n`` bytes into a fresh buffer."""
+        out = bytearray(n)
+        if n:
+            self.read_into(out, timeout=timeout)
+        return out
+
+
+class ArrayRef:
+    """Positional placeholder for an ndarray lifted out of a payload."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __reduce__(self):
+        return (ArrayRef, (self.index,))
+
+
+def _ring_worthy(a: np.ndarray) -> bool:
+    # Object and structured dtypes cannot be moved as raw bytes; they
+    # stay embedded in the (pickled) skeleton.
+    return not a.dtype.hasobject and a.dtype.fields is None
+
+
+def split_arrays(obj: Any) -> tuple[Any, list[np.ndarray]]:
+    """Replace every ndarray in ``obj`` with an :class:`ArrayRef`.
+
+    Recurses through tuples, lists, and dicts (the containers message
+    payloads are built from); anything else passes through untouched
+    and will be pickled with the skeleton.  Returns ``(skeleton,
+    arrays)`` with arrays in reference order.
+    """
+    arrays: list[np.ndarray] = []
+
+    def enc(x):
+        if isinstance(x, np.ndarray) and _ring_worthy(x):
+            arrays.append(x)
+            return ArrayRef(len(arrays) - 1)
+        t = type(x)
+        if t is tuple:
+            return tuple(enc(i) for i in x)
+        if t is list:
+            return [enc(i) for i in x]
+        if t is dict:
+            return {k: enc(v) for k, v in x.items()}
+        return x
+
+    return enc(obj), arrays
+
+
+def join_arrays(skeleton: Any, arrays: list) -> Any:
+    """Inverse of :func:`split_arrays`: resolve every :class:`ArrayRef`."""
+
+    def dec(x):
+        if isinstance(x, ArrayRef):
+            return arrays[x.index]
+        t = type(x)
+        if t is tuple:
+            return tuple(dec(i) for i in x)
+        if t is list:
+            return [dec(i) for i in x]
+        if t is dict:
+            return {k: dec(v) for k, v in x.items()}
+        return x
+
+    return dec(skeleton)
+
+
+def prepare_arrays(arrays: list[np.ndarray]) -> tuple[list, list[tuple]]:
+    """Byte views + wire descriptors for a batch of lifted arrays.
+
+    Returns ``(views, descrs)`` where each view is a flat ``uint8``
+    view over the array's (contiguous) data, and each descriptor is
+    ``(dtype_str, shape, order, writeable)`` — everything the receiver
+    needs to rebuild the array from raw ring bytes.  Non-contiguous
+    arrays are compacted first (the runtime's payloads are contiguous
+    C- or F-order in practice, so this copy almost never fires).
+    """
+    views = []
+    descrs = []
+    for a in arrays:
+        order = "F" if (a.flags.f_contiguous and not a.flags.c_contiguous) else "C"
+        if not (a.flags.c_contiguous or a.flags.f_contiguous):
+            a = np.ascontiguousarray(a)
+            order = "C"
+        views.append(a.reshape(-1, order="A").view(np.uint8))
+        descrs.append(
+            (a.dtype.str, a.shape, order, bool(a.flags.writeable))
+        )
+    return views, descrs
+
+
+def materialize_array(descr: tuple, data: bytearray) -> np.ndarray:
+    """Rebuild one array from its wire descriptor and raw bytes.
+
+    The result is backed by ``data`` directly (one copy total, out of
+    the ring); payloads that were *moved* (frozen) on the sender side
+    arrive read-only, preserving move semantics across processes.
+    """
+    dtype_str, shape, order, writeable = descr
+    arr = np.frombuffer(data, dtype=np.dtype(dtype_str)).reshape(
+        shape, order=order
+    )
+    if not writeable:
+        arr.flags.writeable = False
+    return arr
+
+
+def recv_arrays(ring: ShmRing, descrs: list[tuple], *,
+                timeout: float = 600.0) -> list[np.ndarray]:
+    """Read one array per descriptor from the ring, in order."""
+    out = []
+    for descr in descrs:
+        nbytes = int(np.dtype(descr[0]).itemsize * int(np.prod(descr[1], dtype=np.int64)))
+        out.append(materialize_array(descr, ring.read_bytes(nbytes, timeout=timeout)))
+    return out
+
+
+def send_arrays(ring: ShmRing, views: list, *, timeout: float = 600.0) -> None:
+    """Write prepared byte views into the ring, in descriptor order."""
+    for view in views:
+        ring.write(view, timeout=timeout)

@@ -152,6 +152,21 @@ class Histogram:
             "buckets": self.bucket_counts(),
         }
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` dict (possibly a diff) into this one."""
+        if not snap.get("count"):
+            return
+        buckets = snap.get("buckets", {})
+        with self._lock:
+            for i, b in enumerate(self.buckets):
+                label = f"le={int(b) if b.is_integer() else b}"
+                self._counts[i] += int(buckets.get(label, 0))
+            self._counts[-1] += int(buckets.get("le=+Inf", 0))
+            self._count += int(snap["count"])
+            self._sum += float(snap["sum"])
+            if float(snap.get("max", float("-inf"))) > self._max:
+                self._max = float(snap["max"])
+
 
 class MetricsRegistry:
     """Thread-safe get-or-create namespace of named instruments."""
@@ -198,6 +213,69 @@ class MetricsRegistry:
         with self._lock:
             items = list(self._instruments.items())
         return {name: inst.snapshot() for name, inst in sorted(items)}
+
+    @staticmethod
+    def diff_snapshots(now: dict, base: dict) -> dict:
+        """Instrument-wise difference of two :meth:`to_dict` snapshots.
+
+        Counters and histogram counts/sums subtract; gauges ship their
+        current value only when it changed; a histogram's ``max`` cannot
+        be subtracted and ships as-is (merging keeps the running max).
+        Used by forked workers to report only post-fork activity.
+        """
+        out = {}
+        for name, snap in now.items():
+            prev = base.get(name)
+            if prev is None or prev.get("type") != snap["type"]:
+                out[name] = snap
+                continue
+            kind = snap["type"]
+            if kind == "counter":
+                delta = snap["value"] - prev["value"]
+                if delta:
+                    out[name] = {"type": "counter", "value": delta}
+            elif kind == "gauge":
+                if snap["value"] != prev["value"]:
+                    out[name] = snap
+            else:
+                dcount = snap["count"] - prev["count"]
+                if dcount:
+                    dsum = snap["sum"] - prev["sum"]
+                    out[name] = {
+                        "type": "histogram",
+                        "count": dcount,
+                        "sum": dsum,
+                        "mean": dsum / dcount,
+                        "max": snap["max"],
+                        "buckets": {
+                            k: snap["buckets"].get(k, 0)
+                            - prev["buckets"].get(k, 0)
+                            for k in snap["buckets"]
+                        },
+                    }
+        return out
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` (or :meth:`diff_snapshots`) dict in.
+
+        Counters add, gauges last-write-win, histograms merge bucket by
+        bucket (bounds are reconstructed from the ``le=`` labels when
+        the instrument does not exist yet).
+        """
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).inc(snap["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(snap["value"])
+            elif kind == "histogram":
+                bounds = [
+                    float(key[3:])
+                    for key in snap.get("buckets", {})
+                    if key.startswith("le=") and key != "le=+Inf"
+                ]
+                hist = self.histogram(name, bounds or DEFAULT_BYTE_BUCKETS)
+                hist.merge_snapshot(snap)
 
     def as_table(self, *, title: str | None = None) -> str:
         """Plain-text summary table (one row per instrument)."""

@@ -277,6 +277,22 @@ class Tracer:
             if s.phase == phase and not s.self_nested
         )
 
+    def absorb_spans(self, spans) -> None:
+        """Merge finished spans recorded elsewhere into this tracer.
+
+        The process transport ships each worker's span shard back to
+        the master at finalize and folds it in here.  Each span carries
+        its own rank, so the shard lands in an anonymous buffer; all
+        global queries see the absorbed spans exactly as if they had
+        been recorded locally.
+        """
+        if not spans:
+            return
+        state = _ThreadState(-1)
+        state.buffer = list(spans)
+        with self._lock:
+            self._states.append(state)
+
     # ------------------------------------------------------------------
     # Global queries
     # ------------------------------------------------------------------

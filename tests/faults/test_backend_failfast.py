@@ -1,0 +1,95 @@
+"""Dead-partner fast-fail must work on every transport backend (S2).
+
+A blocked receive whose partner died — by injected crash or, on the
+process backend, by the worker process dying outright — must wake
+promptly with :class:`~repro.errors.RankFailedError` carrying the
+failed-partner diagnosis, never sit out the full ``recv_timeout``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import RankFailedError
+from repro.faults import CrashRule, FaultPlan
+from repro.mpi import available_backends, run_spmd
+
+TIMEOUT = 60.0  # generous recv_timeout: fast-fail must beat it easily
+
+
+@pytest.fixture(params=list(available_backends()))
+def backend(request):
+    return request.param
+
+
+def test_recv_from_crashed_rank_fast_fails(backend):
+    """The receiver wakes well before recv_timeout when the sender dies."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(np.ones(4), 1, tag=3)  # injected crash fires here
+            return None
+        comm.recv(0, tag=3)
+        return None
+
+    plan = FaultPlan(seed=5, crashes=(CrashRule(rank=0, at_op=1),))
+    t0 = time.monotonic()
+    with pytest.raises(RankFailedError, match="rank 0 already failed"):
+        run_spmd(prog, 2, faults=plan, recv_timeout=TIMEOUT, backend=backend)
+    assert time.monotonic() - t0 < TIMEOUT / 2
+
+
+def test_collective_with_crashed_rank_fast_fails(backend):
+    """Survivors inside a collective observe the death, not a timeout."""
+
+    def prog(comm):
+        comm.barrier()
+        comm.barrier()  # rank 1 dies before/inside this one
+        return comm.rank
+
+    plan = FaultPlan(seed=6, crashes=(CrashRule(rank=1, at_op=2),))
+    t0 = time.monotonic()
+    with pytest.raises(RankFailedError):
+        run_spmd(prog, 3, faults=plan, recv_timeout=TIMEOUT, backend=backend)
+    assert time.monotonic() - t0 < TIMEOUT / 2
+
+
+def test_survivors_can_shrink_past_the_death(backend):
+    """The ULFM-style recovery loop works identically on both backends."""
+
+    def prog(comm):
+        try:
+            comm.barrier()
+            comm.barrier()
+        except RankFailedError:
+            comm.revoke()
+            comm = comm.shrink()
+        return float(comm.allreduce(np.array([1.0]))[0]), comm.size
+
+    plan = FaultPlan(seed=6, crashes=(CrashRule(rank=2, at_op=2),))
+    res = run_spmd(prog, 4, faults=plan, recv_timeout=TIMEOUT,
+                   backend=backend)
+    assert res.failed_ranks == [2]
+    survivors = [v for v in res.values if v is not None]
+    assert survivors == [(3.0, 3)] * 3
+
+
+def test_procs_hard_death_fast_fails_without_lifecycle_message():
+    """A worker killed without warning (os._exit, simulating segfault or
+    OOM kill) is detected through its pipe EOF: partners blocked on it
+    wake with RankFailedError long before recv_timeout."""
+    import os
+
+    def prog(comm):
+        if comm.rank == 0:
+            os._exit(11)
+        comm.recv(0, tag=1)
+        return None
+
+    t0 = time.monotonic()
+    with pytest.raises(RankFailedError, match="rank 0"):
+        run_spmd(prog, 2, recv_timeout=TIMEOUT, backend="procs")
+    assert time.monotonic() - t0 < TIMEOUT / 2

@@ -1,0 +1,360 @@
+"""Transport conformance: every scenario must behave identically on
+``backend="threads"`` and ``backend="procs"``.
+
+The contract under test is the one ``docs/mpi-runtime.md`` (Transports)
+states: collectives, point-to-point (blocking and nonblocking), split,
+clocks, comm tracing, span tracing, fault injection, and the
+sanitizer's collective/deadlock diagnostics are backend-invariant —
+same values bit for bit, same errors, same counters.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import sthosvd_parallel
+from repro.data import low_rank_tensor
+from repro.dist import DistributedTensor, GridComms, ProcessorGrid
+from repro.errors import CollectiveMismatchError, RankFailedError
+from repro.faults import CrashRule, FaultPlan, MessageFaultRule
+from repro.mpi import CommTrace, CostModel, available_backends, run_spmd, waitall
+from repro.obs import Tracer
+
+BACKENDS = list(available_backends())
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def test_available_backends_names():
+    assert BACKENDS == ["threads", "procs"]
+
+
+# ----------------------------------------------------------------------
+# Collective equivalence
+# ----------------------------------------------------------------------
+def _collective_prog(comm):
+    rng = np.random.default_rng(100 + comm.rank)
+    x = rng.standard_normal(8)
+    out = {}
+    out["allreduce"] = comm.allreduce(x.copy())
+    out["bcast"] = comm.bcast(x.copy() if comm.rank == 1 else None, root=1)
+    out["allgather"] = np.concatenate(comm.allgather(x.copy()))
+    pieces = [np.full(2, float(comm.rank * comm.size + d)) for d in range(comm.size)]
+    out["alltoall"] = np.concatenate(comm.alltoall(pieces))
+    gathered = comm.gather(x.copy(), root=0)
+    out["gather"] = np.concatenate(gathered) if comm.rank == 0 else None
+    out["reduce_scatter"] = comm.reduce_scatter([x.copy() * (d + 1) for d in range(comm.size)])
+    sub = comm.split(color=comm.rank % 2, key=-comm.rank)
+    out["split"] = (sub.rank, sub.size, float(sub.allreduce(x.copy())[0]))
+    comm.barrier()
+    return out
+
+
+def test_collective_equivalence_across_backends():
+    runs = {b: run_spmd(_collective_prog, 4, backend=b).values for b in BACKENDS}
+    ref = runs[BACKENDS[0]]
+    for b in BACKENDS[1:]:
+        for rank in range(4):
+            for key, want in ref[rank].items():
+                got = runs[b][rank][key]
+                if isinstance(want, np.ndarray):
+                    assert np.array_equal(want, got), (b, rank, key)
+                else:
+                    assert want == got, (b, rank, key)
+
+
+def test_sthosvd_bitwise_equivalence_across_backends():
+    X = low_rank_tensor((8, 12, 6), (2, 4, 3), rng=9, noise=1e-9)
+
+    def prog(comm):
+        comms = GridComms(comm, ProcessorGrid((2, 2, 1)))
+        dt = DistributedTensor.from_full(comms, X.data)
+        res = sthosvd_parallel(dt, tol=1e-6, method="qr")
+        return res.ranks, [np.array(f) for f in res.factors]
+
+    runs = {b: run_spmd(prog, 4, backend=b).values for b in BACKENDS}
+    ref = runs[BACKENDS[0]]
+    for b in BACKENDS[1:]:
+        for rank in range(4):
+            assert ref[rank][0] == runs[b][rank][0]
+            for fa, fb in zip(ref[rank][1], runs[b][rank][1]):
+                assert np.array_equal(fa, fb)
+
+
+# ----------------------------------------------------------------------
+# Nonblocking semantics (S1): staging-tracked requests, ordering
+# ----------------------------------------------------------------------
+def test_isend_waitall_ordering(backend):
+    def prog(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(np.array([i]), 1, tag=i) for i in range(8)]
+            waitall(reqs)
+            assert all(r.done() for r in reqs)
+            return None
+        vals = waitall([comm.irecv(0, tag=i) for i in range(8)])
+        return [int(v[0]) for v in vals]
+
+    res = run_spmd(prog, 2, backend=backend)
+    assert res[1] == list(range(8))
+
+
+def test_isend_completion_means_staged(backend):
+    """A completed send request implies the payload is receivable."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            req = comm.isend(np.arange(16), 1, tag=5)
+            req.wait()
+            comm.barrier()
+            return None
+        comm.barrier()  # after rank 0's wait() the message must exist
+        got = comm.recv(0, tag=5)
+        return int(got.sum())
+
+    res = run_spmd(prog, 2, backend=backend)
+    assert res[1] == int(np.arange(16).sum())
+
+
+def test_request_test_backoff_does_not_busy_spin(backend):
+    """A test() poll loop on an unready request sleeps between polls."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.recv(1, tag=9)  # parked until rank 1's poll loop ends
+            comm.send(np.array([0]), 1, tag=1)
+            return None
+        req = comm.irecv(0, tag=1)  # not satisfied during the loop
+        polls = 0
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < 0.05:
+            done, _ = req.test()
+            assert not done
+            polls += 1
+        comm.send(np.array([1]), 0, tag=9)
+        req.wait()  # now rank 0 sends; the request completes
+        return polls
+
+    res = run_spmd(prog, 2, backend=backend)
+    # With 1 us -> 1 ms exponential backoff, 50 ms of polling is a few
+    # hundred iterations at most; a busy spin would be millions.
+    assert 0 < res[1] < 10_000
+
+
+# ----------------------------------------------------------------------
+# Observability conformance: counters and shards
+# ----------------------------------------------------------------------
+def _traffic_prog(comm):
+    trace = comm.context.comm_trace
+    trace.set_context("stage-a")
+    comm.send(np.ones(100), (comm.rank + 1) % comm.size, tag=1)
+    comm.recv((comm.rank - 1) % comm.size, tag=1)
+    trace.set_context(None)
+    comm.barrier()
+    return comm.rank
+
+
+def test_comm_trace_counters_identical_across_backends():
+    snaps = {}
+    for b in BACKENDS:
+        trace = CommTrace()
+        run_spmd(_traffic_prog, 3, comm_trace=trace, backend=b)
+        snaps[b] = trace.to_dict()
+    ref = snaps[BACKENDS[0]]
+    for b in BACKENDS[1:]:
+        assert snaps[b] == ref
+    # context labels set inside the rank program survive the fork
+    assert ref["context"] == "all"
+    for b in BACKENDS:
+        assert any(True for _ in snaps[b]["ranks"])
+
+
+def test_comm_trace_context_labels_cross_backends():
+    for b in BACKENDS:
+        trace = CommTrace()
+        run_spmd(_traffic_prog, 3, comm_trace=trace, backend=b)
+        assert trace.sent_messages(0, "stage-a") == 1, b
+        assert trace.sent_bytes(0, "stage-a") == 800, b
+
+
+def test_tracer_and_clock_shards_merge(backend):
+    def prog(comm):
+        comm.allreduce(np.ones(4))
+        return comm.rank
+
+    tracer = Tracer()
+    res = run_spmd(prog, 3, cost_model=CostModel(), tracer=tracer,
+                   backend=backend)
+    assert tracer.ranks() == [0, 1, 2]
+    assert "comm.allreduce" in tracer.span_names()
+    assert all(c is not None and c.now > 0 for c in res.clocks)
+    assert res.slowest_time > 0
+
+
+# ----------------------------------------------------------------------
+# Sanitizer diagnostics
+# ----------------------------------------------------------------------
+def test_sanitizer_collective_mismatch_diagnostic(backend):
+    def prog(comm):
+        if comm.rank == 0:
+            comm.allreduce(np.ones(4))
+        else:
+            comm.barrier()
+        return 1
+
+    with pytest.raises(CollectiveMismatchError, match="allreduce"):
+        run_spmd(prog, 2, sanitize=True, recv_timeout=10, backend=backend)
+
+
+def test_sanitizer_message_leak_finding(backend):
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(np.ones(3), 1, tag=4)  # never received
+        comm.barrier()
+        return 1
+
+    from repro.sanitize import Sanitizer
+
+    san = Sanitizer(strict=False)
+    run_spmd(prog, 2, sanitize=san, backend=backend)
+    assert any(f.kind == "message-leak" for f in san.findings)
+
+
+# ----------------------------------------------------------------------
+# Chaos smoke (S2 rides here too): crashes surface as RankFailedError
+# ----------------------------------------------------------------------
+def test_crashed_partner_fast_fails_recv(backend):
+    def prog(comm):
+        if comm.rank == 1:
+            comm.recv(0, tag=5)
+        elif comm.rank == 0:
+            comm.send(np.ones(2), 1, tag=5)  # dies inside this op
+        return comm.rank
+
+    plan = FaultPlan(seed=7, crashes=(CrashRule(rank=0, at_op=1),))
+    with pytest.raises(RankFailedError, match="already failed"):
+        run_spmd(prog, 2, faults=plan, recv_timeout=15, backend=backend)
+
+
+def test_chaos_smoke_shrink_recovery(backend):
+    def prog(comm):
+        try:
+            comm.barrier()
+            comm.barrier()
+        except RankFailedError:
+            comm.revoke()
+            comm = comm.shrink()
+        return float(comm.allreduce(np.array([1.0]))[0])
+
+    plan = FaultPlan(
+        seed=3,
+        crashes=(CrashRule(rank=1, at_op=2),),
+        messages=(MessageFaultRule(kind="drop", prob=0.02),),
+    )
+    res = run_spmd(prog, 3, faults=plan, resilience=True, recv_timeout=20,
+                   backend=backend)
+    assert res.failed_ranks == [1]
+    survivors = [v for v in res.values if v is not None]
+    assert survivors == [2.0, 2.0]
+    assert (1, 2, "crash", ()) in res.faults.trace_key()
+
+
+def test_fault_trace_deterministic_across_backends():
+    def prog(comm):
+        for _ in range(4):
+            comm.send(np.ones(64), (comm.rank + 1) % comm.size, tag=2)
+            comm.recv((comm.rank - 1) % comm.size, tag=2)
+        return comm.rank
+
+    plan = FaultPlan(seed=11, messages=(
+        MessageFaultRule(kind="drop", prob=0.2),
+    ))
+    keys = []
+    for b in BACKENDS:
+        res = run_spmd(prog, 3, faults=plan, resilience=True,
+                       recv_timeout=20, backend=b)
+        keys.append(res.faults.trace_key())
+    assert keys[0] and all(k == keys[0] for k in keys[1:])
+
+
+# ----------------------------------------------------------------------
+# Return values crossing the process boundary
+# ----------------------------------------------------------------------
+def test_full_result_object_crosses_process_boundary():
+    """A rank program may return the whole ParallelSthosvdResult: on
+    procs the embedded DistributedTensor detaches from its world, so
+    layout queries and error estimates still work in the caller, while
+    collectives on the detached core raise a clear diagnostic."""
+    from repro.errors import DistributionError
+
+    X = low_rank_tensor((8, 12, 6), (2, 4, 3), rng=9, noise=1e-9)
+
+    def prog(comm):
+        comms = GridComms(comm, ProcessorGrid((2, 2, 1)))
+        dt = DistributedTensor.from_full(comms, X.data)
+        return sthosvd_parallel(dt, tol=1e-6, method="qr")
+
+    results = {b: run_spmd(prog, 4, backend=b)[0] for b in BACKENDS}
+    ref = results[BACKENDS[0]]
+    for b in BACKENDS[1:]:
+        assert results[b].ranks == ref.ranks
+        assert results[b].estimated_rel_error() == ref.estimated_rel_error()
+    detached = results["procs"].core
+    assert detached.global_shape == ref.core.global_shape
+    assert detached.local.shape == ref.core.local.shape
+    with pytest.raises(DistributionError, match="detached"):
+        detached.gather()
+
+
+def test_unpicklable_return_value_surfaces_diagnostic():
+    """A return value that cannot cross the process boundary must raise
+    a CommunicatorError naming the problem, not a silent worker death."""
+    from repro.errors import CommunicatorError
+
+    def prog(comm):
+        import threading
+
+        return threading.Lock()  # cannot pickle
+
+    with pytest.raises(CommunicatorError,
+                       match="could not cross the process boundary"):
+        run_spmd(prog, 2, backend="procs")
+
+
+# ----------------------------------------------------------------------
+# Process-backend-specific lifecycle
+# ----------------------------------------------------------------------
+def test_procs_hard_worker_death_surfaces_rank_failed():
+    """A worker that dies without a lifecycle message (simulating a
+    segfault/OOM kill) must surface RankFailedError, not hang."""
+    import os
+
+    def prog(comm):
+        if comm.rank == 1:
+            os._exit(17)
+        comm.recv(1, tag=9)
+        return 0
+
+    with pytest.raises(RankFailedError, match="rank 1"):
+        run_spmd(prog, 2, recv_timeout=30, backend="procs")
+
+
+def test_backend_env_var_fallback(monkeypatch):
+    from repro.mpi.transport import make_transport
+
+    monkeypatch.setenv("REPRO_SPMD_BACKEND", "procs")
+    assert make_transport(None).name == "procs"
+    monkeypatch.delenv("REPRO_SPMD_BACKEND")
+    assert make_transport(None).name == "threads"
+
+
+def test_unknown_backend_rejected():
+    from repro.errors import CommunicatorError
+
+    with pytest.raises(CommunicatorError, match="unknown SPMD backend"):
+        run_spmd(lambda comm: 0, 1, backend="smoke-signals")
