@@ -10,24 +10,46 @@ Shows why each collective fills its role in the pipeline:
 The functional side times the real implementations on the threaded
 runtime; the modeled side evaluates the alpha-beta formulas at the
 paper's scales where latency/bandwidth crossovers actually happen.
+
+Two consumers share the row-computing functions below:
+
+* the pytest classes — qualitative shape assertions plus the
+  plain-text crossover reports (``collectives_*.txt``), CI's
+  collectives-smoke job;
+* ``main()`` — a versioned machine-readable snapshot
+  (``benchmarks/reports/BENCH_collectives.json``) in the same envelope
+  as ``BENCH_sthosvd_scaling.json``, diffable against a later run with
+  ``repro bench --compare`` and its tolerance bands.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_collectives.py -q
+    PYTHONPATH=src python benchmarks/bench_collectives.py [--out FILE]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import sys
 import time
 
 import numpy as np
 import pytest
 
-from repro.mpi import (
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.mpi import (  # noqa: E402
     allgather_ring,
     allreduce_recursive_doubling,
     bcast_scatter_allgather,
     reduce_scatter_ring,
     run_spmd,
 )
-from repro.perf import ANDES
-from repro.perf.collectives import (
+from repro.obs.postmortem import host_metadata, repo_commit  # noqa: E402
+from repro.perf import ANDES  # noqa: E402
+from repro.perf.collectives import (  # noqa: E402
     cost_allreduce_recursive_doubling,
     cost_allreduce_ring,
     cost_allreduce_tree,
@@ -36,9 +58,88 @@ from repro.perf.collectives import (
     cost_bcast_scatter_allgather,
     dispatched_allreduce_cost,
 )
-from repro.util import format_table
+from repro.util import format_table  # noqa: E402
 
 P_FUNCTIONAL = 8
+P_MEASURED = 8
+MEASURED_SIZES = (64, 1 << 12, 1 << 15, 1 << 18)  # elements (512 B .. 2 MiB)
+MEASURED_REPEATS = 5
+
+REPORT = os.path.join(os.path.dirname(__file__), "reports",
+                      "BENCH_collectives.json")
+
+
+# ---------------------------------------------------------------------------
+# Row computations shared by the pytest reports and the JSON snapshot
+# ---------------------------------------------------------------------------
+
+def allreduce_crossover_rows(comm=ANDES.comm) -> list:
+    """[P, bytes, tree_us, recdbl_us, ring_us] at the paper's scales."""
+    rows = []
+    for p, nbytes in [(64, 8 * 256 * 256 // 2), (64, 8 * 32 * 32 // 2),
+                      (2048, 8 * 256 * 256 // 2), (2048, 512)]:
+        rows.append([
+            p, nbytes,
+            cost_allreduce_tree(p, nbytes, comm) * 1e6,
+            cost_allreduce_recursive_doubling(p, nbytes, comm) * 1e6,
+            cost_allreduce_ring(p, nbytes, comm) * 1e6,
+        ])
+    return rows
+
+
+def bcast_crossover_rows(comm=ANDES.comm) -> list:
+    """[bytes, binomial_ms, scatter_allgather_ms] at P=256."""
+    rows = []
+    for nbytes in (1 << 10, 1 << 20, 1 << 28):
+        rows.append([
+            nbytes,
+            cost_bcast_binomial(256, nbytes, comm) * 1e3,
+            cost_bcast_scatter_allgather(256, nbytes, comm) * 1e3,
+        ])
+    return rows
+
+
+def dispatch_rows(comm=ANDES.comm) -> list:
+    """[P, bytes, recdbl_us, ring_us, dispatched_us] over both regimes."""
+    rows = []
+    for p in (8, 64, 512):
+        for nbytes in (512, 1 << 14, 1 << 21, 1 << 27):
+            rd = cost_allreduce_recursive_doubling(p, nbytes, comm)
+            ring = cost_allreduce_ring(p, nbytes, comm)
+            auto = dispatched_allreduce_cost(p, nbytes, comm)
+            rows.append([p, nbytes, rd * 1e6, ring * 1e6, auto * 1e6])
+    return rows
+
+
+def measure_allreduce(algorithm, n, *, nprocs=P_MEASURED,
+                      repeats=MEASURED_REPEATS) -> float:
+    """Best-of-``repeats`` wall seconds for one allreduce algorithm."""
+    def prog(comm):
+        return comm.allreduce(np.ones(n), algorithm=algorithm)
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_spmd(prog, nprocs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measured_allreduce_rows(comm=ANDES.comm, *, sizes=MEASURED_SIZES,
+                            repeats=MEASURED_REPEATS) -> list:
+    """[bytes, recdbl_ms, ring_ms, dispatched_ms, model_rd_us, model_ring_us]."""
+    rows = []
+    for n in sizes:
+        nbytes = n * 8
+        rows.append([
+            nbytes,
+            measure_allreduce("recursive_doubling", n, repeats=repeats) * 1e3,
+            measure_allreduce("ring", n, repeats=repeats) * 1e3,
+            measure_allreduce(None, n, repeats=repeats) * 1e3,
+            cost_allreduce_recursive_doubling(P_MEASURED, nbytes, comm) * 1e6,
+            cost_allreduce_ring(P_MEASURED, nbytes, comm) * 1e6,
+        ])
+    return rows
 
 
 class TestFunctionalEquivalence:
@@ -96,21 +197,9 @@ class TestFunctionalEquivalence:
 
 class TestModeledCrossovers:
     def test_report_crossovers(self, benchmark, write_report):
-        comm = ANDES.comm
-
-        def compute():
-            rows = []
-            for p, nbytes in [(64, 8 * 256 * 256 // 2), (64, 8 * 32 * 32 // 2),
-                              (2048, 8 * 256 * 256 // 2), (2048, 512)]:
-                rows.append([
-                    p, nbytes,
-                    cost_allreduce_tree(p, nbytes, comm) * 1e6,
-                    cost_allreduce_recursive_doubling(p, nbytes, comm) * 1e6,
-                    cost_allreduce_ring(p, nbytes, comm) * 1e6,
-                ])
-            return rows
-
-        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        rows = benchmark.pedantic(
+            allreduce_crossover_rows, rounds=1, iterations=1
+        )
         write_report(
             "collectives_allreduce_crossover",
             format_table(
@@ -128,19 +217,7 @@ class TestModeledCrossovers:
                     assert rd < ring
 
     def test_report_bcast_long_vs_short(self, benchmark, write_report):
-        comm = ANDES.comm
-
-        def compute():
-            rows = []
-            for nbytes in (1 << 10, 1 << 20, 1 << 28):
-                rows.append([
-                    nbytes,
-                    cost_bcast_binomial(256, nbytes, comm) * 1e3,
-                    cost_bcast_scatter_allgather(256, nbytes, comm) * 1e3,
-                ])
-            return rows
-
-        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        rows = benchmark.pedantic(bcast_crossover_rows, rounds=1, iterations=1)
         write_report(
             "collectives_bcast_crossover",
             format_table(
@@ -157,19 +234,7 @@ class TestModeledCrossovers:
         """The engine's selection is never worse than either fixed
         algorithm in either regime (far from the crossover it equals the
         better one exactly)."""
-        comm = ANDES.comm
-
-        def compute():
-            rows = []
-            for p in (8, 64, 512):
-                for nbytes in (512, 1 << 14, 1 << 21, 1 << 27):
-                    rd = cost_allreduce_recursive_doubling(p, nbytes, comm)
-                    ring = cost_allreduce_ring(p, nbytes, comm)
-                    auto = dispatched_allreduce_cost(p, nbytes, comm)
-                    rows.append([p, nbytes, rd * 1e6, ring * 1e6, auto * 1e6])
-            return rows
-
-        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        rows = benchmark.pedantic(dispatch_rows, rounds=1, iterations=1)
         write_report(
             "collectives_dispatch_vs_fixed",
             format_table(
@@ -216,38 +281,10 @@ class TestMeasuredCrossovers:
     zero-copy sends remove snapshotting entirely.
     """
 
-    P = 8
-
-    def _measure(self, algorithm, n, repeats=5):
-        def prog(comm):
-            return comm.allreduce(np.ones(n), algorithm=algorithm)
-
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            run_spmd(prog, self.P)
-            best = min(best, time.perf_counter() - t0)
-        return best
-
     def test_report_measured_allreduce_crossover(self, benchmark, write_report):
-        comm = ANDES.comm
-        sizes = [64, 1 << 12, 1 << 15, 1 << 18]  # elements (512 B .. 2 MiB)
-
-        def compute():
-            rows = []
-            for n in sizes:
-                nbytes = n * 8
-                rows.append([
-                    nbytes,
-                    self._measure("recursive_doubling", n) * 1e3,
-                    self._measure("ring", n) * 1e3,
-                    self._measure(None, n) * 1e3,
-                    cost_allreduce_recursive_doubling(self.P, nbytes, comm) * 1e6,
-                    cost_allreduce_ring(self.P, nbytes, comm) * 1e6,
-                ])
-            return rows
-
-        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        rows = benchmark.pedantic(
+            measured_allreduce_rows, rounds=1, iterations=1
+        )
         write_report(
             "collectives_measured_crossover",
             format_table(
@@ -255,7 +292,7 @@ class TestMeasuredCrossovers:
                  "model recdbl [us]", "model ring [us]"],
                 rows,
                 title=(
-                    f"Measured allreduce wall-clock (P={self.P}, threaded "
+                    f"Measured allreduce wall-clock (P={P_MEASURED}, threaded "
                     "runtime, best of 5) vs Andes model"
                 ),
             ),
@@ -264,3 +301,96 @@ class TestMeasuredCrossovers:
         # both regimes (generous slack: thread scheduling is noisy).
         for nbytes, rd_ms, ring_ms, auto_ms, *_ in rows:
             assert auto_ms <= 2.0 * min(rd_ms, ring_ms), nbytes
+
+
+# ---------------------------------------------------------------------------
+# Versioned JSON snapshot (``repro bench --compare``-able)
+# ---------------------------------------------------------------------------
+
+def build_snapshot(*, repeats: int = MEASURED_REPEATS) -> dict:
+    """Assemble the ``BENCH_collectives.json`` snapshot dict.
+
+    Modeled sections are deterministic (alpha-beta formulas on the
+    Andes machine model); the ``measured`` section is wall-clock on the
+    threaded runtime, so comparisons should give it a generous band
+    (``repro bench --compare --tolerance-for measured 1.0 ...``).
+    """
+    modeled_allreduce = {
+        f"P{p}.b{nbytes}": {
+            "tree_us": round(tree, 3),
+            "recdbl_us": round(rd, 3),
+            "ring_us": round(ring, 3),
+        }
+        for p, nbytes, tree, rd, ring in allreduce_crossover_rows()
+    }
+    modeled_bcast = {
+        f"b{nbytes}": {
+            "binomial_ms": round(binom, 4),
+            "scatter_allgather_ms": round(sag, 4),
+        }
+        for nbytes, binom, sag in bcast_crossover_rows()
+    }
+    modeled_dispatch = {
+        f"P{p}.b{nbytes}": {
+            "recdbl_us": round(rd, 3),
+            "ring_us": round(ring, 3),
+            "dispatched_us": round(auto, 3),
+        }
+        for p, nbytes, rd, ring, auto in dispatch_rows()
+    }
+    measured = {
+        f"b{nbytes}": {
+            "recdbl_ms": round(rd_ms, 4),
+            "ring_ms": round(ring_ms, 4),
+            "dispatched_ms": round(auto_ms, 4),
+        }
+        for nbytes, rd_ms, ring_ms, auto_ms, *_ in
+        measured_allreduce_rows(repeats=repeats)
+    }
+    return {
+        "bench": "collectives",
+        "version": 1,
+        "commit": repo_commit(),
+        "generated_unix": int(time.time()),
+        "host": host_metadata(),
+        "note": (
+            "modeled sections are deterministic alpha-beta evaluations "
+            "(Andes machine model); 'measured' is threaded-runtime "
+            "wall-clock and needs a wide tolerance band when compared."
+        ),
+        "config": {
+            "machine": "andes",
+            "p_measured": P_MEASURED,
+            "measured_sizes": [n * 8 for n in MEASURED_SIZES],
+            "repeats": repeats,
+        },
+        "modeled_allreduce": modeled_allreduce,
+        "modeled_bcast": modeled_bcast,
+        "modeled_dispatch": modeled_dispatch,
+        "measured_allreduce": measured,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=MEASURED_REPEATS,
+                        help="wall-clock repetitions per point (min is kept)")
+    parser.add_argument("--out", default=REPORT)
+    args = parser.parse_args(argv)
+
+    snapshot = build_snapshot(repeats=args.repeats)
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    npoints = sum(
+        len(snapshot[k]) for k in
+        ("modeled_allreduce", "modeled_bcast", "modeled_dispatch",
+         "measured_allreduce")
+    )
+    print(f"wrote {args.out} ({npoints} data points)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,7 +51,7 @@ from .core import (
 )
 from .mpi import run_spmd, CostModel
 from .dist import ProcessorGrid, GridComms, DistributedTensor
-from .obs import Tracer
+from .obs import FlightRecorder, TelemetryHub, Tracer
 
 __version__ = "1.0.0"
 
@@ -94,6 +94,8 @@ __all__ = [
     "run_spmd",
     "CostModel",
     "Tracer",
+    "FlightRecorder",
+    "TelemetryHub",
     "ProcessorGrid",
     "GridComms",
     "DistributedTensor",

@@ -11,8 +11,11 @@ Three subcommands operate on raw natural-order tensor files (the
 
 Beyond the archive commands: ``simulate``/``tune`` (model-only runs),
 ``trace`` (a traced — and optionally sanitized — parallel ST-HOSVD with
-observability artifacts), and ``lint`` (the static SPMD lint of
-:mod:`repro.sanitize`, the CI gate).
+observability artifacts), ``lint`` (the static SPMD lint of
+:mod:`repro.sanitize`, the CI gate), ``top`` (a live telemetry view of
+a running SPMD world), ``postmortem`` (render a crash bundle), and
+``bench --compare`` (diff two benchmark snapshots with tolerance
+bands).
 
 Usage::
 
@@ -270,6 +273,11 @@ def _cmd_trace(args) -> int:
 
     tracer = Tracer()
     comm_trace = CommTrace()
+    recorder = None
+    if args.postmortem_dir:
+        from .obs import FlightRecorder
+
+        recorder = FlightRecorder(postmortem_dir=args.postmortem_dir)
     ranks = tuple(args.ranks) if args.ranks else None
 
     def progress(info):
@@ -288,10 +296,19 @@ def _cmd_trace(args) -> int:
             progress=progress if args.verbose else None,
         )
 
-    res = run_spmd(
-        program, nprocs, tracer=tracer, comm_trace=comm_trace,
-        sanitize=args.sanitize, backend=args.backend,
-    )
+    import time as _time
+
+    start_unix = _time.time()
+    try:
+        res = run_spmd(
+            program, nprocs, tracer=tracer, comm_trace=comm_trace,
+            sanitize=args.sanitize, backend=args.backend, recorder=recorder,
+        )
+    except Exception:
+        if recorder is not None and recorder.last_postmortem_path:
+            print(f"postmortem:    {recorder.last_postmortem_path}",
+                  file=sys.stderr)
+        raise
     result = res[0]
 
     os.makedirs(args.out, exist_ok=True)
@@ -304,7 +321,18 @@ def _cmd_trace(args) -> int:
 
     trace_path = os.path.join(args.out, "trace.json")
     with open(trace_path, "w") as f:
-        json.dump(chrome_trace(tracer, comm_trace=comm_trace), f)
+        json.dump(
+            chrome_trace(
+                tracer, comm_trace=comm_trace,
+                metadata={
+                    "backend": args.backend or os.environ.get(
+                        "REPRO_SPMD_BACKEND", "threads"
+                    ),
+                    "start_unix": start_unix,
+                },
+            ),
+            f,
+        )
     write("phases.txt", phase_table(tracer))
     write("imbalance.txt", imbalance_table(tracer))
     write("comm.txt", comm_trace.as_table())
@@ -384,8 +412,19 @@ def _cmd_chaos(args) -> int:
                 "recoveries": res.recoveries}
 
     def launch(plan):
-        return run_spmd(program, nprocs, faults=plan, resilience=True,
-                        backend=args.backend)
+        recorder = None
+        if args.postmortem_dir:
+            from .obs import FlightRecorder
+
+            recorder = FlightRecorder(postmortem_dir=args.postmortem_dir)
+        try:
+            return run_spmd(program, nprocs, faults=plan, resilience=True,
+                            backend=args.backend, recorder=recorder)
+        except Exception:
+            if recorder is not None and recorder.last_postmortem_path:
+                print(f"postmortem: {recorder.last_postmortem_path}",
+                      file=sys.stderr)
+            raise
 
     # Fault-free baseline: the reference error, and per-rank operation
     # counts that place injected crashes mid-run (after the first
@@ -457,6 +496,117 @@ def _cmd_chaos(args) -> int:
         return 1
     print(f"chaos: all scenarios ok ({len(scenarios)} scenarios x "
           f"{args.replays} replays)")
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    """Render a postmortem bundle written by a crashed run."""
+    from .obs import load_postmortem, render_postmortem
+
+    bundle = load_postmortem(args.bundle)
+    print(render_postmortem(bundle, events=args.events))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Live telemetry view of a running SPMD world (``repro top``).
+
+    Launches the same synthetic parallel ST-HOSVD as ``repro trace`` in
+    a background thread with an always-on flight recorder, and repaints
+    the per-rank telemetry table (status, heartbeat age, event counts,
+    comm totals, innermost open span) at ``--interval`` until the run
+    finishes — a scaled-down ``htop`` for simulated ranks.  On a crash
+    the postmortem path (when ``--postmortem-dir`` is set) is printed.
+    """
+    import threading
+    import time as _time
+
+    from .core.sthosvd_parallel import sthosvd_parallel
+    from .data.synthetic import tensor_with_mode_spectra
+    from .dist import DistributedTensor, GridComms
+    from .dist.grid import ProcessorGrid
+    from .mpi import run_spmd
+    from .mpi.tracing import CommTrace
+    from .obs import FlightRecorder, TelemetryHub
+
+    shape = tuple(args.shape)
+    grid = tuple(args.grid)
+    if len(grid) != len(shape):
+        raise SystemExit(f"--grid needs {len(shape)} entries")
+    nprocs = 1
+    for g in grid:
+        nprocs *= g
+
+    rng = np.random.default_rng(args.seed)
+    spectra = [[args.decay ** k for k in range(extent)] for extent in shape]
+    X = tensor_with_mode_spectra(shape, spectra, rng=rng).data
+    ranks = tuple(args.ranks) if args.ranks else None
+
+    recorder = FlightRecorder(
+        heartbeat_interval=args.interval / 2,
+        postmortem_dir=args.postmortem_dir,
+    )
+    hub = TelemetryHub()
+    comm_trace = CommTrace()
+
+    def program(comm):
+        for _ in range(args.repeat):
+            comms = GridComms(comm, ProcessorGrid(grid))
+            dt = DistributedTensor.from_full(comms, X)
+            res = sthosvd_parallel(dt, tol=args.tol, ranks=ranks,
+                                   method=args.method)
+        return res.ranks
+
+    outcome: dict = {}
+
+    def runner():
+        try:
+            outcome["result"] = run_spmd(
+                program, nprocs, recorder=recorder, telemetry=hub,
+                comm_trace=comm_trace, backend=args.backend,
+            )
+        except Exception as exc:  # rendered below, after the last frame
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=runner, name="repro-top-run")
+    worker.start()
+    frames = 0
+    try:
+        while worker.is_alive():
+            _time.sleep(args.interval)
+            print(hub.render())
+            frames += 1
+    finally:
+        worker.join()
+    print(hub.render())  # final frame: terminal rank states
+    if "error" in outcome:
+        err = outcome["error"]
+        print(f"run failed: {type(err).__name__}: {err}", file=sys.stderr)
+        if recorder.last_postmortem_path:
+            print(f"postmortem: {recorder.last_postmortem_path}",
+                  file=sys.stderr)
+        return 1
+    print(f"done: ranks {outcome['result'][0]} "
+          f"({frames} live frames rendered)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Compare two benchmark snapshots (``repro bench --compare``)."""
+    from .perf.benchdiff import compare_snapshots, format_comparison, load_snapshot
+
+    old_path, new_path = args.compare
+    old = load_snapshot(old_path)
+    new = load_snapshot(new_path)
+    tolerances = {prefix: float(tol) for prefix, tol in (args.tolerance_for or [])}
+    report = compare_snapshots(
+        old, new, tolerance=args.tolerance, tolerances=tolerances,
+    )
+    print(format_comparison(report, all_metrics=args.all))
+    if not report["comparable"]:
+        return 2
+    if report["regressions"] or (args.strict_missing and report["missing"]):
+        return 1
     return 0
 
 
@@ -581,6 +731,9 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--sanitize", action="store_true",
                     help="run under the SPMD sanitizer (collective matching, "
                          "deadlock detection, move enforcement)")
+    tr.add_argument("--postmortem-dir", default=None,
+                    help="enable the flight recorder; on a crash/deadlock "
+                         "write a postmortem bundle here")
     tr.set_defaults(fn=_cmd_trace)
 
     ch = sub.add_parser(
@@ -608,7 +761,70 @@ def build_parser() -> argparse.ArgumentParser:
                          "fault-free run")
     ch.add_argument("--backend", default=None, choices=["threads", "procs"],
                     help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")
+    ch.add_argument("--postmortem-dir", default=None,
+                    help="enable the flight recorder; if a scenario escapes "
+                         "recovery and aborts the world, write a postmortem "
+                         "bundle here")
     ch.set_defaults(fn=_cmd_chaos)
+
+    pm = sub.add_parser(
+        "postmortem",
+        help="render a crash postmortem bundle (written by runs launched "
+             "with a FlightRecorder(postmortem_dir=...) or --postmortem-dir)",
+    )
+    pm.add_argument("bundle", help="path to a postmortem-*.json bundle")
+    pm.add_argument("--events", type=int, default=10,
+                    help="trailing flight-recorder events shown per rank "
+                         "(0 disables the per-rank tails)")
+    pm.set_defaults(fn=_cmd_postmortem)
+
+    tp = sub.add_parser(
+        "top",
+        help="live per-rank telemetry of a synthetic parallel ST-HOSVD "
+             "(status, heartbeat age, recorded events, comm counters)",
+    )
+    tp.add_argument("--shape", type=int, nargs="+", required=True)
+    tp.add_argument("--grid", type=int, nargs="+", required=True,
+                    help="processor grid (one entry per mode; product = nprocs)")
+    tp.add_argument("--tol", type=float, default=None)
+    tp.add_argument("--ranks", type=int, nargs="+", default=None)
+    tp.add_argument("--method", default="qr", choices=["qr", "gram"])
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--decay", type=float, default=0.7,
+                    help="geometric decay of the synthetic mode spectra")
+    tp.add_argument("--repeat", type=int, default=1,
+                    help="run the decomposition this many times (longer runs "
+                         "give the live view something to watch)")
+    tp.add_argument("--interval", type=float, default=0.5,
+                    help="seconds between repaints (heartbeats tick at half "
+                         "this)")
+    tp.add_argument("--backend", default=None, choices=["threads", "procs"],
+                    help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")
+    tp.add_argument("--postmortem-dir", default=None,
+                    help="write a postmortem bundle here if the run aborts")
+    tp.set_defaults(fn=_cmd_top)
+
+    be = sub.add_parser(
+        "bench",
+        help="compare two versioned benchmark snapshots "
+             "(BENCH_*.json) with per-metric tolerance bands",
+    )
+    be.add_argument("--compare", nargs=2, required=True,
+                    metavar=("OLD", "NEW"),
+                    help="baseline and candidate snapshot paths")
+    be.add_argument("--tolerance", type=float, default=0.25,
+                    help="default relative tolerance band (0.25 = 25%%)")
+    be.add_argument("--tolerance-for", nargs=2, action="append",
+                    metavar=("PREFIX", "TOL"), default=None,
+                    help="per-metric override: dotted-path prefix and its "
+                         "band (repeatable; longest prefix wins)")
+    be.add_argument("--all", action="store_true",
+                    help="list every shared metric, not only the ones "
+                         "outside their band")
+    be.add_argument("--strict-missing", action="store_true",
+                    help="also fail when the new snapshot lost metrics the "
+                         "baseline had")
+    be.set_defaults(fn=_cmd_bench)
 
     ln = sub.add_parser(
         "lint",
@@ -642,7 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command in ("compress", "recompress", "trace", "chaos") and (
+    if args.command in ("compress", "recompress", "trace", "chaos", "top") and (
         args.tol is None
     ) == (args.ranks is None):
         raise SystemExit(f"{args.command}: pass exactly one of --tol / --ranks")

@@ -29,6 +29,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import CheckpointError
+from ..obs.recorder import record_event as _record_event
 
 __all__ = ["DistributedCheckpoint"]
 
@@ -96,6 +97,10 @@ class DistributedCheckpoint:
             )
             ctx.store_put(me_world, buddy_key, buddy_entry)
         self._prune(ctx, me_world, step)
+        _record_event(
+            "checkpoint", self.name, step=int(step), epoch=comm.comm_id,
+            nbytes=int(entry["block"].nbytes),
+        )
 
     def _prune(self, ctx, holder: int, current_step: int) -> None:
         horizon = current_step - self.keep

@@ -29,6 +29,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import ConfigurationError, RankKilledError
+from ..obs.recorder import record_event as _recorder_event
 from .plan import (
     DEFAULT_TRACE_LIMIT,
     FaultEvent,
@@ -111,6 +112,13 @@ class FaultInjector:
         with self._trace_lock:
             if len(self._trace) < self._trace_limit:
                 self._trace.append(event)
+        # Mirror the fired fault into the flight recorder (if one is
+        # active on this rank thread) so postmortems interleave faults
+        # with the surrounding comm/kernel events.
+        _recorder_event(
+            "fault", event.kind, op_index=event.op_index,
+            detail=list(event.detail),
+        )
 
     # -- hooks ----------------------------------------------------------
     def on_op(self, rank: int) -> None:

@@ -64,6 +64,7 @@ import numpy as np
 
 from ..errors import CommunicatorError, RankFailedError
 from ..instrument import PHASE_COMM
+from ..obs.recorder import record_event as _record_event
 from ..obs.tracer import current_tracer, trace_span
 from .context import Envelope, SpmdContext
 from .costmodel import RankClock
@@ -466,6 +467,12 @@ class Communicator:
         tracer = current_tracer()
         if tracer is not None:
             tracer.add_bytes(nbytes, 0 if moved else nbytes)
+        # Flight recorder: one structured event per p2p send (peer is
+        # the destination *world* rank, matching the postmortem view).
+        _record_event(
+            "send", peer=self._members[dest], tag=tag, comm_id=self._comm_id,
+            nbytes=nbytes, moved=moved,
+        )
         model = self._context.cost_model
         cost = model.comm.message_cost(nbytes) if model is not None else 0.0
         if self.clock is not None:
@@ -516,6 +523,10 @@ class Communicator:
             san.note_received_move(env.payload, self.world_rank, env.origin)
         if self._context.comm_trace is not None:
             self._context.comm_trace.record_recv(self.world_rank, env.nbytes)
+        _record_event(
+            "recv", peer=self._members[source], tag=tag,
+            comm_id=self._comm_id, nbytes=env.nbytes,
+        )
         if self.clock is not None:
             self.clock.sync_to(env.send_time)
         return env.payload

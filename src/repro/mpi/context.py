@@ -284,6 +284,8 @@ class SpmdContext:
         faults=None,
         resilience=None,
         transport=None,
+        recorder=None,
+        telemetry=None,
     ) -> None:
         if world_size <= 0:
             raise CommunicatorError("world size must be positive")
@@ -300,6 +302,12 @@ class SpmdContext:
         self.sanitizer = sanitizer  # repro.sanitize.Sanitizer, or None
         self.faults = faults  # repro.faults.FaultInjector, or None
         self.resilience = resilience  # repro.faults.Resilience, or None
+        self.recorder = recorder  # repro.obs.FlightRecorder, or None
+        self.telemetry = telemetry  # repro.obs.TelemetryHub, or None
+        # Sanitizer deadlock report (wait-for-graph edges + open spans),
+        # stored by the watchdog just before it aborts the world so the
+        # postmortem bundle can carry it.
+        self.last_deadlock: dict | None = None
         self.tuning = tuning if tuning is not None else CollectiveTuning()
         self.abort_event = threading.Event()
         self.abort_reason: str | None = None

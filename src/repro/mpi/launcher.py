@@ -80,6 +80,33 @@ class SpmdResult:
         return slowest.breakdown()
 
 
+def _write_postmortem(context, recorder, telemetry, err, errors) -> None:
+    """Assemble (and persist, when configured) the crash postmortem.
+
+    Runs just before the launcher re-raises the root cause of a dead
+    world.  Failures here must never mask that root cause, so problems
+    are reported to stderr and swallowed.
+    """
+    if recorder is None:
+        return
+    try:
+        from ..obs.postmortem import build_postmortem, write_postmortem
+
+        bundle = build_postmortem(
+            context, error=err, errors=errors,
+            recorder=recorder, telemetry=telemetry,
+        )
+        recorder.last_postmortem = bundle
+        if recorder.postmortem_dir is not None:
+            recorder.last_postmortem_path = write_postmortem(
+                bundle, recorder.postmortem_dir
+            )
+    except Exception as exc:  # pragma: no cover - defensive
+        import sys
+
+        print(f"repro: postmortem assembly failed: {exc!r}", file=sys.stderr)
+
+
 def run_spmd(
     fn: Callable[..., Any],
     nprocs: int,
@@ -93,6 +120,8 @@ def run_spmd(
     faults=None,
     resilience=None,
     backend: str | None = None,
+    recorder=None,
+    telemetry=None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -151,6 +180,21 @@ def run_spmd(
         enabling message-level tolerance: per-message sequence numbers,
         payload checksums, and sender retry with exponential backoff —
         the machinery that survives what ``faults=`` injects.
+    recorder:
+        Optional :class:`~repro.obs.FlightRecorder` — an always-on,
+        bounded per-rank ring buffer of structured runtime events
+        (p2p/collective ops, kernel entry/exit, faults, checkpoint
+        saves).  When the run dies the launcher assembles a postmortem
+        bundle (``recorder.last_postmortem``, and a JSON file when
+        ``postmortem_dir`` is set) before re-raising the root cause.
+        See ``docs/observability.md`` (Flight recorder & postmortems).
+    telemetry:
+        Optional :class:`~repro.obs.TelemetryHub` giving a live mid-run
+        snapshot API (``hub.snapshot()`` / ``hub.render()``): per-rank
+        status, heartbeat ages, flight-recorder activity, and comm
+        totals, streamed from worker processes at
+        ``recorder.heartbeat_interval`` on the ``"procs"`` backend and
+        sampled from shared state on ``"threads"``.
 
     Returns
     -------
@@ -187,8 +231,13 @@ def run_spmd(
         nprocs, cost_model=cost_model, recv_timeout=recv_timeout,
         comm_trace=comm_trace, tuning=tuning, tracer=tracer,
         sanitizer=sanitizer, faults=injector, resilience=res_cfg,
-        transport=transport,
+        transport=transport, recorder=recorder, telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.attach(
+            context, recorder=recorder,
+            backend=getattr(transport, "name", None),
+        )
     values, clocks, errors = transport.execute(context, fn, args, kwargs)
 
     # Sanitizer findings are root causes; CommunicatorError is usually a
@@ -221,6 +270,7 @@ def run_spmd(
     for level in range(5):
         for rank, err in enumerate(errors):
             if reportable(err) and tier(err) == level:
+                _write_postmortem(context, recorder, telemetry, err, errors)
                 raise err
     if sanitizer is not None:
         sanitizer.finalize_world(context)

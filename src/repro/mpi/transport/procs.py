@@ -40,7 +40,13 @@ tallies, and fault events into its forked copies and ships the
 post-fork *delta* home with its lifecycle message; the master folds
 the shards into the caller's objects, so ``tracer.spans``,
 ``comm_trace`` tallies, and the fault trace look the same as a
-threaded run.  The one honest gap: zero-copy move *enforcement*
+threaded run.  When a flight recorder or telemetry hub is attached,
+workers additionally run a *heartbeat* thread streaming the
+metrics/comm/recorder delta to the master every
+``recorder.heartbeat_interval`` seconds as ``("hb", ...)`` messages on
+the data path (the pump keeps the pipe single-writer), so mid-run
+snapshots and crash postmortems see near-live state instead of only
+the finalize merge.  The one honest gap: zero-copy move *enforcement*
 (use-after-move attribution) does not cross the process boundary,
 because a moved buffer's identity dies with the sender's address
 space — see ``docs/mpi-runtime.md`` (Transports).
@@ -178,7 +184,7 @@ class _WorkerConfig:
     __slots__ = (
         "world_size", "cost_model", "recv_timeout", "tuning", "resilience",
         "faults", "comm_trace", "tracer", "has_sanitizer",
-        "watchdog_interval",
+        "watchdog_interval", "recorder", "heartbeat_interval",
     )
 
     def __init__(self, context) -> None:
@@ -195,6 +201,15 @@ class _WorkerConfig:
             context.sanitizer.watchdog_interval
             if context.sanitizer is not None else None
         )
+        self.recorder = getattr(context, "recorder", None)
+        # Telemetry streaming cadence; None disables the worker
+        # heartbeat thread entirely (no recorder, no telemetry hub).
+        if self.recorder is not None:
+            self.heartbeat_interval = self.recorder.heartbeat_interval
+        elif getattr(context, "telemetry", None) is not None:
+            self.heartbeat_interval = 0.5
+        else:
+            self.heartbeat_interval = None
 
 
 # ----------------------------------------------------------------------
@@ -289,16 +304,31 @@ class _SendPump:
         self.sent += 1
         return token
 
+    def enqueue_raw(self, header: tuple) -> None:
+        """Stage a non-delivery message (telemetry heartbeat) on the pump.
+
+        The data pipe is single-writer by construction — every write
+        goes through the pump thread — so heartbeats ride the same FIFO
+        as payload deliveries.  Raw messages carry no payload arrays
+        and do not count toward ``sent`` (the delivery-drain barrier
+        counts only ``"put"`` messages on both ends).
+        """
+        if self.failure is not None:
+            return  # telemetry is best-effort; the rank path reports it
+        self._queue.put((header, (), None))
+
     def _run(self) -> None:
         while True:
             header, views, token = self._queue.get()
             if self.failure is None:
                 try:
                     self._conn.send(header)
-                    send_arrays(self._ring, views)
+                    if views:
+                        send_arrays(self._ring, views)
                 except BaseException as exc:  # noqa: BLE001 - report once
                     self.failure = exc
-            token.set()
+            if token is not None:
+                token.set()
 
 
 class _MailboxProxy:
@@ -398,6 +428,7 @@ class _WorkerContext:
         self.faults = cfg.faults
         self.comm_trace = cfg.comm_trace
         self.tracer = cfg.tracer
+        self.recorder = cfg.recorder
         self.sanitizer = (
             _WorkerSanitizer(channel, cfg.watchdog_interval)
             if cfg.has_sanitizer else None
@@ -522,32 +553,92 @@ class _WorkerContext:
         pass
 
 
-def _collect_shards(cfg: _WorkerConfig, ctx: _WorkerContext, comm,
-                    baselines: dict) -> dict:
-    """Post-fork observability deltas to ship with the lifecycle RPC."""
+def _delta_shards(cfg: _WorkerConfig, rank: int, baselines: dict) -> dict:
+    """Metrics/comm/recorder deltas since ``baselines``; advances them.
+
+    The streaming slice of the observability shards: safe to call from
+    the heartbeat thread (all three sources are lock-protected or
+    append-only), unlike spans — ``tracer.local_spans`` is bound to the
+    rank's main thread — which stay finalize-only.
+    """
     from ...obs.metrics import MetricsRegistry
     from ..tracing import CommTrace
 
-    shards: dict = {}
+    delta: dict = {}
+    if cfg.tracer is not None:
+        snap = cfg.tracer.metrics.to_dict()
+        diff = MetricsRegistry.diff_snapshots(snap, baselines["metrics"])
+        baselines["metrics"] = snap
+        if diff:
+            delta["metrics"] = diff
+    if cfg.comm_trace is not None:
+        state = cfg.comm_trace.state()
+        diff = CommTrace.diff_states(state, baselines["comm_trace"])
+        baselines["comm_trace"] = state
+        if any(diff.values()):
+            delta["comm_trace"] = diff
+    if cfg.recorder is not None:
+        events = cfg.recorder.events_since(rank, baselines["recorder_seq"])
+        if events:
+            baselines["recorder_seq"] = events[-1][0] + 1
+            delta["recorder"] = events
+    return delta
+
+
+def _collect_shards(cfg: _WorkerConfig, ctx: _WorkerContext, comm, rank: int,
+                    baselines: dict) -> dict:
+    """Post-fork observability deltas to ship with the lifecycle RPC."""
+    shards = _delta_shards(cfg, rank, baselines)
     if comm is not None and comm.clock is not None:
         shards["clock"] = comm.clock
     if cfg.tracer is not None:
         # bind() gave this thread a fresh buffer, so local_spans is
-        # already post-fork only; metrics need the baseline diff.
+        # already post-fork only; metrics were diffed above.
         shards["spans"] = cfg.tracer.local_spans()
-        shards["metrics"] = MetricsRegistry.diff_snapshots(
-            cfg.tracer.metrics.to_dict(), baselines["metrics"]
-        )
-    if cfg.comm_trace is not None:
-        shards["comm_trace"] = CommTrace.diff_states(
-            cfg.comm_trace.state(), baselines["comm_trace"]
-        )
     if cfg.faults is not None:
         events = cfg.faults.trace[baselines["fault_events"]:]
         shards["faults"] = (
             [e.as_tuple() for e in events], cfg.faults.ops_per_rank()
         )
     return shards
+
+
+class _Heartbeat:
+    """Worker-side telemetry streamer: ships deltas every interval.
+
+    A daemon thread that periodically computes the streaming shard
+    delta (:func:`_delta_shards`) and stages a ``("hb", rank, ts,
+    delta)`` header on the send pump — the data pipe's single writer —
+    so the master can fold mid-run state into the caller's
+    CommTrace/metrics/recorder and stamp the rank's heartbeat.  Stopped
+    (and joined) before the finalize shard is computed, so baselines
+    are never raced and nothing is double-counted.
+    """
+
+    def __init__(self, cfg: _WorkerConfig, pump: _SendPump, rank: int,
+                 baselines: dict, interval: float) -> None:
+        self._cfg = cfg
+        self._pump = pump
+        self._rank = rank
+        self._baselines = baselines
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"spmd-heartbeat-{rank}"
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                delta = _delta_shards(self._cfg, self._rank, self._baselines)
+            except Exception:  # pragma: no cover - telemetry best-effort
+                continue
+            self._pump.enqueue_raw(("hb", self._rank, time.time(), delta))
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
 
 
 def _worker_main(links: list, rank: int, fn, args, kwargs,
@@ -572,6 +663,8 @@ def _worker_main(links: list, rank: int, fn, args, kwargs,
                        if cfg.comm_trace is not None else None),
         "fault_events": (len(cfg.faults.trace)
                          if cfg.faults is not None else 0),
+        "recorder_seq": (cfg.recorder.cursor(rank)
+                         if cfg.recorder is not None else 0),
     }
     if cfg.comm_trace is not None:
         # This thread is a fork-clone of the caller's: clear any context
@@ -582,6 +675,11 @@ def _worker_main(links: list, rank: int, fn, args, kwargs,
     pump = _SendPump(own.data_worker, own.data_ring)
     ctx = _WorkerContext(cfg, channel, pump)
     channel.state = ctx
+
+    heartbeat = None
+    if cfg.heartbeat_interval is not None:
+        heartbeat = _Heartbeat(cfg, pump, rank, baselines,
+                               cfg.heartbeat_interval)
 
     comm = None
     outcome = {"kind": "rank_error", "value": None,
@@ -605,8 +703,12 @@ def _worker_main(links: list, rank: int, fn, args, kwargs,
     except BaseException as exc:  # noqa: BLE001 - report setup failures
         outcome.update(kind="rank_error", exc=exc)
 
+    if heartbeat is not None:
+        # Joined before the finalize shard is computed so the baselines
+        # the heartbeat advanced are quiescent and nothing double-counts.
+        heartbeat.stop()
     try:
-        shards = _collect_shards(cfg, ctx, comm, baselines)
+        shards = _collect_shards(cfg, ctx, comm, rank, baselines)
     except Exception:  # pragma: no cover - never lose the lifecycle msg
         shards = {}
     payload = (outcome["value"] if outcome["kind"] == "finalize"
@@ -775,6 +877,12 @@ class ProcessTransport(Transport):
                 msg = conn.recv()
             except (EOFError, OSError):
                 break
+            if msg[0] == "hb":
+                # Telemetry heartbeat: fold the worker's streaming delta
+                # into the caller's objects.  Not a delivery — must not
+                # advance the drain barrier.
+                self._ingest_heartbeat(context, msg[1], msg[2], msg[3])
+                continue
             _, comm_id, dest_world, source, tag, meta, skeleton, descrs = msg
             try:
                 arrays = recv_arrays(link.data_ring, descrs)
@@ -948,6 +1056,29 @@ class ProcessTransport(Transport):
             context.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
         return True
 
+    def _ingest_heartbeat(self, context, rank: int, ts: float,
+                          delta: dict) -> None:
+        """Fold one heartbeat into the caller's telemetry objects."""
+        try:
+            self._merge_telemetry(context, rank, delta)
+            hub = getattr(context, "telemetry", None)
+            if hub is not None:
+                hub.beat(rank, ts)
+        except Exception:  # pragma: no cover - telemetry must not kill
+            pass  # the data thread; deliveries matter more
+
+    def _merge_telemetry(self, context, rank: int, shards: dict) -> None:
+        """Merge the streaming shard slice (metrics/comm/recorder)."""
+        tracer = context.tracer
+        if tracer is not None and shards.get("metrics"):
+            tracer.metrics.merge_snapshot(shards["metrics"])
+        trace = context.comm_trace
+        if trace is not None and shards.get("comm_trace"):
+            trace.merge_state(shards["comm_trace"])
+        recorder = getattr(context, "recorder", None)
+        if recorder is not None and shards.get("recorder"):
+            recorder.absorb_events(rank, shards["recorder"])
+
     def _merge_shards(self, context, rank: int, shards: dict) -> None:
         clock = shards.get("clock")
         if clock is not None:
@@ -957,12 +1088,7 @@ class ProcessTransport(Transport):
             spans = shards.get("spans")
             if spans:
                 tracer.absorb_spans(spans)
-            metrics = shards.get("metrics")
-            if metrics:
-                tracer.metrics.merge_snapshot(metrics)
-        trace = context.comm_trace
-        if trace is not None and shards.get("comm_trace"):
-            trace.merge_state(shards["comm_trace"])
+        self._merge_telemetry(context, rank, shards)
         injector = context.faults
         if injector is not None and shards.get("faults"):
             events, ops = shards["faults"]

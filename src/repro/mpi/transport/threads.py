@@ -19,6 +19,10 @@ from ...faults.injector import (
     deactivate as faults_deactivate,
 )
 from ...errors import RankKilledError
+from ...obs.recorder import (
+    activate as recorder_activate,
+    deactivate as recorder_deactivate,
+)
 from ...obs.tracer import activate as obs_activate, deactivate as obs_deactivate
 from .base import Transport
 
@@ -44,10 +48,13 @@ def run_rank_program(context, comm, fn, args, kwargs, rank: int,
     """
     tracer = context.tracer
     injector = context.faults
+    recorder = getattr(context, "recorder", None)
     if tracer is not None:
         obs_activate(tracer, rank)
     if injector is not None:
         faults_activate(injector, rank)
+    if recorder is not None:
+        recorder_activate(recorder, rank)
     try:
         on_value(fn(comm, *args, **kwargs))
     except RankKilledError as exc:
@@ -66,6 +73,8 @@ def run_rank_program(context, comm, fn, args, kwargs, rank: int,
                 exc = translated
         on_error(exc)
     finally:
+        if recorder is not None:
+            recorder_deactivate()
         if injector is not None:
             faults_deactivate()
         if tracer is not None:

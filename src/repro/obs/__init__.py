@@ -16,6 +16,16 @@ The pieces, bottom-up:
   tables, and the load-imbalance report.
 * :mod:`repro.obs.compare` — diffs measured span totals against the
   α-β-γ performance model so model drift is visible per phase.
+* :mod:`repro.obs.recorder` — always-on bounded per-rank flight
+  recorder (``run_spmd(recorder=FlightRecorder())``): p2p/collective
+  events, kernel entry/exit, faults, checkpoint saves.
+* :mod:`repro.obs.telemetry` — :class:`TelemetryHub` mid-run snapshot
+  API and the ``repro top`` live view, fed by worker heartbeats on the
+  process backend and shared-state sampling on the thread backend.
+* :mod:`repro.obs.postmortem` — crash postmortem bundles (last-N events
+  per rank, span stacks, in-flight messages, heartbeat ages, fault
+  trace) written by the launcher when a world dies; rendered by
+  ``repro postmortem``.
 
 Quickstart::
 
@@ -39,6 +49,15 @@ from .metrics import (
     ingest_comm_trace,
     ingest_flop_counter,
 )
+from .postmortem import (
+    POSTMORTEM_SCHEMA,
+    build_postmortem,
+    load_postmortem,
+    render_postmortem,
+    write_postmortem,
+)
+from .recorder import FlightRecorder, current_recorder, record_event
+from .telemetry import TelemetryHub
 from .tracer import (
     Span,
     Tracer,
@@ -61,6 +80,15 @@ __all__ = [
     "MetricsRegistry",
     "ingest_comm_trace",
     "ingest_flop_counter",
+    "FlightRecorder",
+    "TelemetryHub",
+    "current_recorder",
+    "record_event",
+    "POSTMORTEM_SCHEMA",
+    "build_postmortem",
+    "load_postmortem",
+    "render_postmortem",
+    "write_postmortem",
     # lazily loaded (see __getattr__):
     "chrome_trace",
     "write_chrome_trace",

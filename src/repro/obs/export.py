@@ -55,7 +55,7 @@ def _span_event(span: Span) -> dict:
     }
 
 
-def chrome_trace(tracer: Tracer, comm_trace=None) -> dict:
+def chrome_trace(tracer: Tracer, comm_trace=None, *, metadata=None) -> dict:
     """Trace Event Format document: one track per rank, 'X' span events.
 
     Load the serialized result in ``chrome://tracing`` or
@@ -66,6 +66,12 @@ def chrome_trace(tracer: Tracer, comm_trace=None) -> dict:
     ``comm.reliability`` counter sample per rank that recorded dropped/
     retried/corrupted traffic — fault-tolerance activity shows up next
     to the spans it perturbed.
+
+    The exported document self-identifies via the Trace Event Format's
+    ``otherData`` key: commit hash, generation time, and host, merged
+    with any caller-supplied ``metadata`` dict (e.g. backend name and
+    run start time) — so a trace file found on disk months later still
+    says what produced it.
     """
     spans = tracer.spans
     ranks = sorted({s.rank for s in spans})
@@ -109,15 +115,28 @@ def chrome_trace(tracer: Tracer, comm_trace=None) -> dict:
                     "tid": rank,
                     "args": counters,
                 })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    from .postmortem import run_metadata
+
+    other = run_metadata()
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
 
 
 def write_chrome_trace(
     tracer: Tracer, path: str, *, indent: int | None = None, comm_trace=None,
+    metadata=None,
 ) -> None:
     """Serialize :func:`chrome_trace` to ``path`` as JSON."""
     with open(path, "w") as f:
-        json.dump(chrome_trace(tracer, comm_trace=comm_trace), f, indent=indent)
+        json.dump(
+            chrome_trace(tracer, comm_trace=comm_trace, metadata=metadata),
+            f, indent=indent,
+        )
 
 
 def _phases_in_order(tracer: Tracer) -> list[str]:

@@ -45,6 +45,11 @@ import time
 from dataclasses import dataclass, field
 
 from .metrics import MetricsRegistry
+from .recorder import (
+    note_span_close as _note_span_close,
+    note_span_open as _note_span_open,
+    recorder_span as _recorder_span,
+)
 
 __all__ = [
     "Span",
@@ -156,6 +161,7 @@ class _OpenSpan:
             if self.phase is not None:
                 self.self_nested = any(a.phase == self.phase for a in stack)
         stack.append(self)
+        _note_span_open(self.name)
         self._start = time.perf_counter()
         return self
 
@@ -163,6 +169,10 @@ class _OpenSpan:
         end = time.perf_counter()
         state = self._tracer._state()
         state.stack.pop()
+        _note_span_close(
+            self.name, end - self._start, self.attrs,
+            exc[0] if exc and exc[0] is not None else None,
+        )
         if self.messages:
             self.attrs.setdefault("messages", self.messages)
             self.attrs.setdefault("bytes_sent", self.bytes_sent)
@@ -242,7 +252,8 @@ class Tracer:
              mode: int | None = None, **attrs):
         """Context manager recording one span (no-op when disabled)."""
         if not self.enabled:
-            return NULL_SPAN
+            span = _recorder_span(name, attrs)
+            return NULL_SPAN if span is None else span
         return _OpenSpan(self, name, phase, mode, attrs)
 
     def current_span(self) -> _OpenSpan | None:
@@ -400,9 +411,13 @@ def trace_span(name: str, *, phase: str | None = None,
 
     The disabled path costs one thread-local read and returns the
     module-level :data:`NULL_SPAN` singleton — this is the hook all
-    instrumented kernels use, so "tracing off" stays free.
+    instrumented kernels use, so "tracing off" stays free.  When a
+    flight recorder is active without a tracer, a lightweight
+    :class:`~repro.obs.recorder.RecorderSpan` stands in so kernel
+    entry/exit and collective algorithm choices still reach the rings.
     """
     tracer = getattr(_active, "tracer", None)
     if tracer is None or not tracer.enabled:
-        return NULL_SPAN
+        span = _recorder_span(name, attrs)
+        return NULL_SPAN if span is None else span
     return _OpenSpan(tracer, name, phase, mode, attrs)

@@ -7,6 +7,12 @@ from .memory import MemoryModel, simulate_memory
 from .tuner import TunedConfig, enumerate_grids, tune_grid
 from .calibrate import KernelMeasurement, measure_kernel_rates, calibrate_machine
 from .report import breakdown_table, scaling_table, variant_label, PHASE_LABELS
+from .benchdiff import (
+    compare_snapshots,
+    flatten_metrics,
+    format_comparison,
+    load_snapshot,
+)
 
 __all__ = [
     "MachineModel",
@@ -30,4 +36,8 @@ __all__ = [
     "scaling_table",
     "variant_label",
     "PHASE_LABELS",
+    "compare_snapshots",
+    "flatten_metrics",
+    "format_comparison",
+    "load_snapshot",
 ]

@@ -1,0 +1,231 @@
+"""Benchmark snapshot comparison with per-metric tolerance bands.
+
+The benchmark harness emits versioned JSON snapshots
+(``benchmarks/reports/BENCH_*.json``) carrying config, commit, host,
+and measured numbers.  This module diffs two snapshots of the same
+bench — typically a committed baseline against a fresh run — and
+classifies every numeric leaf:
+
+* **lower-is-better** — wall/compute seconds (``*_s``, ``*_us``,
+  ``*_ms``), message/byte counters: a regression when the new value
+  exceeds the old by more than the tolerance band;
+* **higher-is-better** — ``speedup*``, ``*gflops*``, ``*rate*``
+  leaves: a regression when the new value falls short of the old by
+  more than the band.
+
+Config and metadata subtrees (``commit``, ``host``, ``config``, ...)
+are compared for *identity* only: a changed config makes the numbers
+incomparable, so it is reported as a mismatch, never silently diffed.
+
+``repro bench --compare OLD.json NEW.json`` is the CLI face; it exits
+non-zero when any metric regresses, which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..util.tables import format_table
+
+__all__ = [
+    "classify_metric",
+    "compare_snapshots",
+    "flatten_metrics",
+    "format_comparison",
+    "load_snapshot",
+]
+
+# Top-level keys that identify a snapshot rather than measure anything.
+METADATA_KEYS = frozenset(
+    {"bench", "version", "commit", "generated_unix", "host", "note"}
+)
+
+# Config must match exactly for the numeric diff to mean anything.
+CONFIG_KEYS = frozenset({"config"})
+
+_LOWER_SUFFIXES = ("_s", "_us", "_ms", "_seconds", "_bytes", "_messages")
+_HIGHER_MARKERS = ("speedup", "gflops", "rate", "bandwidth", "throughput")
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Load a ``BENCH_*.json`` snapshot, insisting on the envelope keys."""
+    with open(path, "r", encoding="utf-8") as fh:
+        snap = json.load(fh)
+    if not isinstance(snap, dict) or "bench" not in snap or "version" not in snap:
+        raise ValueError(
+            f"{path}: not a benchmark snapshot (missing 'bench'/'version' keys)"
+        )
+    return snap
+
+
+def classify_metric(path: str) -> str:
+    """``"higher"`` or ``"lower"`` — which direction is an improvement.
+
+    ``path`` is the dotted leaf path (e.g. ``"sthosvd.procs.4.best_wall_s"``).
+    Higher-is-better markers win over suffix rules so ``"..._rate_s"``-style
+    names don't misclassify; everything unrecognized defaults to
+    lower-is-better, the conservative choice for timings and counters.
+    """
+    leaf = path.rsplit(".", 1)[-1].lower()
+    if any(marker in leaf for marker in _HIGHER_MARKERS):
+        return "higher"
+    if any(marker in path.lower().split(".")[0] for marker in _HIGHER_MARKERS):
+        return "higher"
+    return "lower"
+
+
+def flatten_metrics(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Numeric leaves as ``dotted.path -> value``, metadata/config excluded.
+
+    Lists of numbers (repetition samples like ``wall_s``) are skipped —
+    the per-config ``best_*`` scalars are the comparable statistics;
+    raw samples vary run to run by construction.
+    """
+    out: Dict[str, float] = {}
+
+    def walk(node: Any, prefix: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{prefix}.{key}" if prefix else str(key))
+        elif isinstance(node, bool):
+            return
+        elif isinstance(node, (int, float)):
+            out[prefix] = float(node)
+
+    for key, value in snapshot.items():
+        if key in METADATA_KEYS or key in CONFIG_KEYS:
+            continue
+        walk(value, str(key))
+    return out
+
+
+def compare_snapshots(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    *,
+    tolerance: float = 0.25,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Diff two snapshots of the same bench.
+
+    ``tolerance`` is the default relative band: lower-is-better metrics
+    regress when ``new > old * (1 + tol)``; higher-is-better when
+    ``new < old * (1 - tol)``.  ``tolerances`` maps dotted-path
+    *prefixes* to per-metric overrides (longest matching prefix wins).
+
+    Returns a report dict: ``comparable`` (bool), ``mismatches`` (why
+    not, when not), ``metrics`` (one entry per shared leaf), and the
+    ``regressions`` / ``improvements`` / ``missing`` rollups.
+    """
+    report: Dict[str, Any] = {
+        "bench": old.get("bench"),
+        "old_commit": old.get("commit"),
+        "new_commit": new.get("commit"),
+        "comparable": True,
+        "mismatches": [],
+        "metrics": [],
+        "regressions": [],
+        "improvements": [],
+        "missing": [],
+    }
+    if old.get("bench") != new.get("bench"):
+        report["comparable"] = False
+        report["mismatches"].append(
+            f"bench {old.get('bench')!r} vs {new.get('bench')!r}"
+        )
+    if old.get("version") != new.get("version"):
+        report["comparable"] = False
+        report["mismatches"].append(
+            f"schema version {old.get('version')!r} vs {new.get('version')!r}"
+        )
+    if old.get("config") != new.get("config"):
+        report["comparable"] = False
+        report["mismatches"].append("config differs (numbers not comparable)")
+    if not report["comparable"]:
+        return report
+
+    old_metrics = flatten_metrics(old)
+    new_metrics = flatten_metrics(new)
+    report["missing"] = sorted(set(old_metrics) - set(new_metrics))
+
+    def band(path: str) -> float:
+        if tolerances:
+            hits = [p for p in tolerances if path.startswith(p)]
+            if hits:
+                return float(tolerances[max(hits, key=len)])
+        return float(tolerance)
+
+    for path in sorted(set(old_metrics) & set(new_metrics)):
+        ov, nv = old_metrics[path], new_metrics[path]
+        direction = classify_metric(path)
+        tol = band(path)
+        ratio = (nv / ov) if ov else (1.0 if nv == ov else float("inf"))
+        if direction == "lower":
+            regressed = nv > ov * (1.0 + tol) and nv - ov > 0
+            improved = nv < ov * (1.0 - tol)
+        else:
+            regressed = nv < ov * (1.0 - tol)
+            improved = nv > ov * (1.0 + tol)
+        entry = {
+            "path": path,
+            "old": ov,
+            "new": nv,
+            "ratio": ratio,
+            "direction": direction,
+            "tolerance": tol,
+            "regressed": regressed,
+            "improved": improved,
+        }
+        report["metrics"].append(entry)
+        if regressed:
+            report["regressions"].append(path)
+        elif improved:
+            report["improvements"].append(path)
+    return report
+
+
+def format_comparison(report: Dict[str, Any], *, all_metrics: bool = False) -> str:
+    """Human-readable comparison table (``repro bench --compare``)."""
+    lines: List[str] = []
+    lines.append(
+        f"bench compare: {report.get('bench')} "
+        f"({str(report.get('old_commit'))[:12]} -> "
+        f"{str(report.get('new_commit'))[:12]})"
+    )
+    if not report.get("comparable", False):
+        lines.append("NOT COMPARABLE:")
+        lines.extend(f"  {m}" for m in report.get("mismatches", []))
+        return "\n".join(lines)
+
+    rows = []
+    for m in report["metrics"]:
+        if not all_metrics and not (m["regressed"] or m["improved"]):
+            continue
+        status = "REGRESSED" if m["regressed"] else (
+            "improved" if m["improved"] else "ok"
+        )
+        arrow = "lower" if m["direction"] == "lower" else "higher"
+        rows.append([
+            m["path"],
+            f"{m['old']:.6g}",
+            f"{m['new']:.6g}",
+            f"{m['ratio']:.3f}x",
+            f"{arrow}±{m['tolerance']:.0%}",
+            status,
+        ])
+    if rows:
+        lines.append(format_table(
+            ["metric", "old", "new", "ratio", "band", "status"],
+            rows, align_right=False,
+        ))
+    nmet = len(report["metrics"])
+    nreg = len(report["regressions"])
+    nimp = len(report["improvements"])
+    lines.append(
+        f"{nmet} shared metrics: {nreg} regression(s), "
+        f"{nimp} improvement(s), {nmet - nreg - nimp} within tolerance"
+    )
+    for path in report.get("missing", []):
+        lines.append(f"  missing in new snapshot: {path}")
+    return "\n".join(lines)

@@ -324,19 +324,48 @@ class Sanitizer:
         for d in diags:
             self._record(d)
         if self._context is not None:
+            # Feed the watchdog's findings to the postmortem bundle
+            # before the abort wipes the world: the wait-for edges, the
+            # awaited peers, and the span stacks at detection time.
+            self._context.last_deadlock = {
+                "reason": reason,
+                "detected_unix": time.time(),
+                "waits": [
+                    {
+                        "rank": e.rank,
+                        "awaiting_rank": e.target,
+                        "source_comm_rank": e.source_comm_rank,
+                        "tag": e.tag,
+                        "comm_id": e.comm_id,
+                        "site": str(e.site) if e.site else None,
+                    }
+                    for e in edges
+                ],
+                "open_spans": {
+                    str(r): list(names)
+                    for r, names in sorted(stacks.items())
+                },
+            }
             self._context.abort(msg)
         raise DeadlockError(msg, diagnostics=diags)
 
     def _span_stacks(self) -> dict[int, list[str]]:
-        """Each rank's open span names from the active tracer, if any."""
+        """Each rank's open span names: active tracer, else flight recorder."""
         ctx = self._context
         tracer = getattr(ctx, "tracer", None) if ctx is not None else None
-        if tracer is None or not getattr(tracer, "enabled", False):
-            return {}
-        try:
-            return tracer.open_spans()
-        except Exception:  # pragma: no cover - diagnostics must not raise
-            return {}
+        if tracer is not None and getattr(tracer, "enabled", False):
+            try:
+                return tracer.open_spans()
+            except Exception:  # pragma: no cover - diagnostics must not raise
+                return {}
+        recorder = getattr(ctx, "recorder", None) if ctx is not None else None
+        if recorder is not None:
+            try:
+                stacks = recorder.open_spans()
+                return {r: names for r, names in stacks.items() if names}
+            except Exception:  # pragma: no cover - diagnostics must not raise
+                return {}
+        return {}
 
     def on_stall(self, world_rank: int) -> None:
         """Watchdog tick from a blocked receive: detect a global stall.

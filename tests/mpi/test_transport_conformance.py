@@ -358,3 +358,153 @@ def test_unknown_backend_rejected():
 
     with pytest.raises(CommunicatorError, match="unknown SPMD backend"):
         run_spmd(lambda comm: 0, 1, backend="smoke-signals")
+
+
+# ----------------------------------------------------------------------
+# Flight recorder, telemetry, and postmortems (backend-invariant)
+# ----------------------------------------------------------------------
+def _crash_prog(comm):
+    """Rank 0 dies inside its first op; rank 1's message is left queued."""
+    if comm.rank == 1:
+        comm.send(np.ones(4), 0, tag=5)
+    return comm.recv((comm.rank + 1) % comm.size, tag=9)
+
+
+_CRASH_PLAN = dict(seed=7, crashes=(CrashRule(rank=0, at_op=1),))
+
+
+def _deadlock_prog(comm):
+    return comm.recv((comm.rank + 1) % comm.size, tag=3)
+
+
+def _event_signature(recorder, rank):
+    """The deterministic projection of a rank's event stream."""
+    sig = []
+    for _seq, _ts, kind, name, detail in recorder.events(rank):
+        stable = {k: v for k, v in detail.items()
+                  if k not in ("duration_s",)}
+        sig.append((kind, name, tuple(sorted(stable.items()))))
+    return sig
+
+
+def test_crash_postmortem_bundle(backend, tmp_path):
+    from repro.obs import FlightRecorder, load_postmortem, render_postmortem
+
+    rec = FlightRecorder(heartbeat_interval=0.05, postmortem_dir=str(tmp_path))
+    with pytest.raises(RankFailedError):
+        run_spmd(_crash_prog, 2, faults=FaultPlan(**_CRASH_PLAN),
+                 recorder=rec, recv_timeout=15, backend=backend)
+
+    bundle = rec.last_postmortem
+    assert bundle is not None
+    assert bundle["schema"] == "repro-postmortem/1"
+    assert bundle["backend"] == backend
+    assert bundle["error"]["type"] == "RankFailedError"
+    assert bundle["aborted"]
+    # every rank's recorder state made it into the bundle
+    for rank in ("0", "1"):
+        entry = bundle["ranks"][rank]
+        assert entry["events_recorded"] > 0
+        assert entry["last_events"], rank
+        assert entry["span_stack"] == ["comm.recv"], rank
+    # rank 1's send to the dead rank 0 is still in flight
+    assert any(
+        m["dest_world_rank"] == 0 and m["source_rank"] == 1 and m["tag"] == 5
+        for m in bundle["in_flight"]
+    )
+    assert bundle["fault_trace"] == [[0, 1, "crash", []]]
+    # the bundle also landed on disk and renders
+    assert rec.last_postmortem_path is not None
+    loaded = load_postmortem(rec.last_postmortem_path)
+    assert loaded["ranks"] == bundle["ranks"]
+    text = render_postmortem(loaded)
+    assert "ROOT CAUSE" in text and "RankFailedError" in text
+
+
+def test_deadlock_postmortem_bundle(backend, tmp_path):
+    from repro.errors import DeadlockError
+    from repro.obs import FlightRecorder
+    from repro.sanitize import Sanitizer
+
+    rec = FlightRecorder(heartbeat_interval=0.05, postmortem_dir=str(tmp_path))
+    with pytest.raises(DeadlockError):
+        run_spmd(_deadlock_prog, 2, recorder=rec, recv_timeout=30,
+                 sanitize=Sanitizer(watchdog_interval=0.1), backend=backend)
+
+    bundle = rec.last_postmortem
+    assert bundle is not None
+    deadlock = bundle["deadlock"]
+    assert deadlock is not None and deadlock["reason"] == "wait-for cycle"
+    edges = {(w["rank"], w["awaiting_rank"], w["tag"])
+             for w in deadlock["waits"]}
+    assert edges == {(0, 1, 3), (1, 0, 3)}
+    for rank in ("0", "1"):
+        assert bundle["ranks"][rank]["span_stack"] == ["comm.recv"], rank
+
+
+def test_postmortem_events_deterministic_under_crash(backend):
+    from repro.obs import FlightRecorder
+
+    signatures = []
+    for _ in range(2):
+        rec = FlightRecorder(heartbeat_interval=0.05)
+        with pytest.raises(RankFailedError):
+            run_spmd(_crash_prog, 2, faults=FaultPlan(**_CRASH_PLAN),
+                     recorder=rec, recv_timeout=15, backend=backend)
+        signatures.append({r: _event_signature(rec, r) for r in rec.ranks()})
+    assert signatures[0] == signatures[1]
+    assert signatures[0][0] and signatures[0][1]
+
+
+def _slow_ring_prog(comm):
+    for _ in range(4):
+        comm.send(np.ones(128), (comm.rank + 1) % comm.size, tag=2)
+        comm.recv((comm.rank - 1) % comm.size, tag=2)
+        time.sleep(0.08)
+    return comm.rank
+
+
+def test_midrun_telemetry_snapshot(backend):
+    """The hub must see live per-rank state *while ranks run*, on both
+    backends: threads share the recorder; procs stream heartbeats."""
+    import threading
+
+    from repro.obs import FlightRecorder, TelemetryHub
+
+    rec = FlightRecorder(heartbeat_interval=0.05)
+    hub = TelemetryHub()
+    snaps = []
+    stop = threading.Event()
+
+    def sampler():
+        while not stop.is_set():
+            snaps.append(hub.snapshot())
+            time.sleep(0.04)
+
+    thread = threading.Thread(target=sampler)
+    thread.start()
+    try:
+        res = run_spmd(_slow_ring_prog, 2, recorder=rec, telemetry=hub,
+                       backend=backend)
+    finally:
+        stop.set()
+        thread.join()
+    assert sorted(res.values) == [0, 1]
+
+    live = [
+        s for s in snaps
+        if s.get("attached")
+        and any(v["status"] == "running" and v["events_recorded"] > 0
+                for v in s["ranks"].values())
+    ]
+    assert live, f"no live mid-run snapshot on {backend}"
+    if backend == "procs":
+        # heartbeats carried the ages — some live snapshot heard a worker
+        assert any(
+            v["heartbeat_age_s"] is not None
+            for s in live for v in s["ranks"].values()
+        )
+    final = hub.snapshot()
+    assert all(v["status"] == "finalized" for v in final["ranks"].values())
+    assert final["ranks"]["0"]["events_recorded"] >= 16  # 4 sends + 4 recvs
+    assert hub.render().startswith("repro top")

@@ -38,9 +38,23 @@ def _traced_world(nprocs: int = 4) -> Tracer:
 class TestChromeTrace:
     def test_document_shape(self):
         doc = chrome_trace(_traced_world())
-        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
         assert doc["displayTimeUnit"] == "ms"
         assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
+
+    def test_other_data_self_identifies_the_run(self):
+        doc = chrome_trace(
+            _traced_world(2),
+            metadata={"backend": "threads", "start_unix": 123.0},
+        )
+        other = doc["otherData"]
+        assert isinstance(other["commit"], str) and other["commit"]
+        assert other["generated_unix"] > 0
+        assert "hostname" in other["host"] and "python" in other["host"]
+        # caller-supplied metadata is merged in verbatim
+        assert other["backend"] == "threads"
+        assert other["start_unix"] == 123.0
+        json.dumps(doc)  # stays serializable
 
     def test_one_track_per_rank_with_metadata(self):
         doc = chrome_trace(_traced_world(4))
@@ -80,7 +94,11 @@ class TestChromeTrace:
         path = tmp_path / "trace.json"
         write_chrome_trace(t, str(path), indent=1)
         on_disk = json.loads(path.read_text())
-        assert on_disk == json.loads(json.dumps(chrome_trace(t)))
+        rebuilt = json.loads(json.dumps(chrome_trace(t)))
+        # otherData carries a fresh generation timestamp per export
+        on_disk["otherData"].pop("generated_unix")
+        rebuilt["otherData"].pop("generated_unix")
+        assert on_disk == rebuilt
 
     def test_empty_tracer_still_valid(self):
         doc = chrome_trace(Tracer())

@@ -1,0 +1,166 @@
+"""Benchmark snapshot comparison: classification, bands, exit semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.benchdiff import (
+    classify_metric,
+    compare_snapshots,
+    flatten_metrics,
+    format_comparison,
+    load_snapshot,
+)
+
+
+def _snapshot(**overrides):
+    snap = {
+        "bench": "demo",
+        "version": 1,
+        "commit": "abc",
+        "generated_unix": 0,
+        "host": {"cpu_count": 4},
+        "config": {"shape": [8, 8]},
+        "timings": {"p4": {"best_wall_s": 1.0, "best_compute_s": 0.8}},
+        "counters": {"sent_messages": 100, "sent_bytes": 4096},
+        "speedup_procs_over_threads": 2.0,
+    }
+    snap.update(overrides)
+    return snap
+
+
+class TestClassify:
+    def test_time_and_counter_leaves_are_lower_better(self):
+        assert classify_metric("timings.p4.best_wall_s") == "lower"
+        assert classify_metric("modeled.P64.recdbl_us") == "lower"
+        assert classify_metric("counters.sent_messages") == "lower"
+        assert classify_metric("counters.sent_bytes") == "lower"
+
+    def test_rate_like_leaves_are_higher_better(self):
+        assert classify_metric("speedup_procs_over_threads") == "higher"
+        assert classify_metric("kernels.dgemm.gflops") == "higher"
+        assert classify_metric("io.read_bandwidth") == "higher"
+
+
+class TestFlatten:
+    def test_metadata_and_config_excluded(self):
+        flat = flatten_metrics(_snapshot())
+        assert "config.shape" not in str(flat)
+        assert "host.cpu_count" not in flat
+        assert flat["timings.p4.best_wall_s"] == 1.0
+        assert flat["speedup_procs_over_threads"] == 2.0
+
+    def test_lists_and_bools_skipped(self):
+        flat = flatten_metrics(_snapshot(extra={"samples": [1, 2], "ok": True}))
+        assert "extra.samples" not in flat
+        assert "extra.ok" not in flat
+
+
+class TestCompare:
+    def test_identical_snapshots_clean(self):
+        report = compare_snapshots(_snapshot(), _snapshot())
+        assert report["comparable"]
+        assert report["regressions"] == []
+        assert report["improvements"] == []
+
+    def test_lower_better_regression_detected(self):
+        new = _snapshot()
+        new["timings"] = {"p4": {"best_wall_s": 1.5, "best_compute_s": 0.8}}
+        report = compare_snapshots(_snapshot(), new, tolerance=0.25)
+        assert report["regressions"] == ["timings.p4.best_wall_s"]
+
+    def test_higher_better_regression_detected(self):
+        new = _snapshot(speedup_procs_over_threads=1.0)
+        report = compare_snapshots(_snapshot(), new, tolerance=0.25)
+        assert "speedup_procs_over_threads" in report["regressions"]
+
+    def test_improvement_is_not_a_regression(self):
+        new = _snapshot()
+        new["timings"] = {"p4": {"best_wall_s": 0.5, "best_compute_s": 0.8}}
+        report = compare_snapshots(_snapshot(), new)
+        assert report["regressions"] == []
+        assert "timings.p4.best_wall_s" in report["improvements"]
+
+    def test_within_band_is_quiet(self):
+        new = _snapshot()
+        new["timings"] = {"p4": {"best_wall_s": 1.2, "best_compute_s": 0.8}}
+        report = compare_snapshots(_snapshot(), new, tolerance=0.25)
+        assert report["regressions"] == []
+        assert report["improvements"] == []
+
+    def test_per_metric_tolerance_override_longest_prefix_wins(self):
+        new = _snapshot()
+        new["timings"] = {"p4": {"best_wall_s": 1.5, "best_compute_s": 0.8}}
+        report = compare_snapshots(
+            _snapshot(), new, tolerance=0.25,
+            tolerances={"timings": 0.1, "timings.p4.best_wall_s": 1.0},
+        )
+        assert report["regressions"] == []
+
+    def test_config_mismatch_not_comparable(self):
+        new = _snapshot(config={"shape": [16, 16]})
+        report = compare_snapshots(_snapshot(), new)
+        assert not report["comparable"]
+        assert any("config" in m for m in report["mismatches"])
+        assert report["metrics"] == []
+
+    def test_bench_name_mismatch(self):
+        report = compare_snapshots(_snapshot(), _snapshot(bench="other"))
+        assert not report["comparable"]
+
+    def test_missing_metrics_listed(self):
+        new = _snapshot()
+        del new["counters"]
+        report = compare_snapshots(_snapshot(), new)
+        assert "counters.sent_messages" in report["missing"]
+        assert report["regressions"] == []
+
+
+class TestFormatAndLoad:
+    def test_format_mentions_regression(self):
+        new = _snapshot()
+        new["timings"] = {"p4": {"best_wall_s": 2.0, "best_compute_s": 0.8}}
+        text = format_comparison(compare_snapshots(_snapshot(), new))
+        assert "REGRESSED" in text and "best_wall_s" in text
+        assert "1 regression(s)" in text
+
+    def test_format_not_comparable(self):
+        text = format_comparison(
+            compare_snapshots(_snapshot(), _snapshot(bench="other"))
+        )
+        assert "NOT COMPARABLE" in text
+
+    def test_load_snapshot_validates_envelope(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_snapshot()))
+        assert load_snapshot(str(good))["bench"] == "demo"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError, match="not a benchmark snapshot"):
+            load_snapshot(str(bad))
+
+
+class TestCliExitCodes:
+    def test_cli_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        old = _snapshot()
+        new = _snapshot()
+        new["timings"] = {"p4": {"best_wall_s": 9.0, "best_compute_s": 0.8}}
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        assert main(["bench", "--compare", str(old_path), str(new_path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # identical snapshots: clean exit
+        assert main(["bench", "--compare", str(old_path), str(old_path)]) == 0
+
+    def test_cli_compare_incomparable_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(_snapshot()))
+        b.write_text(json.dumps(_snapshot(bench="other")))
+        assert main(["bench", "--compare", str(a), str(b)]) == 2
