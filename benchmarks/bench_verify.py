@@ -1,0 +1,144 @@
+"""Static-analysis throughput snapshot: lint + whole-program verify.
+
+Times the two static tiers over the repository's own source trees —
+the per-function AST lint and the interprocedural verifier (project
+load, call-graph + taint fixpoint, per-rank symbolic execution, trace
+matching) — and emits a machine-readable ``BENCH_verify.json`` in the
+versioned snapshot schema that ``repro bench --compare`` diffs with
+tolerance bands.  The committed report pins the analysis cost so a
+verifier change that blows up interpretation time (a runaway unroll, a
+fixpoint that stops converging) fails CI as a perf regression, not as
+a mystery timeout.
+
+Counters (files/functions/entries analyzed, findings) are exact and
+compare at zero tolerance by default bands; wall times are lower-is-
+better ``*_s`` metrics.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_verify.py \
+        [--reps N] [--out BENCH_verify.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sanitize import lint_paths  # noqa: E402
+from repro.sanitize.callgraph import load_project  # noqa: E402
+from repro.sanitize.verify import verify_project  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ROOTS = (os.path.join(REPO, "src", "repro"), os.path.join(REPO, "examples"))
+WORLD_SIZE = 2
+
+REPORT = os.path.join(os.path.dirname(__file__), "reports",
+                      "BENCH_verify.json")
+
+
+def _commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(__file__), check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _count_files(roots) -> int:
+    n = 0
+    for root in roots:
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("__pycache__", ".git")]
+            n += sum(1 for f in filenames if f.endswith(".py"))
+    return n
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--reps", type=int, default=3,
+                    help="timing repetitions (best-of)")
+    ap.add_argument("--out", default=REPORT)
+    args = ap.parse_args(argv)
+
+    lint_times = []
+    lint_findings = 0
+    for _ in range(args.reps):
+        t0 = time.perf_counter()
+        lint_findings = len(lint_paths(ROOTS))
+        lint_times.append(time.perf_counter() - t0)
+
+    load_times, verify_times = [], []
+    result = None
+    for _ in range(args.reps):
+        t0 = time.perf_counter()
+        project = load_project(ROOTS)
+        t1 = time.perf_counter()
+        result = verify_project(project, world_size=WORLD_SIZE)
+        t2 = time.perf_counter()
+        load_times.append(t1 - t0)
+        verify_times.append(t2 - t1)
+
+    incomplete = sum(1 for r in result.reports if not r.complete)
+    snapshot = {
+        "bench": "verify",
+        "version": 1,
+        "commit": _commit(),
+        "generated_unix": int(time.time()),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "note": (
+            "static-analysis throughput over the repository's own "
+            "sources; counter metrics are exact, wall times are "
+            "best-of-reps on one core."
+        ),
+        "config": {
+            "roots": ["src/repro", "examples"],
+            "world_size": WORLD_SIZE,
+            "reps": args.reps,
+        },
+        "corpus": {
+            "files": _count_files(ROOTS),
+            "functions_parsed": len(result.project.functions),
+            "call_edges": len(result.project.edges),
+            "entries_analyzed": result.functions_analyzed,
+            "entries_incomplete": incomplete,
+        },
+        "lint": {
+            "best_wall_s": round(min(lint_times), 4),
+            "findings": lint_findings,
+        },
+        "verify": {
+            "load_best_wall_s": round(min(load_times), 4),
+            "exec_best_wall_s": round(min(verify_times), 4),
+            "best_wall_s": round(min(load_times) + min(verify_times), 4),
+            "findings": len(result.findings),
+        },
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {args.out} "
+          f"(lint {snapshot['lint']['best_wall_s']:.3f}s, "
+          f"verify {snapshot['verify']['best_wall_s']:.3f}s over "
+          f"{snapshot['corpus']['files']} files / "
+          f"{snapshot['corpus']['entries_analyzed']} drivers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

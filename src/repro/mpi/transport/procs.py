@@ -46,10 +46,18 @@ metrics/comm/recorder delta to the master every
 ``recorder.heartbeat_interval`` seconds as ``("hb", ...)`` messages on
 the data path (the pump keeps the pipe single-writer), so mid-run
 snapshots and crash postmortems see near-live state instead of only
-the finalize merge.  The one honest gap: zero-copy move *enforcement*
-(use-after-move attribution) does not cross the process boundary,
-because a moved buffer's identity dies with the sender's address
-space — see ``docs/mpi-runtime.md`` (Transports).
+the finalize merge.
+
+Zero-copy move enforcement works across the process boundary: each
+worker keeps a rank-local move ledger (a worker-resident
+:class:`~repro.sanitize.Sanitizer` serving only the move prongs) that
+registers every relinquished/received frozen buffer with its real call
+site, and the sending site travels in the envelope's wire metadata —
+so a worker-side write into a moved buffer raises
+:class:`~repro.errors.UseAfterMoveError` naming the originating
+``send(..., copy=False)``, on either end of the move, exactly like the
+threads backend.  Worker-side findings ship home with the lifecycle
+shards and fold into the master sanitizer's report.
 """
 
 from __future__ import annotations
@@ -117,20 +125,50 @@ def _decode_exception(enc: tuple) -> BaseException:
     return cls(message)
 
 
+def _encode_origin(origin) -> tuple | None:
+    """Flatten a MoveOrigin to plain strings/ints for the wire.
+
+    The provenance of a moved (or copied) send — sender rank, operation,
+    and the originating call site — so receive-side move registration
+    and finalize-time leak reports name the *real* send site even when
+    the sender's address space is a different process.
+    """
+    if origin is None:
+        return None
+    site = origin.site
+    return (
+        origin.rank, origin.op,
+        None if site is None else (site.file, site.line, site.function),
+    )
+
+
+def _decode_origin(wire: tuple | None):
+    if wire is None:
+        return None
+    from ...sanitize.diagnostics import CallSite
+    from ...sanitize.sanitizer import MoveOrigin
+
+    rank, op, site = wire
+    return MoveOrigin(
+        rank=rank, op=op, site=None if site is None else CallSite(*site)
+    )
+
+
 def _encode_envelope(env: Envelope | None) -> tuple | None:
-    """Envelope minus payload-origin (provenance dies at the boundary)."""
+    """Envelope as wire tuple; origin travels as a flattened call site."""
     if env is None:
         return None
     return (env.payload, env.send_time, env.moved, env.nbytes, env.seq,
-            env.checksum)
+            env.checksum, _encode_origin(env.origin))
 
 
 def _decode_envelope(wire: tuple | None) -> Envelope | None:
     if wire is None:
         return None
-    payload, send_time, moved, nbytes, seq, checksum = wire
+    payload, send_time, moved, nbytes, seq, checksum, origin = wire
     return Envelope(payload=payload, send_time=send_time, moved=moved,
-                    nbytes=nbytes, origin=None, seq=seq, checksum=checksum)
+                    nbytes=nbytes, origin=_decode_origin(origin), seq=seq,
+                    checksum=checksum)
 
 
 # ----------------------------------------------------------------------
@@ -296,7 +334,8 @@ class _SendPump:
             )
         skeleton, arrays = split_arrays(env.payload)
         views, descrs = prepare_arrays(arrays)
-        meta = (env.send_time, env.moved, env.nbytes, env.seq, env.checksum)
+        meta = (env.send_time, env.moved, env.nbytes, env.seq, env.checksum,
+                _encode_origin(env.origin))
         header = ("put", comm_id, dest_world, source, tag, meta, skeleton,
                   descrs)
         token = threading.Event()
@@ -368,33 +407,47 @@ class _WorkerSanitizer:
     Collective matching is world state and forwards to the master's
     sanitizer; the blocked-receive hooks (wait graph, stall watchdog,
     failed-partner diagnosis) run master-side inside ``box_get`` and
-    are no-ops here.  Move-origin tracking does not cross the process
-    boundary — array identity dies with the sender's address space —
-    so provenance hooks degrade to no-ops (frozen payloads still arrive
-    read-only, preserving move *semantics* if not attribution).
+    are no-ops here.  Move-ownership tracking is *rank-local* state:
+    a worker-resident :class:`~repro.sanitize.Sanitizer` ledger
+    registers every buffer this rank relinquishes or receives frozen —
+    with the real call sites, since moves originate in this very
+    address space (receive-side origins arrive in the envelope wire
+    metadata) — so use-after-move enforcement raises with the true
+    send site instead of degrading to a bare NumPy ``ValueError``.
+    The ledger's findings ship home with the lifecycle shards.
     """
 
     def __init__(self, channel: _Channel, watchdog_interval: float) -> None:
+        from ...sanitize import Sanitizer
+
         self._channel = channel
         self.watchdog_interval = watchdog_interval
+        # Rank-local move/provenance ledger; never finalized (leak
+        # reporting is master-side world state).
+        self._local = Sanitizer(strict=False,
+                                watchdog_interval=watchdog_interval)
 
     def check_collective(self, comm_id, seq, world_rank, op, signature,
                          comm_size) -> None:
         self._channel.call("check_collective", comm_id, seq, world_rank, op,
                            tuple(signature), comm_size)
 
-    # Provenance / wait-graph hooks: master-side or cross-process no-ops.
+    # Move/provenance hooks: the rank-local ledger.
     def note_send(self, world_rank):
-        return None
+        return self._local.note_send(world_rank)
 
     def note_move(self, payload, world_rank, op, dest=None):
-        return None
+        return self._local.note_move(payload, world_rank, op, dest=dest)
 
     def note_received_move(self, payload, world_rank, origin) -> None:
-        pass
+        self._local.note_received_move(payload, world_rank, origin)
 
     def explain_readonly_write(self, exc, rank):
-        return None
+        return self._local.explain_readonly_write(exc, rank)
+
+    def local_findings(self) -> list:
+        """Diagnostics recorded by the rank-local ledger (for shipping)."""
+        return list(self._local.findings)
 
     def begin_wait(self, *a, **k) -> None:  # pragma: no cover - unused
         pass
@@ -600,6 +653,10 @@ def _collect_shards(cfg: _WorkerConfig, ctx: _WorkerContext, comm, rank: int,
         shards["faults"] = (
             [e.as_tuple() for e in events], cfg.faults.ops_per_rank()
         )
+    if ctx.sanitizer is not None:
+        findings = ctx.sanitizer.local_findings()
+        if findings:
+            shards["sanitizer"] = findings
     return shards
 
 
@@ -889,10 +946,10 @@ class ProcessTransport(Transport):
             except Exception:
                 break
             payload = join_arrays(skeleton, arrays)
-            send_time, moved, nbytes, seq, checksum = meta
+            send_time, moved, nbytes, seq, checksum, origin = meta
             env = Envelope(payload=payload, send_time=send_time, moved=moved,
-                           nbytes=nbytes, origin=None, seq=seq,
-                           checksum=checksum)
+                           nbytes=nbytes, origin=_decode_origin(origin),
+                           seq=seq, checksum=checksum)
             context.mailbox(comm_id, dest_world).put(source, tag, env)
             with link.put_cond:
                 link.puts_received += 1
@@ -1093,3 +1150,6 @@ class ProcessTransport(Transport):
         if injector is not None and shards.get("faults"):
             events, ops = shards["faults"]
             injector.absorb(events, ops)
+        sanitizer = context.sanitizer
+        if sanitizer is not None and shards.get("sanitizer"):
+            sanitizer.absorb_findings(shards["sanitizer"])

@@ -10,13 +10,24 @@ Two prongs, sharing the :class:`Diagnostic` vocabulary:
   hangs or corrupted factor matrices become deterministic,
   rank-attributed exceptions carrying ``file:line`` call sites.
 * **AST lint** (:func:`lint_paths` / the ``repro lint`` CLI) — a static
-  pass over SPMD source flagging collectives inside rank-conditional
-  branches, buffers referenced after a ``copy=False`` move, mismatched
-  point-to-point tag literals, and raw ``np.linalg.svd``/``eigh`` calls
-  that bypass the instrumented :mod:`repro.linalg` kernels.
+  per-function pass over SPMD source flagging collectives inside
+  rank-conditional branches, buffers referenced after a ``copy=False``
+  move, mismatched point-to-point tag literals, and raw
+  ``np.linalg.svd``/``eigh`` calls that bypass the instrumented
+  :mod:`repro.linalg` kernels.
+* **Whole-program verifier** (:func:`verify_paths` / the
+  ``repro verify`` CLI) — the interprocedural tier: an abstract
+  interpreter that symbolically executes every communicator-taking
+  driver once per rank and cross-matches the resulting communication
+  traces, catching rank-divergent collectives hidden behind helper
+  calls, moved buffers reused across function boundaries,
+  constant-propagated tag mismatches, and receive cycles — MUST-style
+  deadlock detection at lint time.  It also emits a per-driver
+  comm-graph artifact (DOT + JSON).
 
 See ``docs/sanitizer.md`` for the full diagnostic catalogue and
-overhead measurements.
+overhead measurements, and ``docs/static-analysis.md`` for the
+verifier's analysis model and soundness limits.
 """
 
 from .diagnostics import (
@@ -24,17 +35,30 @@ from .diagnostics import (
     WARNING,
     CallSite,
     Diagnostic,
+    Suppressions,
     capture_call_site,
     format_diagnostics,
 )
 from .lint import DEFAULT_RULES, lint_file, lint_paths, lint_source
 from .sanitizer import Sanitizer
+from .verify import (
+    EntryReport,
+    VerifyResult,
+    comm_graph_dot,
+    comm_graph_json,
+    default_verify_roots,
+    match_traces,
+    verify_paths,
+    verify_project,
+    write_comm_graph,
+)
 
 __all__ = [
     "ERROR",
     "WARNING",
     "CallSite",
     "Diagnostic",
+    "Suppressions",
     "capture_call_site",
     "format_diagnostics",
     "Sanitizer",
@@ -42,4 +66,13 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "EntryReport",
+    "VerifyResult",
+    "comm_graph_dot",
+    "comm_graph_json",
+    "default_verify_roots",
+    "match_traces",
+    "verify_paths",
+    "verify_project",
+    "write_comm_graph",
 ]

@@ -20,6 +20,7 @@ internals.
 from __future__ import annotations
 
 import os
+import re
 import sys
 from dataclasses import dataclass, field
 
@@ -28,6 +29,7 @@ __all__ = [
     "WARNING",
     "CallSite",
     "Diagnostic",
+    "Suppressions",
     "capture_call_site",
     "format_diagnostics",
 ]
@@ -107,6 +109,43 @@ def capture_call_site(skip_internal: bool = True) -> CallSite | None:
             return site
         frame = frame.f_back
     return fallback
+
+
+_SKIP_RE = re.compile(r"#\s*repro-lint:\s*skip\b")
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+
+
+class Suppressions:
+    """Per-line ``# repro-lint:`` pragmas of one source file.
+
+    Shared by both static tiers (:mod:`repro.sanitize.lint` and
+    :mod:`repro.sanitize.verify`): ``# repro-lint: skip`` silences every
+    rule on its line, ``# repro-lint: allow(<kind>[, <kind>...])`` one
+    or more specific kinds.  A finding is checked against its whole
+    statement extent, so a pragma anywhere on a multi-line statement —
+    the opening line or the closing-paren line — applies to findings
+    reported at any line of that statement.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._skip: set[int] = set()
+        self._allow: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if _SKIP_RE.search(line):
+                self._skip.add(lineno)
+            m = _ALLOW_RE.search(line)
+            if m:
+                kinds = {k.strip() for k in m.group(1).split(",")}
+                self._allow.setdefault(lineno, set()).update(kinds)
+
+    def suppressed(self, kind: str, line: int,
+                   end_line: int | None = None) -> bool:
+        """True when a pragma covers ``kind`` anywhere in [line, end_line]."""
+        hi = end_line if end_line is not None and end_line >= line else line
+        for ln in range(line, hi + 1):
+            if ln in self._skip or kind in self._allow.get(ln, ()):
+                return True
+        return False
 
 
 def format_diagnostics(diagnostics, *, header: str | None = None) -> str:

@@ -41,10 +41,9 @@ from __future__ import annotations
 
 import ast
 import os
-import re
 from typing import Iterable, Sequence
 
-from .diagnostics import ERROR, WARNING, Diagnostic
+from .diagnostics import ERROR, WARNING, Diagnostic, Suppressions
 
 __all__ = [
     "DEFAULT_RULES",
@@ -88,10 +87,6 @@ _NON_COMM_ROOTS = frozenset({
 _TAG_POSITIONS = {"send": 2, "isend": 2, "sendrecv": 2, "recv": 1, "irecv": 1}
 _TAG_SENDERS = frozenset({"send", "isend", "sendrecv"})
 _TAG_RECEIVERS = frozenset({"recv", "irecv", "sendrecv"})
-
-_SKIP_RE = re.compile(r"#\s*repro-lint:\s*skip\b")
-_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
-
 
 def _root_name(node: ast.expr) -> str | None:
     """Leftmost identifier of a Name/Attribute chain (``np.linalg`` -> np)."""
@@ -141,24 +136,16 @@ def _mentions_rank(node: ast.expr) -> bool:
     return False
 
 
-class _Suppressions:
-    """Per-line ``# repro-lint`` pragmas of one source file."""
-
-    def __init__(self, source: str) -> None:
-        self._skip: set[int] = set()
-        self._allow: dict[int, set[str]] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            if _SKIP_RE.search(line):
-                self._skip.add(lineno)
-            m = _ALLOW_RE.search(line)
-            if m:
-                kinds = {k.strip() for k in m.group(1).split(",")}
-                self._allow.setdefault(lineno, set()).update(kinds)
-
-    def suppressed(self, kind: str, lineno: int) -> bool:
-        if lineno in self._skip:
-            return True
-        return kind in self._allow.get(lineno, ())
+def _dotted_path(node: ast.expr) -> str | None:
+    """``state.buf`` -> "state.buf" for pure Name/Attribute chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
 
 
 class _Scope:
@@ -182,7 +169,7 @@ class _Scope:
         aug_targets: set[int] = set()
         for sub in self._walk_scope():
             if isinstance(sub, ast.AugAssign) and isinstance(
-                sub.target, ast.Name
+                sub.target, (ast.Name, ast.Attribute)
             ):
                 aug_targets.add(id(sub.target))
             elif isinstance(sub, ast.Name):
@@ -191,9 +178,20 @@ class _Scope:
                     self.loads.setdefault(sub.id, []).append(where)
                 else:
                     self.stores.setdefault(sub.id, []).append(where)
+            elif isinstance(sub, ast.Attribute):
+                # Buffers reached through attribute chains (self.buf,
+                # state.buf) participate in the move-flow rules under
+                # their dotted path, alongside plain names.
+                dotted = _dotted_path(sub)
+                if dotted is not None:
+                    where = (sub.lineno, sub.col_offset)
+                    if isinstance(sub.ctx, ast.Load) or id(sub) in aug_targets:
+                        self.loads.setdefault(dotted, []).append(where)
+                    else:
+                        self.stores.setdefault(dotted, []).append(where)
             elif isinstance(sub, ast.Call):
                 self.calls.append(sub)
-            elif isinstance(sub, (ast.For, ast.While)):
+            elif isinstance(sub, (ast.For, ast.AsyncFor, ast.While)):
                 self.loops.append(sub)
 
     def _walk_scope(self) -> Iterable[ast.AST]:
@@ -246,35 +244,46 @@ def _keyword_false(call: ast.Call, name: str) -> bool:
 # ----------------------------------------------------------------------
 # Rules
 # ----------------------------------------------------------------------
-def _rule_rank_divergent(tree: ast.Module) -> list[tuple[str, int, str]]:
+def _rule_rank_divergent(tree: ast.Module) -> list[tuple]:
     """Collectives under rank-conditional control flow."""
     findings = []
-    for node in ast.walk(tree):
-        branches: list[list[ast.stmt]] = []
-        if isinstance(node, (ast.If, ast.While)) and _mentions_rank(node.test):
-            branches = [node.body, getattr(node, "orelse", [])]
-        elif isinstance(node, ast.IfExp) and _mentions_rank(node.test):
-            branches = [[ast.Expr(node.body)], [ast.Expr(node.orelse)]]
-        for branch in branches:
-            for stmt in branch:
-                for sub in ast.walk(stmt):
-                    if not isinstance(sub, ast.Call):
-                        continue
+
+    def flag(call: ast.Call, coll: str, cond_line: int) -> None:
+        findings.append((
+            "rank-divergent-collective",
+            call.lineno,
+            call.end_lineno or call.lineno,
+            f"collective {coll}() inside a rank-conditional "
+            f"branch (condition at line {cond_line}); every "
+            f"rank of the communicator must call it, or the "
+            f"others hang",
+        ))
+
+    def flag_calls_in(nodes: Iterable[ast.AST], cond_line: int) -> None:
+        for root in nodes:
+            for sub in ast.walk(root):
+                if isinstance(sub, ast.Call):
                     coll = _is_collective_call(sub)
-                    if coll is None:
-                        continue
-                    findings.append((
-                        "rank-divergent-collective",
-                        sub.lineno,
-                        f"collective {coll}() inside a rank-conditional "
-                        f"branch (condition at line {node.lineno}); every "
-                        f"rank of the communicator must call it, or the "
-                        f"others hang",
-                    ))
+                    if coll is not None:
+                        flag(sub, coll, cond_line)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.If, ast.While)) and _mentions_rank(node.test):
+            flag_calls_in(node.body, node.lineno)
+            flag_calls_in(getattr(node, "orelse", []), node.lineno)
+        elif isinstance(node, ast.IfExp) and _mentions_rank(node.test):
+            flag_calls_in((node.body, node.orelse), node.lineno)
+        elif isinstance(node, ast.BoolOp):
+            # Short-circuit guards: ``comm.rank == 0 and comm.barrier()``
+            # executes the collective on a rank-dependent subset exactly
+            # like an if-branch would.
+            for i, value in enumerate(node.values[1:], start=1):
+                if any(_mentions_rank(v) for v in node.values[:i]):
+                    flag_calls_in((value,), node.lineno)
     return findings
 
 
-def _rule_use_after_move(scope: _Scope) -> list[tuple[str, int, str]]:
+def _rule_use_after_move(scope: _Scope) -> list[tuple]:
     """Zero-copy-moved buffers referenced after the move."""
     findings = []
     for call in scope.calls:
@@ -284,9 +293,14 @@ def _rule_use_after_move(scope: _Scope) -> list[tuple[str, int, str]]:
         if func.attr not in _MOVE_CAPABLE or not _keyword_false(call, "copy"):
             continue
         buf = call.args[0] if call.args else None
-        if not isinstance(buf, ast.Name):
+        if isinstance(buf, ast.Name):
+            name = buf.id
+        elif isinstance(buf, ast.Attribute):
+            name = _dotted_path(buf)
+        else:
+            name = None
+        if name is None:
             continue
-        name = buf.id
         call_pos = (buf.lineno, buf.col_offset)
         all_loads = scope.loads.get(name, [])
         loads = [p for p in all_loads if p != call_pos]
@@ -320,6 +334,7 @@ def _rule_use_after_move(scope: _Scope) -> list[tuple[str, int, str]]:
             findings.append((
                 "use-after-move",
                 line,
+                line,
                 f"'{name}' is referenced after being moved by "
                 f"{func.attr}(..., copy=False) at line {call.lineno}; the "
                 f"receiver owns the buffer now — copy before reuse or "
@@ -328,10 +343,10 @@ def _rule_use_after_move(scope: _Scope) -> list[tuple[str, int, str]]:
     return findings
 
 
-def _rule_tag_mismatch(scope: _Scope) -> list[tuple[str, int, str]]:
+def _rule_tag_mismatch(scope: _Scope) -> list[tuple]:
     """Literal p2p tags whose send and receive sets disagree."""
-    sends: list[tuple[int, int]] = []  # (tag, line)
-    recvs: list[tuple[int, int]] = []
+    sends: list[tuple[int, int, int]] = []  # (tag, line, end_line)
+    recvs: list[tuple[int, int, int]] = []
     for call in scope.calls:
         func = call.func
         if not isinstance(func, ast.Attribute):
@@ -345,27 +360,28 @@ def _rule_tag_mismatch(scope: _Scope) -> list[tuple[str, int, str]]:
                 and not isinstance(tag_node.value, bool)):
             continue
         tag = tag_node.value
+        extent = (call.lineno, call.end_lineno or call.lineno)
         if name in _TAG_SENDERS:
-            sends.append((tag, call.lineno))
+            sends.append((tag, *extent))
         if name in _TAG_RECEIVERS:
-            recvs.append((tag, call.lineno))
+            recvs.append((tag, *extent))
     if not sends or not recvs:
         return []
-    send_tags = {t for t, _ in sends}
-    recv_tags = {t for t, _ in recvs}
+    send_tags = {t for t, _, _ in sends}
+    recv_tags = {t for t, _, _ in recvs}
     findings = []
-    for tag, line in sends:
+    for tag, line, end_line in sends:
         if tag not in recv_tags:
             findings.append((
-                "tag-mismatch", line,
+                "tag-mismatch", line, end_line,
                 f"send with literal tag {tag} has no matching recv tag in "
                 f"this scope (recv tags: {sorted(recv_tags)}); mismatched "
                 f"tags hang both sides",
             ))
-    for tag, line in recvs:
+    for tag, line, end_line in recvs:
         if tag not in send_tags:
             findings.append((
-                "tag-mismatch", line,
+                "tag-mismatch", line, end_line,
                 f"recv with literal tag {tag} has no matching send tag in "
                 f"this scope (send tags: {sorted(send_tags)}); mismatched "
                 f"tags hang both sides",
@@ -373,7 +389,7 @@ def _rule_tag_mismatch(scope: _Scope) -> list[tuple[str, int, str]]:
     return findings
 
 
-def _rule_raw_lapack(tree: ast.Module) -> list[tuple[str, int, str]]:
+def _rule_raw_lapack(tree: ast.Module) -> list[tuple]:
     """Direct LAPACK-driver calls that bypass repro.linalg."""
     findings = []
     for node in ast.walk(tree):
@@ -387,7 +403,7 @@ def _rule_raw_lapack(tree: ast.Module) -> list[tuple[str, int, str]]:
         if _terminal_name(func.value) != "linalg":
             continue
         findings.append((
-            "raw-lapack", node.lineno,
+            "raw-lapack", node.lineno, node.end_lineno or node.lineno,
             f"raw {ast.unparse(func)}() call bypasses the instrumented "
             f"repro.linalg kernels (flop accounting, precision policy, "
             f"accuracy hardening); use repro.linalg instead",
@@ -411,8 +427,8 @@ def lint_source(
             kind="syntax-error", message=str(exc), severity=ERROR,
             file=filename, line=exc.lineno or 0,
         )]
-    suppress = _Suppressions(source)
-    raw: list[tuple[str, int, str]] = []
+    suppress = Suppressions(source)
+    raw: list[tuple[str, int, int, str]] = []
     if "rank-divergent-collective" in rules:
         raw.extend(_rule_rank_divergent(tree))
     if "raw-lapack" in rules and not _is_linalg_module(filename):
@@ -427,8 +443,8 @@ def lint_source(
     out = [
         Diagnostic(kind=kind, message=msg, severity=ERROR,
                    file=filename, line=line)
-        for kind, line, msg in raw
-        if not suppress.suppressed(kind, line)
+        for kind, line, end_line, msg in raw
+        if not suppress.suppressed(kind, line, end_line)
     ]
     out.sort(key=lambda d: (d.line or 0, d.kind))
     return out

@@ -157,6 +157,11 @@ class Sanitizer:
         with self._lock:
             return format_diagnostics(list(self.findings))
 
+    def absorb_findings(self, diagnostics) -> None:
+        """Fold another ledger's findings in (process-backend shards)."""
+        with self._lock:
+            self.findings.extend(diagnostics)
+
     # ------------------------------------------------------------------
     # Prong 1a: collective matching
     # ------------------------------------------------------------------

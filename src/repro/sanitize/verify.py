@@ -1,0 +1,449 @@
+"""``repro verify`` — whole-program SPMD verification at lint time.
+
+The interprocedural tier above :mod:`repro.sanitize.lint`: where the
+lint inspects one function at a time, the verifier loads the whole
+program (:mod:`repro.sanitize.callgraph`), finds every function that
+takes or carries a communicator, and symbolically executes each one per
+abstract rank (:mod:`repro.sanitize.absint`).  The resulting per-rank
+collective/point-to-point traces are then *matched against each other*
+the same way the runtime sanitizer matches live ranks:
+
+``collective-mismatch``
+    The ranks' next collectives disagree in op or root signature, or
+    one rank reaches a collective that another rank never calls — the
+    cross-function generalization of ``rank-divergent-collective``.
+
+``deadlock``
+    Every rank is blocked (receives with no matching send in flight,
+    mutually-waiting collectives) — the classic recv/recv cycle, found
+    without running the program.
+
+``tag-mismatch``
+    A rank blocks in a receive while the matching sender used a
+    different tag — including tags threaded through helper calls as
+    constants, which the per-function lint cannot see.
+
+``message-leak``
+    All ranks terminate but a sent message was never received.
+
+``use-after-move``
+    A buffer moved by ``send(..., copy=False)`` is used afterwards —
+    tracked through aliases, across call boundaries, and through
+    returns.
+
+Cross-rank findings are only reported from **complete** traces (see
+:mod:`repro.sanitize.absint`): when the interpreter had to guess about
+communication, it stays silent rather than guessing wrong.  Ownership
+findings are local facts and always surface.  ``# repro-lint:`` pragmas
+suppress verifier findings exactly as they do lint findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .absint import CommEvent, Trace, run_rank
+from .callgraph import FunctionInfo, Project, load_project
+from .diagnostics import ERROR, Diagnostic, Suppressions
+from .lint import _is_collective_call, _TAG_POSITIONS, default_lint_roots
+
+__all__ = [
+    "EntryReport",
+    "VerifyResult",
+    "verify_paths",
+    "verify_project",
+    "match_traces",
+    "comm_graph_json",
+    "comm_graph_dot",
+    "write_comm_graph",
+    "default_verify_roots",
+]
+
+DEFAULT_WORLD_SIZE = 2
+
+
+@dataclass
+class EntryReport:
+    """One analyzed communicator-taking function."""
+
+    entry: FunctionInfo
+    traces: list[Trace]
+    findings: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(t.complete for t in self.traces)
+
+
+@dataclass
+class VerifyResult:
+    """Whole-program verification outcome: per-driver reports + findings."""
+
+    project: Project
+    reports: list[EntryReport]
+    findings: list[Diagnostic]
+
+    @property
+    def functions_analyzed(self) -> int:
+        return len(self.reports)
+
+
+# ----------------------------------------------------------------------
+# Cross-rank trace matching
+# ----------------------------------------------------------------------
+def match_traces(traces: Sequence[Trace],
+                 entry: FunctionInfo) -> list[Diagnostic]:
+    """Simulate the ranks' traces against each other, MUST-style.
+
+    Sends are buffered (eager), receives block until a matching send
+    is in flight, collectives rendezvous; the simulation runs until all
+    ranks terminate or no rank can advance, and the stuck state is
+    diagnosed.  Only called on complete traces.
+    """
+    world = len(traces)
+    pc = [0] * world
+    buffered: dict[tuple[int, int, int], list[CommEvent]] = {}
+
+    def current(r: int) -> CommEvent | None:
+        evs = traces[r].events
+        return evs[pc[r]] if pc[r] < len(evs) else None
+
+    findings: list[Diagnostic] = []
+
+    def emit(kind: str, message: str, site, rank=None) -> None:
+        findings.append(Diagnostic(
+            kind=kind, message=message, severity=ERROR,
+            file=site.file if site else entry.file,
+            line=site.line if site else entry.line,
+            rank=rank,
+            extra={"entry": entry.qualname},
+        ))
+
+    for _ in range(sum(len(t.events) for t in traces) * 2 + 8):
+        progress = False
+        for r in range(world):
+            ev = current(r)
+            if ev is None:
+                continue
+            if ev.kind == "send":
+                buffered.setdefault((r, ev.peer, ev.tag), []).append(ev)
+                pc[r] += 1
+                progress = True
+            elif ev.kind == "recv":
+                queue = buffered.get((ev.peer, r, ev.tag))
+                if queue:
+                    queue.pop(0)
+                    pc[r] += 1
+                    progress = True
+            # collectives rendezvous below
+        colls = {r: current(r) for r in range(world)
+                 if current(r) is not None
+                 and current(r).kind == "collective"}
+        if len(colls) == world:
+            sigs = {ev.signature() for ev in colls.values()}
+            if len(sigs) == 1:
+                for r in range(world):
+                    pc[r] += 1
+                progress = True
+            else:
+                by_sig: dict[tuple, list[int]] = {}
+                for r, ev in colls.items():
+                    by_sig.setdefault(ev.signature(), []).append(r)
+                desc = "; ".join(
+                    f"rank{'s' if len(rs) > 1 else ''} "
+                    f"{','.join(map(str, rs))} at {sig[0]}()"
+                    + (f" root={sig[1]}" if sig[1] is not None else "")
+                    + f" ({colls[rs[0]].site})"
+                    for sig, rs in sorted(by_sig.items(),
+                                          key=lambda kv: kv[1]))
+                emit("collective-mismatch",
+                     f"ranks disagree on the next collective: {desc}",
+                     next(iter(colls.values())).site)
+                return findings
+        if progress:
+            continue
+        # No rank advanced: diagnose the stuck state.
+        if all(current(r) is None for r in range(world)):
+            for (src, dst, tag), queue in sorted(buffered.items()):
+                for ev in queue:
+                    emit("message-leak",
+                         f"message sent by rank {src} to rank {dst} with "
+                         f"tag {tag} at {ev.site} is never received",
+                         ev.site, rank=src)
+            return findings
+        blocked_recvs = {r: current(r) for r in range(world)
+                         if current(r) is not None
+                         and current(r).kind == "recv"}
+        for r, ev in blocked_recvs.items():
+            wrong_tags = sorted(
+                tag for (src, dst, tag), queue in buffered.items()
+                if src == ev.peer and dst == r and queue and tag != ev.tag)
+            if wrong_tags:
+                send_site = buffered[(ev.peer, r, wrong_tags[0])][0].site
+                emit("tag-mismatch",
+                     f"rank {r} blocks in {ev.op}(source={ev.peer}, "
+                     f"tag={ev.tag}) at {ev.site} while rank {ev.peer} "
+                     f"sent tag{'s' if len(wrong_tags) > 1 else ''} "
+                     f"{', '.join(map(str, wrong_tags))} at {send_site}; "
+                     f"the tags never match",
+                     ev.site, rank=r)
+                return findings
+        if colls and blocked_recvs:
+            # Collective/p2p interlock.
+            parts = [
+                f"rank {r} waits at {ev.op}() ({ev.site})"
+                for r, ev in sorted(colls.items())
+            ] + [
+                f"rank {r} blocks in {ev.op}(source={ev.peer}, "
+                f"tag={ev.tag}) ({ev.site})"
+                for r, ev in sorted(blocked_recvs.items())
+            ]
+            emit("deadlock",
+                 "no rank can advance: " + "; ".join(parts),
+                 next(iter(blocked_recvs.values())).site)
+            return findings
+        if colls:
+            # Some ranks wait at a collective the others never call.
+            waiting = sorted(colls)
+            finished = [r for r in range(world) if current(r) is None]
+            ev = colls[waiting[0]]
+            emit("collective-mismatch",
+                 f"rank{'s' if len(waiting) > 1 else ''} "
+                 f"{','.join(map(str, waiting))} call{'s' if len(waiting) == 1 else ''} "
+                 f"{ev.op}() at {ev.site} but rank"
+                 f"{'s' if len(finished) > 1 else ''} "
+                 f"{','.join(map(str, finished))} "
+                 f"never reach{'es' if len(finished) == 1 else ''} a "
+                 f"matching collective",
+                 ev.site)
+            return findings
+        if blocked_recvs:
+            parts = [
+                f"rank {r} blocks in {ev.op}(source={ev.peer}, "
+                f"tag={ev.tag}) at {ev.site}"
+                for r, ev in sorted(blocked_recvs.items())
+            ]
+            emit("deadlock",
+                 ("receive cycle: " if len(blocked_recvs) == world
+                  else "unmatched receive: ") + "; ".join(parts),
+                 next(iter(blocked_recvs.values())).site)
+            return findings
+        return findings
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _entry_functions(project: Project) -> list[FunctionInfo]:
+    """Comm-taking call-graph roots: the drivers.
+
+    A helper that only ever runs inside a driver is analyzed *through*
+    the driver's symbolic execution, where its sends and receives meet
+    their real partners; analyzing it standalone would misread, say, a
+    send-only shard-distribution helper as a message leak.  Functions
+    nobody in the project calls (entry drivers, exported API) are the
+    roots the matcher can judge as whole programs.
+    """
+    called = {e.callee for e in project.edges if e.caller != e.callee}
+    entries = [f for f in project.functions.values()
+               if f.takes_comm() and f.qualname not in called]
+    entries.sort(key=lambda f: (f.file, f.line))
+    return entries
+
+
+def verify_project(project: Project,
+                   world_size: int = DEFAULT_WORLD_SIZE,
+                   entries: Sequence[str] | None = None) -> VerifyResult:
+    """Symbolically execute and cross-check every entry function."""
+    if entries is not None:
+        wanted = set(entries)
+        selected = sorted(
+            (f for f in project.functions.values()
+             if f.takes_comm()
+             and (f.qualname in wanted or f.name in wanted)),
+            key=lambda f: (f.file, f.line))
+    else:
+        selected = _entry_functions(project)
+    reports: list[EntryReport] = []
+    all_findings: list[Diagnostic] = []
+    seen: set[tuple] = set()
+
+    def add(diags: Iterable[Diagnostic]) -> None:
+        for d in diags:
+            key = (d.kind, d.file, d.line)
+            if key not in seen:
+                seen.add(key)
+                all_findings.append(d)
+
+    for info in selected:
+        traces: list[Trace] = []
+        local: list[Diagnostic] = []
+        for rank in range(world_size):
+            trace, findings = run_rank(project, info, rank, world_size)
+            traces.append(trace)
+            local.extend(findings)
+        report = EntryReport(entry=info, traces=traces)
+        report.findings.extend(local)
+        if report.complete:
+            report.findings.extend(match_traces(traces, info))
+        reports.append(report)
+        add(report.findings)
+
+    all_findings = _apply_pragmas(all_findings)
+    all_findings.sort(key=lambda d: (d.file or "", d.line or 0, d.kind))
+    return VerifyResult(project=project, reports=reports,
+                        findings=all_findings)
+
+
+def _apply_pragmas(findings: list[Diagnostic]) -> list[Diagnostic]:
+    by_file: dict[str, Suppressions] = {}
+    out = []
+    for d in findings:
+        if d.file and d.file not in by_file:
+            try:
+                with open(d.file, encoding="utf-8") as f:
+                    by_file[d.file] = Suppressions(f.read())
+            except OSError:
+                by_file[d.file] = Suppressions("")
+        sup = by_file.get(d.file)
+        if sup is not None and d.line and sup.suppressed(d.kind, d.line):
+            continue
+        out.append(d)
+    return out
+
+
+def default_verify_roots(cwd: str | None = None) -> list[str]:
+    """Same convention as the lint: the repro package plus examples/."""
+    return default_lint_roots(cwd)
+
+
+def verify_paths(paths: Iterable[str] | None = None,
+                 world_size: int = DEFAULT_WORLD_SIZE,
+                 entries: Sequence[str] | None = None) -> VerifyResult:
+    """Load, link, and verify files and directory trees."""
+    if paths is None:
+        paths = default_verify_roots()
+    project = load_project(paths)
+    return verify_project(project, world_size=world_size, entries=entries)
+
+
+# ----------------------------------------------------------------------
+# Comm-graph artifact
+# ----------------------------------------------------------------------
+def _comm_ops_of(info: FunctionInfo) -> list[dict]:
+    """Syntactic communication operations of one function body."""
+    ops = []
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        coll = _is_collective_call(node)
+        if coll is not None:
+            ops.append({"op": coll, "kind": "collective",
+                        "line": node.lineno})
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _TAG_POSITIONS:
+            entry = {"op": func.attr, "kind": "p2p", "line": node.lineno}
+            for kw in node.keywords:
+                if (kw.arg == "tag" and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, int)):
+                    entry["tag"] = kw.value.value
+            ops.append(entry)
+    return ops
+
+
+def comm_graph_json(project: Project, entry: FunctionInfo,
+                    world_size: int = DEFAULT_WORLD_SIZE,
+                    report: EntryReport | None = None) -> dict:
+    """The comm-graph artifact for one driver, as JSON-ready data."""
+    reach = project.reachable_from(entry.qualname)
+    nodes = []
+    for qual in sorted(reach):
+        info = project.functions.get(qual)
+        if info is None:
+            continue
+        nodes.append({
+            "qualname": qual,
+            "file": info.file,
+            "line": info.line,
+            "takes_comm": info.takes_comm(),
+            "rank_sensitive": info.rank_sensitive,
+            "comm_ops": _comm_ops_of(info),
+        })
+    edges = sorted(
+        {(e.caller, e.callee, e.line) for e in project.edges
+         if e.caller in reach and e.callee in reach})
+    data = {
+        "entry": entry.qualname,
+        "world_size": world_size,
+        "nodes": nodes,
+        "edges": [{"caller": c, "callee": t, "line": ln}
+                  for c, t, ln in edges],
+    }
+    if report is not None:
+        data["traces"] = {
+            str(t.rank): {
+                "complete": t.complete,
+                "notes": t.notes,
+                "events": [
+                    {"kind": ev.kind, "op": ev.op, "root": ev.root,
+                     "peer": ev.peer, "tag": ev.tag, "moved": ev.moved,
+                     "site": str(ev.site)}
+                    for ev in t.events
+                ],
+            }
+            for t in report.traces
+        }
+    return data
+
+
+def comm_graph_dot(project: Project, entry: FunctionInfo) -> str:
+    """The reachable call graph as Graphviz DOT, comm ops annotated."""
+    reach = project.reachable_from(entry.qualname)
+    lines = [
+        f'digraph "{entry.qualname}" {{',
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    for qual in sorted(reach):
+        info = project.functions.get(qual)
+        if info is None:
+            continue
+        ops = sorted({o["op"] for o in _comm_ops_of(info)})
+        label = qual
+        if ops:
+            label += "\\n" + ", ".join(ops)
+        attrs = [f'label="{label}"']
+        if qual == entry.qualname:
+            attrs.append("style=bold")
+        if info.rank_sensitive:
+            attrs.append('color="firebrick"')
+        lines.append(f'  "{qual}" [{", ".join(attrs)}];')
+    for caller, callee in sorted(
+            {(e.caller, e.callee) for e in project.edges
+             if e.caller in reach and e.callee in reach}):
+        lines.append(f'  "{caller}" -> "{callee}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_comm_graph(project: Project, entry: FunctionInfo, out_dir: str,
+                     world_size: int = DEFAULT_WORLD_SIZE,
+                     report: EntryReport | None = None) -> tuple[str, str]:
+    """Write ``<entry>.dot`` and ``<entry>.json``; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    base = entry.qualname.replace("/", "_")
+    dot_path = os.path.join(out_dir, f"{base}.dot")
+    json_path = os.path.join(out_dir, f"{base}.json")
+    with open(dot_path, "w", encoding="utf-8") as f:
+        f.write(comm_graph_dot(project, entry))
+    with open(json_path, "w", encoding="utf-8") as f:
+        json.dump(comm_graph_json(project, entry, world_size, report), f,
+                  indent=2, sort_keys=True)
+        f.write("\n")
+    return dot_path, json_path

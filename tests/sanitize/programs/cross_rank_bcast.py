@@ -1,0 +1,18 @@
+"""Seeded bug: rank-divergent collective hidden behind a helper call.
+
+The per-function lint sees no collective inside the rank branch (only
+an innocent-looking function call) and no rank condition inside the
+helper — only whole-program analysis connects the two.
+"""
+
+
+def broadcast_params(comm, params):
+    comm.bcast(params, root=0)
+    return params
+
+
+def driver(comm):
+    params = {"tol": 1e-8, "sweeps": 4}
+    if comm.rank == 0:
+        broadcast_params(comm, params)
+    return params

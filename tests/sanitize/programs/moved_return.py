@@ -1,0 +1,23 @@
+"""Seeded bug: a buffer moved in a helper, reused by the caller.
+
+``ship`` moves the payload through a local alias and hands the original
+reference back; the caller's ``.sum()`` reads a relinquished buffer.
+The per-function lint tracks neither the alias nor the call boundary.
+"""
+
+import numpy as np
+
+
+def ship(comm, payload):
+    view = payload
+    comm.send(view, dest=1, tag=4, copy=False)
+    return payload
+
+
+def driver(comm):
+    block = np.ones(8)
+    if comm.rank == 0:
+        out = ship(comm, block)
+        return float(out.sum())
+    got = comm.recv(source=0, tag=4)
+    return got

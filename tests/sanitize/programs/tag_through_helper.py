@@ -1,0 +1,19 @@
+"""Seeded bug: a literal tag threaded through a helper, off by one.
+
+The sender's tag arrives as a constant-propagated module literal; the
+receiver computes ``tag + 1``.  Within any single function the tags
+are opaque parameters, so the per-function lint stays silent.
+"""
+
+PING = 7
+
+
+def exchange(comm, tag):
+    if comm.rank == 0:
+        comm.send(1.0, dest=1, tag=tag)
+    else:
+        comm.recv(source=0, tag=tag + 1)
+
+
+def driver(comm):
+    exchange(comm, PING)

@@ -283,3 +283,83 @@ class TestSuppressionsAndDriver:
         ds = lint_paths([str(tmp_path)])
         assert [d.kind for d in ds] == ["raw-lapack"]
         assert ds[0].file.endswith("bad.py")
+
+
+class TestLintRegressions:
+    """Gaps closed after PR 5: attribute-chain buffers and collectives,
+    async functions, short-circuit guards, and multi-line pragmas."""
+
+    def test_collective_through_attribute_chain(self):
+        ds = lint("""
+            class Solver:
+                def run(self):
+                    if self.comm.rank == 0:
+                        self.comm.bcast(1, root=0)
+        """)
+        assert [d.kind for d in ds] == ["rank-divergent-collective"]
+
+    def test_collective_in_async_function(self):
+        ds = lint("""
+            async def prog(comm):
+                if comm.rank == 0:
+                    await comm.bcast(1, root=0)
+        """)
+        assert [d.kind for d in ds] == ["rank-divergent-collective"]
+
+    def test_boolop_guarded_collective(self):
+        # ``rank == 0 and barrier()`` short-circuits exactly like an
+        # if-branch: only rank 0 enters the collective.
+        ds = lint("""
+            def prog(comm):
+                ok = comm.rank == 0 and comm.barrier()
+        """)
+        assert [d.kind for d in ds] == ["rank-divergent-collective"]
+
+    def test_boolop_first_operand_not_guarded(self):
+        # The first operand of a BoolOp is evaluated unconditionally.
+        assert kinds("""
+            def prog(comm):
+                ok = comm.barrier() and comm.rank == 0
+        """) == []
+
+    def test_use_after_move_attribute_buffer(self):
+        ds = lint("""
+            def prog(comm, state):
+                comm.send(state.buf, 1, 0, copy=False)
+                return state.buf.sum()
+        """)
+        assert [d.kind for d in ds] == ["use-after-move"]
+        assert "'state.buf'" in ds[0].message
+
+    def test_attribute_buffer_rebind_clears_move(self):
+        assert kinds("""
+            import numpy as np
+            def prog(comm, state):
+                comm.send(state.buf, 1, 0, copy=False)
+                state.buf = np.zeros(4)
+                return state.buf.sum()
+        """) == []
+
+    def test_move_in_async_for_loop_without_rebind(self):
+        ds = lint("""
+            async def prog(comm, buf, chunks):
+                async for _ in chunks:
+                    comm.send(buf, 1, 0, copy=False)
+        """)
+        assert [d.kind for d in ds] == ["use-after-move"]
+
+    def test_pragma_on_multiline_statement_first_line(self):
+        assert kinds("""
+            import numpy as np
+            u = np.linalg.svd(  # repro-lint: allow(raw-lapack)
+                A,
+            )
+        """) == []
+
+    def test_pragma_on_multiline_statement_last_line(self):
+        assert kinds("""
+            import numpy as np
+            u = np.linalg.svd(
+                A,
+            )  # repro-lint: skip
+        """) == []

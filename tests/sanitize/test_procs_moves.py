@@ -1,0 +1,78 @@
+"""Move-origin enforcement across the process transport boundary.
+
+PR 5 shipped ``backend="procs"`` with an honest gap: the worker-side
+move ledger degraded to no-ops, so a use-after-move died as a bare
+NumPy ``ValueError`` with no originating send site.  These tests pin
+the closed gap: each worker keeps a rank-local ledger and the move
+origin travels in the envelope wire metadata, so both the sender-side
+and the receiver-side violations raise
+:class:`~repro.errors.UseAfterMoveError` naming the real
+``send(..., copy=False)`` call site — identical to the threads backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import UseAfterMoveError
+from repro.mpi import run_spmd
+
+pytestmark = pytest.mark.parametrize("backend", ["threads", "procs"])
+
+RECV_TIMEOUT = 30.0
+
+
+def _sender_side_violation(comm):
+    buf = np.ones(8)
+    if comm.rank == 0:
+        comm.send(buf, dest=1, tag=3, copy=False)
+        buf[0] = 2.0  # the receiver owns this buffer now
+    else:
+        comm.recv(source=0, tag=3)
+    return comm.rank
+
+
+def _receiver_side_violation(comm):
+    if comm.rank == 0:
+        buf = np.ones(8)
+        comm.send(buf, dest=1, tag=3, copy=False)
+    else:
+        got = comm.recv(source=0, tag=3)
+        got[0] = 5.0  # zero-copy payloads arrive read-only
+    return comm.rank
+
+
+def test_sender_side_use_after_move_names_the_send_site(backend):
+    with pytest.raises(UseAfterMoveError) as exc_info:
+        run_spmd(_sender_side_violation, 2, backend=backend,
+                 sanitize=True, recv_timeout=RECV_TIMEOUT)
+    msg = str(exc_info.value)
+    assert "relinquishing it via send(copy=False)" in msg
+    assert "test_procs_moves.py" in msg  # the real move site, not a no-op
+
+
+def test_receiver_side_write_names_the_origin_site(backend):
+    with pytest.raises(UseAfterMoveError) as exc_info:
+        run_spmd(_receiver_side_violation, 2, backend=backend,
+                 sanitize=True, recv_timeout=RECV_TIMEOUT)
+    msg = str(exc_info.value)
+    assert "received from rank 0" in msg
+    assert "moved by send(copy=False)" in msg
+    assert "test_procs_moves.py" in msg
+
+
+def test_clean_moves_stay_clean_and_frozen(backend):
+    """A well-behaved move: no findings, payload arrives read-only."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(6.0), dest=1, tag=1, copy=False)
+            return None
+        got = comm.recv(source=0, tag=1)
+        return bool(got.flags.writeable)
+
+    res = run_spmd(prog, 2, backend=backend, sanitize=True,
+                   recv_timeout=RECV_TIMEOUT)
+    assert res.values[1] is False
+    assert res.sanitizer.findings == []
