@@ -236,14 +236,81 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _backend_arg(args):
+    """Resolve ``--backend``/``--hosts`` into a run_spmd backend value.
+
+    Plain ``--backend NAME`` passes the name through.  ``--hosts``
+    switches the socket transport into spawn mode: workers are launched
+    as ``python -m repro.mpi.transport.sockworker`` subprocesses that
+    join the master over the address-book TCP handshake — which is why
+    the CLI rank programs are module-level functions (they must pickle
+    into the boot blob).
+    """
+    hosts = getattr(args, "hosts", None)
+    if not hosts:
+        return args.backend
+    if args.backend not in (None, "sockets"):
+        raise SystemExit(f"--hosts requires --backend sockets, "
+                         f"got --backend {args.backend}")
+    from .mpi.transport import SocketTransport
+
+    return SocketTransport(hosts=list(hosts))
+
+
+def _backend_name(args) -> str:
+    if getattr(args, "hosts", None):
+        return "sockets"
+    return args.backend or os.environ.get("REPRO_SPMD_BACKEND", "threads")
+
+
+def _print_progress(info):
+    print(
+        f"  mode {info['mode']} done "
+        f"({info['step']}/{info['total_steps']}), "
+        f"ranks {info['ranks']}, {info['seconds']:.3f}s"
+    )
+
+
+def _trace_program(comm, X, grid, tol, ranks, method, mode_order, verbose):
+    """Rank program of ``repro trace`` (module-level: picklable for
+    socket-transport spawn mode)."""
+    from .core.sthosvd_parallel import sthosvd_parallel
+    from .dist import DistributedTensor, GridComms
+    from .dist.grid import ProcessorGrid
+
+    comms = GridComms(comm, ProcessorGrid(grid))
+    dt = DistributedTensor.from_full(comms, X)
+    return sthosvd_parallel(
+        dt, tol=tol, ranks=ranks, method=method, mode_order=mode_order,
+        progress=_print_progress if verbose else None,
+    )
+
+
+def _chaos_program(comm, X, tol, ranks, method):
+    """Rank program of ``repro chaos`` (module-level: picklable for
+    socket-transport spawn mode)."""
+    from .core.ft import sthosvd_fault_tolerant
+
+    res = sthosvd_fault_tolerant(
+        comm, X if comm.rank == 0 else None,
+        tol=tol, ranks=ranks, method=method,
+    )
+    tucker = res.result.to_tucker()  # collective: every rank calls
+    err = None
+    if res.comm.rank == 0:
+        rec = np.asarray(tucker.reconstruct().data)
+        err = float(
+            np.linalg.norm((rec - X).ravel()) / np.linalg.norm(X.ravel())
+        )
+    return {"err": err, "survivors": res.comm.size,
+            "recoveries": res.recoveries}
+
+
 def _cmd_trace(args) -> int:
     """Run a traced parallel ST-HOSVD on a synthetic tensor and export
     the observability artifacts (Chrome trace, phase/imbalance/comm
     tables, metrics, measured-vs-modeled diff)."""
-    from .core.sthosvd_parallel import sthosvd_parallel
     from .data.synthetic import tensor_with_mode_spectra
-    from .dist import DistributedTensor, GridComms
-    from .dist.grid import ProcessorGrid
     from .mpi import run_spmd
     from .mpi.tracing import CommTrace
     from .obs import (
@@ -283,29 +350,17 @@ def _cmd_trace(args) -> int:
         recorder = FlightRecorder(postmortem_dir=args.postmortem_dir)
     ranks = tuple(args.ranks) if args.ranks else None
 
-    def progress(info):
-        print(
-            f"  mode {info['mode']} done "
-            f"({info['step']}/{info['total_steps']}), "
-            f"ranks {info['ranks']}, {info['seconds']:.3f}s"
-        )
-
-    def program(comm):
-        comms = GridComms(comm, ProcessorGrid(grid))
-        dt = DistributedTensor.from_full(comms, X)
-        return sthosvd_parallel(
-            dt, tol=args.tol, ranks=ranks, method=args.method,
-            mode_order=args.order,
-            progress=progress if args.verbose else None,
-        )
-
     import time as _time
 
     start_unix = _time.time()
     try:
         res = run_spmd(
-            program, nprocs, tracer=tracer, comm_trace=comm_trace,
-            sanitize=args.sanitize, backend=args.backend, recorder=recorder,
+            _trace_program, nprocs,
+            X, grid, args.tol, ranks, args.method, args.order,
+            bool(args.verbose),
+            tracer=tracer, comm_trace=comm_trace,
+            sanitize=args.sanitize, backend=_backend_arg(args),
+            recorder=recorder,
         )
     except Exception:
         if recorder is not None and recorder.last_postmortem_path:
@@ -328,9 +383,7 @@ def _cmd_trace(args) -> int:
             chrome_trace(
                 tracer, comm_trace=comm_trace,
                 metadata={
-                    "backend": args.backend or os.environ.get(
-                        "REPRO_SPMD_BACKEND", "threads"
-                    ),
+                    "backend": _backend_name(args),
                     "start_unix": start_unix,
                 },
             ),
@@ -384,7 +437,6 @@ def _cmd_chaos(args) -> int:
     error stays within ``--error-factor`` of the fault-free error, and
     the fired-fault trace is identical on every replay (determinism).
     """
-    from .core.ft import sthosvd_fault_tolerant
     from .data.synthetic import tensor_with_mode_spectra
     from .faults import CrashRule, FaultPlan, KernelFaultRule, MessageFaultRule
     from .mpi import run_spmd
@@ -399,21 +451,6 @@ def _cmd_chaos(args) -> int:
         X = X.astype(np.float32)
     ranks = tuple(args.ranks) if args.ranks else None
 
-    def program(comm):
-        res = sthosvd_fault_tolerant(
-            comm, X if comm.rank == 0 else None,
-            tol=args.tol, ranks=ranks, method=args.method,
-        )
-        tucker = res.result.to_tucker()  # collective: every rank calls
-        err = None
-        if res.comm.rank == 0:
-            rec = np.asarray(tucker.reconstruct().data)
-            err = float(
-                np.linalg.norm((rec - X).ravel()) / np.linalg.norm(X.ravel())
-            )
-        return {"err": err, "survivors": res.comm.size,
-                "recoveries": res.recoveries}
-
     def launch(plan):
         recorder = None
         if args.postmortem_dir:
@@ -421,8 +458,10 @@ def _cmd_chaos(args) -> int:
 
             recorder = FlightRecorder(postmortem_dir=args.postmortem_dir)
         try:
-            return run_spmd(program, nprocs, faults=plan, resilience=True,
-                            backend=args.backend, recorder=recorder)
+            return run_spmd(_chaos_program, nprocs,
+                            X, args.tol, ranks, args.method,
+                            faults=plan, resilience=True,
+                            backend=_backend_arg(args), recorder=recorder)
         except Exception:
             if recorder is not None and recorder.last_postmortem_path:
                 print(f"postmortem: {recorder.last_postmortem_path}",
@@ -770,8 +809,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="directory for trace.json and the report tables")
     tr.add_argument("--verbose", action="store_true",
                     help="per-mode progress events from rank 0")
-    tr.add_argument("--backend", default=None, choices=["threads", "procs"],
+    tr.add_argument("--backend", default=None,
+                    choices=["threads", "procs", "sockets"],
                     help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")
+    tr.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
+                    help="sockets backend only: spawn workers as "
+                         "subprocesses joining over TCP (one address-book "
+                         "entry per rank, cycled over HOSTs)")
     tr.add_argument("--sanitize", action="store_true",
                     help="run under the SPMD sanitizer (collective matching, "
                          "deadlock detection, move enforcement)")
@@ -803,8 +847,12 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--error-factor", type=float, default=10.0,
                     help="max allowed reconstruction error relative to the "
                          "fault-free run")
-    ch.add_argument("--backend", default=None, choices=["threads", "procs"],
+    ch.add_argument("--backend", default=None,
+                    choices=["threads", "procs", "sockets"],
                     help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")
+    ch.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
+                    help="sockets backend only: spawn workers as "
+                         "subprocesses joining over TCP")
     ch.add_argument("--postmortem-dir", default=None,
                     help="enable the flight recorder; if a scenario escapes "
                          "recovery and aborts the world, write a postmortem "
@@ -842,7 +890,8 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--interval", type=float, default=0.5,
                     help="seconds between repaints (heartbeats tick at half "
                          "this)")
-    tp.add_argument("--backend", default=None, choices=["threads", "procs"],
+    tp.add_argument("--backend", default=None,
+                    choices=["threads", "procs", "sockets"],
                     help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")
     tp.add_argument("--postmortem-dir", default=None,
                     help="write a postmortem bundle here if the run aborts")

@@ -23,12 +23,14 @@ here would be an import cycle.
 from __future__ import annotations
 
 from .injector import FaultInjector, current_injector
+from .network import NetworkFaultState
 from .plan import (
     CrashRule,
     FaultEvent,
     FaultPlan,
     KernelFaultRule,
     MessageFaultRule,
+    NetworkFaultRule,
     Resilience,
 )
 
@@ -37,6 +39,8 @@ __all__ = [
     "CrashRule",
     "MessageFaultRule",
     "KernelFaultRule",
+    "NetworkFaultRule",
+    "NetworkFaultState",
     "Resilience",
     "FaultEvent",
     "FaultInjector",

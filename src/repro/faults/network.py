@@ -1,0 +1,148 @@
+"""Worker-side engine for deterministic socket-layer fault injection.
+
+A :class:`NetworkFaultState` lives inside one worker of the sockets
+backend and is consulted at exactly two choke points of the connection
+machinery:
+
+* :meth:`on_connect_attempt` — before each real TCP ``connect()``;
+* :meth:`on_frame` — before each outgoing data frame.
+
+Both sites are deterministic per rank (connection attempts and data
+frames happen in program order on the worker's own threads), so rules
+expressed as "the N-th attempt/frame" replay identically with no random
+draws.  Heartbeat and bookkeeping frames are *not* counted toward frame
+triggers — their cadence is wall-clock driven and would make replays
+diverge — though slow-link shaping still delays them like any real
+bytes on the wire.
+
+Every fault the engine fires is buffered as a
+:class:`~repro.faults.plan.FaultEvent` tuple; the transport ships the
+buffer to the master in-band (a ``netfault`` frame ahead of the
+triggering action) where it is absorbed into the run's
+:class:`~repro.faults.FaultInjector` trace, keeping ``trace_key()``
+replay verification uniform across message- and network-level faults.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from .plan import FaultEvent, NetworkFaultRule
+
+__all__ = ["NetworkFaultState"]
+
+
+class NetworkFaultState:
+    """Per-rank deterministic trigger state for network fault rules.
+
+    Thread-compat note: the sockets worker consults this from its send
+    pump thread (frames) and its connect path (attempts), which never
+    overlap in time, so no locking is needed.
+    """
+
+    def __init__(self, rules: Sequence[NetworkFaultRule], rank: int) -> None:
+        self.rank = rank
+        self.connect_attempts = 0
+        self.frames = 0
+        self.dark = False
+        self._events: list[tuple] = []
+        self._refusals: list[NetworkFaultRule] = []
+        self._resets: list[NetworkFaultRule] = []
+        self._partitions: list[NetworkFaultRule] = []
+        self._slow: list[NetworkFaultRule] = []
+        self._slow_recorded = False
+        for rule in rules:
+            if not rule.applies_to(rank):
+                continue
+            {"connect_refused": self._refusals,
+             "reset": self._resets,
+             "partition": self._partitions,
+             "slow": self._slow}[rule.kind].append(rule)
+
+    @property
+    def active(self) -> bool:
+        """Whether any rule applies to this rank at all."""
+        return bool(self._refusals or self._resets
+                    or self._partitions or self._slow)
+
+    def _record(self, op_index: int, kind: str, detail: tuple) -> None:
+        self._events.append(
+            FaultEvent(self.rank, op_index, kind, tuple(detail)).as_tuple()
+        )
+
+    def drain_events(self) -> list[tuple]:
+        """Buffered fault-event tuples, clearing the buffer."""
+        out, self._events = self._events, []
+        return out
+
+    # -- connect path --------------------------------------------------
+    def on_connect_attempt(self, purpose: str) -> None:
+        """Called before each real TCP connect; raises to simulate refusal.
+
+        Refusal budgets are counted across *all* connections the rank
+        opens (attempt numbering is global per rank), so a rule with
+        ``attempts=2`` refuses the first two connects the rank ever
+        makes, whichever link they belong to.
+        """
+        self.connect_attempts += 1
+        remaining = sum(r.attempts for r in self._refusals)
+        if self.connect_attempts <= remaining:
+            self._record(self.connect_attempts, "net:connect_refused",
+                         (purpose,))
+            raise ConnectionRefusedError(
+                f"injected: connection refused (attempt "
+                f"{self.connect_attempts} of {remaining} refused)"
+            )
+
+    # -- frame path ----------------------------------------------------
+    def on_frame(self, nbytes: int, *, countable: bool = True) -> str:
+        """Decide the fate of the next outgoing frame.
+
+        Returns one of:
+
+        ``"send"``
+            Deliver normally (possibly after slow-link shaping).
+        ``"reset"``
+            Hard-close the data link with RST *instead of* sending; the
+            caller reconnects and retransmits this frame.
+        ``"dark"``
+            Enter (or remain in) silent partition: drop the frame, stop
+            heartbeats, never speak again.
+
+        ``countable`` is True only for application ``put`` frames; the
+        heartbeat/bookkeeping cadence must not advance the trigger
+        counters (see module docstring).
+        """
+        if self.dark:
+            return "dark"
+        self._shape(nbytes)
+        if not countable:
+            return "send"
+        self.frames += 1
+        for rule in self._partitions:
+            if self.frames == rule.after_frames:
+                self.dark = True
+                self._record(self.frames, "net:partition",
+                             tuple(sorted(rule.ranks))
+                             if rule.ranks is not None else ("all",))
+                return "dark"
+        for rule in self._resets:
+            if self.frames == rule.after_frames:
+                self._record(self.frames, "net:reset", (nbytes,))
+                return "reset"
+        return "send"
+
+    def _shape(self, nbytes: int) -> None:
+        delay = 0.0
+        for rule in self._slow:
+            delay += rule.latency_seconds
+            if rule.bytes_per_second is not None:
+                delay += nbytes / rule.bytes_per_second
+        if delay > 0.0:
+            if not self._slow_recorded:
+                self._slow_recorded = True
+                self._record(0, "net:slow",
+                             tuple((r.latency_seconds, r.bytes_per_second)
+                                   for r in self._slow))
+            time.sleep(delay)

@@ -29,15 +29,18 @@ __all__ = [
     "CrashRule",
     "MessageFaultRule",
     "KernelFaultRule",
+    "NetworkFaultRule",
     "FaultPlan",
     "Resilience",
     "FaultEvent",
     "MESSAGE_FAULT_KINDS",
     "KERNEL_FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
 ]
 
 MESSAGE_FAULT_KINDS = ("drop", "delay", "duplicate", "corrupt")
 KERNEL_FAULT_KINDS = ("nan", "inf")
+NETWORK_FAULT_KINDS = ("connect_refused", "reset", "partition", "slow")
 
 
 @dataclass(frozen=True)
@@ -162,6 +165,80 @@ class KernelFaultRule:
 
 
 @dataclass(frozen=True)
+class NetworkFaultRule:
+    """Deterministic fault at the *socket layer* of a networked backend.
+
+    These rules are injected by the transport's connection machinery
+    (``backend="sockets"``), not the communicator, and they are
+    count-based rather than probabilistic: connection attempts and
+    outgoing data frames per rank are deterministic sequences, so a
+    trigger expressed as "the N-th attempt/frame" replays identically
+    with no variate draws at all.  In-process backends (threads, procs)
+    have no sockets and ignore them.
+
+    Kinds:
+
+    ``"connect_refused"``
+        The rank's first ``attempts`` connection attempts to the master
+        fail with ``ConnectionRefusedError``; the transport's
+        :class:`~repro.mpi.transport.net.RetryPolicy` must ride them
+        out.  Models a master that is still binding, or a transient
+        SYN drop.
+    ``"reset"``
+        The rank's data link is hard-closed (RST) right before its
+        ``after_frames``-th outgoing frame; the transport reconnects
+        with backoff and retransmits.  Models a mid-stream TCP reset.
+    ``"partition"``
+        The rank's links go silently dark before its
+        ``after_frames``-th outgoing frame — no FIN, no RST, no
+        heartbeats; the master's liveness deadline must detect it and
+        fail the rank so survivors can revoke/shrink.  ``ranks`` names
+        the set cut off from the rest of the world.
+    ``"slow"``
+        Every outgoing frame pays ``latency_seconds`` plus
+        ``nbytes / bytes_per_second`` of real wall latency — link
+        shaping for overhead and timeout testing.
+
+    ``ranks=None`` applies the rule to every rank.
+    """
+
+    kind: str
+    ranks: Sequence[int] | None = None
+    attempts: int = 1
+    after_frames: int = 1
+    latency_seconds: float = 0.0
+    bytes_per_second: float | None = None
+
+    def validate(self) -> None:
+        if self.kind not in NETWORK_FAULT_KINDS:
+            raise ConfigurationError(
+                f"network fault kind must be one of {NETWORK_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "connect_refused" and self.attempts < 1:
+            raise ConfigurationError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+        if self.kind in ("reset", "partition") and self.after_frames < 1:
+            raise ConfigurationError(
+                f"after_frames must be >= 1, got {self.after_frames}"
+            )
+        if self.kind == "slow":
+            if self.latency_seconds < 0:
+                raise ConfigurationError("latency_seconds must be >= 0")
+            if self.bytes_per_second is not None and self.bytes_per_second <= 0:
+                raise ConfigurationError("bytes_per_second must be positive")
+            if self.latency_seconds == 0 and self.bytes_per_second is None:
+                raise ConfigurationError(
+                    "a 'slow' rule needs latency_seconds and/or "
+                    "bytes_per_second — with neither it shapes nothing"
+                )
+
+    def applies_to(self, rank: int) -> bool:
+        return self.ranks is None or rank in self.ranks
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A reproducible schedule of injected faults for one SPMD run.
 
@@ -174,12 +251,15 @@ class FaultPlan:
     crashes: tuple[CrashRule, ...] = ()
     messages: tuple[MessageFaultRule, ...] = ()
     kernels: tuple[KernelFaultRule, ...] = ()
+    network: tuple[NetworkFaultRule, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "messages", tuple(self.messages))
         object.__setattr__(self, "kernels", tuple(self.kernels))
-        for rule in (*self.crashes, *self.messages, *self.kernels):
+        object.__setattr__(self, "network", tuple(self.network))
+        for rule in (*self.crashes, *self.messages, *self.kernels,
+                     *self.network):
             rule.validate()
         by_rank = [c.rank for c in self.crashes]
         if len(by_rank) != len(set(by_rank)):
@@ -215,6 +295,24 @@ class Resilience:
             raise ConfigurationError("max_retries must be >= 1")
         if self.poll_interval <= 0:
             raise ConfigurationError("poll_interval must be positive")
+
+    def retry_policy(self):
+        """The sender-retry schedule as a transport RetryPolicy.
+
+        Uncapped exponential backoff from ``backoff_base`` with zero
+        jitter: the delays are charged to the *logical* clock, so they
+        must replay bit-identically — randomization belongs to
+        wall-clock consumers (socket connects), not here.
+        """
+        # Imported lazily: repro.mpi.transport pulls in the injector for
+        # its rank-program hooks, so a module-level import here would
+        # close that cycle.
+        from ..mpi.transport.net import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.max_retries, backoff_base=self.backoff_base,
+            backoff_cap=None, jitter=0.0,
+        )
 
 
 # Default event-trace capacity per run; a fuse against pathological

@@ -386,6 +386,7 @@ class Communicator:
             if res.checksums:
                 checksum = _payload_checksum(obj)
         trace = ctx.comm_trace
+        policy = res.retry_policy() if res is not None else None
         attempts = 0
         while True:
             rule = None
@@ -429,9 +430,12 @@ class Communicator:
                 if res is None:
                     return  # lost for good: no resilience configured
             # The simulated ack timed out (drop) or the receiver will
-            # discard the corrupted envelope — retransmit with backoff.
+            # discard the corrupted envelope — retransmit with backoff
+            # per the resilience layer's RetryPolicy (uncapped
+            # exponential, jitter-free: the charge goes to the logical
+            # clock and must replay identically).
             attempts += 1
-            if attempts > res.max_retries:
+            if attempts > policy.max_retries:
                 raise CommunicatorError(
                     f"message to rank {dest} (tag {tag}) lost after "
                     f"{res.max_retries} retransmissions"
@@ -439,7 +443,7 @@ class Communicator:
             if trace is not None:
                 trace.record_retried(me_world)
             if self.clock is not None:
-                self.clock.advance(res.backoff_base * (2 ** (attempts - 1)))
+                self.clock.advance(policy.delay(attempts - 1))
 
     def _deliver(
         self, obj: Any, dest: int, tag: int, *, copy: bool = True,

@@ -119,7 +119,7 @@ def run_spmd(
     sanitize=False,
     faults=None,
     resilience=None,
-    backend: str | None = None,
+    backend=None,
     recorder=None,
     telemetry=None,
     **kwargs: Any,
@@ -135,15 +135,22 @@ def run_spmd(
         Number of ranks.
     backend:
         Rank transport: ``"threads"`` (default — ranks as threads of
-        this process, shared address space) or ``"procs"`` (ranks as
+        this process, shared address space), ``"procs"`` (ranks as
         forked worker processes exchanging ndarray payloads through
         shared-memory rings — true multi-core execution for GIL-bound
         code; requires ``fn``, its arguments, and its return values to
-        be fork-inheritable / picklable-modulo-ndarrays).  ``None``
+        be fork-inheritable / picklable-modulo-ndarrays), or
+        ``"sockets"`` (the procs execution model over framed TCP
+        connections hardened with connect retries, heartbeats, and
+        liveness deadlines; workers may also be spawned as fresh
+        processes for multi-host layouts).  A prebuilt
+        :class:`~repro.mpi.transport.Transport` instance is accepted
+        for transports with constructor knobs, e.g.
+        ``backend=SocketTransport(liveness_timeout=2.0)``.  ``None``
         reads ``REPRO_SPMD_BACKEND``, falling back to ``"threads"``.
         Results, collectives, fault injection, tracing, and the
         sanitizer's collective/deadlock/leak checks behave identically
-        on either backend; see ``docs/mpi-runtime.md`` (Transports).
+        on every backend; see ``docs/mpi-runtime.md`` (Transports).
     cost_model:
         Optional alpha-beta-gamma parameters; when given, every rank's
         communicator carries a logical clock and ``SpmdResult.clocks``

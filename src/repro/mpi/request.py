@@ -25,14 +25,15 @@ import time
 from typing import Any, Sequence
 
 from ..errors import CommunicatorError
+from .transport.net import RetryPolicy
 
 __all__ = ["Request", "waitall"]
 
 # Bounded backoff for unsuccessful test() polls: start at 1 us, double
 # to a 1 ms cap.  Keeps poll loops off the CPU without adding visible
-# latency once the operation completes.
-_BACKOFF_START = 1e-6
-_BACKOFF_CAP = 1e-3
+# latency once the operation completes.  Polling has no retry budget,
+# so only the delay schedule of the policy is consulted.
+_POLL_POLICY = RetryPolicy(backoff_base=1e-6, backoff_cap=1e-3, jitter=0.0)
 
 
 class Request:
@@ -43,7 +44,7 @@ class Request:
         self._complete_fn = complete_fn
         self._value = value
         self._done = complete_fn is None
-        self._backoff = _BACKOFF_START
+        self._attempt = 0
 
     @property
     def kind(self) -> str:
@@ -71,8 +72,8 @@ class Request:
             self._done = True
             self._complete_fn = None
         else:
-            time.sleep(self._backoff)
-            self._backoff = min(self._backoff * 2, _BACKOFF_CAP)
+            time.sleep(_POLL_POLICY.delay(self._attempt))
+            self._attempt += 1
         return self._done, self._value
 
     def wait(self) -> Any:

@@ -50,6 +50,7 @@ class CommTrace:
         self._dropped: dict = defaultdict(int)  # injected drops (sender)
         self._retried: dict = defaultdict(int)  # retransmissions (sender)
         self._checksum_failures: dict = defaultdict(int)  # discards (receiver)
+        self._connect_retries: dict = defaultdict(int)  # socket reconnects
         self._context = threading.local()
 
     # -- context labels (per-thread, i.e. per-rank) ---------------------
@@ -108,6 +109,16 @@ class CommTrace:
         """Tally one corrupted envelope discarded by receiver ``rank``."""
         with self._lock:
             self._checksum_failures[rank] += 1
+
+    def record_connect_retry(self, rank: int) -> None:
+        """Tally one transport connect/reconnect retry by rank ``rank``.
+
+        Fed by the socket transport's RetryPolicy hooks (initial
+        connects, post-reset reconnects); always 0 on in-process
+        backends, where there is nothing to connect to.
+        """
+        with self._lock:
+            self._connect_retries[rank] += 1
 
     # -- queries ---------------------------------------------------------
     def sent_messages(self, rank: int, context: str = "all") -> int:
@@ -189,6 +200,13 @@ class CommTrace:
                 return self._checksum_failures.get(rank, 0)
             return sum(self._checksum_failures.values())
 
+    def connect_retries(self, rank: int | None = None) -> int:
+        """Transport connect/reconnect retries by ``rank`` (or all)."""
+        with self._lock:
+            if rank is not None:
+                return self._connect_retries.get(rank, 0)
+            return sum(self._connect_retries.values())
+
     def in_flight_messages(self, context: str = "all") -> int:
         """Messages sent but not (yet) received under ``context``.
 
@@ -229,6 +247,7 @@ class CommTrace:
                 "dropped": dict(self._dropped),
                 "retried": dict(self._retried),
                 "checksum_failures": dict(self._checksum_failures),
+                "connect_retries": dict(self._connect_retries),
             }
 
     @staticmethod
@@ -288,6 +307,7 @@ class CommTrace:
                 "dropped_messages": self.dropped_messages(r),
                 "retried_messages": self.retried_messages(r),
                 "checksum_failures": self.checksum_failures(r),
+                "connect_retries": self.connect_retries(r),
             }
         totals = {
             "sent_messages": self.total_messages(context),
@@ -299,6 +319,7 @@ class CommTrace:
             "dropped_messages": self.dropped_messages(),
             "retried_messages": self.retried_messages(),
             "checksum_failures": self.checksum_failures(),
+            "connect_retries": self.connect_retries(),
         }
         return {"context": context, "ranks": per_rank, "totals": totals}
 
@@ -312,14 +333,14 @@ class CommTrace:
         t = snap["totals"]
         reliability = bool(
             t["dropped_messages"] or t["retried_messages"]
-            or t["checksum_failures"]
+            or t["checksum_failures"] or t["connect_retries"]
         )
         headers = [
             "rank", "sent msgs", "sent bytes", "copied", "moved",
             "recv msgs", "recv bytes",
         ]
         if reliability:
-            headers += ["dropped", "retried", "cksum fail"]
+            headers += ["dropped", "retried", "cksum fail", "reconnects"]
         rows = []
         for r, d in sorted(snap["ranks"].items()):
             row = [
@@ -329,7 +350,7 @@ class CommTrace:
             if reliability:
                 row += [
                     d["dropped_messages"], d["retried_messages"],
-                    d["checksum_failures"],
+                    d["checksum_failures"], d["connect_retries"],
                 ]
             rows.append(row)
         total_row = [
@@ -339,7 +360,7 @@ class CommTrace:
         if reliability:
             total_row += [
                 t["dropped_messages"], t["retried_messages"],
-                t["checksum_failures"],
+                t["checksum_failures"], t["connect_retries"],
             ]
         rows.append(total_row)
         return format_table(

@@ -7,8 +7,14 @@ sharing the world's mailboxes directly, while :class:`~repro.mpi.
 transport.procs.ProcessTransport` runs each rank as a forked worker
 process that talks to a master-resident world through shared-memory
 ring buffers — true multi-core execution for the GIL-bound portions of
-the kernels.  Select one with ``run_spmd(..., backend="threads"|"procs")``
-or the ``REPRO_SPMD_BACKEND`` environment variable.
+the kernels.  :class:`~repro.mpi.transport.sockets.SocketTransport`
+reaches the same master-resident world over framed TCP connections
+hardened with retry policies, heartbeats, and liveness deadlines, and
+can launch workers as separate processes (``hosts=...``).  Select one
+with ``run_spmd(..., backend="threads"|"procs"|"sockets")`` or the
+``REPRO_SPMD_BACKEND`` environment variable; transports with
+constructor knobs can be passed as instances
+(``run_spmd(..., backend=SocketTransport(liveness_timeout=2.0))``).
 """
 
 from .base import Transport, available_backends, make_transport, resolve_backend
@@ -18,6 +24,7 @@ __all__ = [
     "Transport",
     "ThreadTransport",
     "ProcessTransport",
+    "SocketTransport",
     "available_backends",
     "make_transport",
     "resolve_backend",
@@ -25,9 +32,13 @@ __all__ = [
 
 
 def __getattr__(name):
-    """Lazily expose ProcessTransport (imports multiprocessing machinery)."""
+    """Lazily expose the heavier transports (multiprocessing, sockets)."""
     if name == "ProcessTransport":
         from .procs import ProcessTransport
 
         return ProcessTransport
+    if name == "SocketTransport":
+        from .sockets import SocketTransport
+
+        return SocketTransport
     raise AttributeError(name)

@@ -14,6 +14,11 @@ two seams:
   rendezvous tables, node store, sanitizer) lives in the master, and
   ndarray payloads travel through shared-memory ring buffers without
   pickling their data.
+* :class:`~repro.mpi.transport.sockets.SocketTransport` — the same
+  master-resident world reached over framed TCP connections, with
+  retry/heartbeat/liveness hardening against real network failure;
+  workers may also be launched as separate processes on other hosts
+  (``hosts=...``).
 
 A transport also owns the rank *lifecycle*: :meth:`Transport.execute`
 spawns the ranks, runs the SPMD program on each, funnels per-rank
@@ -40,7 +45,7 @@ __all__ = [
 #: Environment variable consulted when ``run_spmd(backend=None)``.
 BACKEND_ENV_VAR = "REPRO_SPMD_BACKEND"
 
-_BACKENDS = ("threads", "procs")
+_BACKENDS = ("threads", "procs", "sockets")
 
 
 class Transport:
@@ -124,13 +129,25 @@ def resolve_backend(backend: str | None) -> str:
     return backend
 
 
-def make_transport(backend: str | None) -> Transport:
-    """Instantiate the transport for ``backend`` (resolving defaults)."""
+def make_transport(backend: "str | Transport | None") -> Transport:
+    """Instantiate the transport for ``backend`` (resolving defaults).
+
+    A pre-built :class:`Transport` instance passes through unchanged —
+    the hook for transports with constructor knobs that a plain name
+    cannot carry (``SocketTransport(hosts=...)``,
+    ``SocketTransport(liveness_timeout=...)``).
+    """
+    if isinstance(backend, Transport):
+        return backend
     backend = resolve_backend(backend)
     if backend == "procs":
         from .procs import ProcessTransport
 
         return ProcessTransport()
+    if backend == "sockets":
+        from .sockets import SocketTransport
+
+        return SocketTransport()
     from .threads import ThreadTransport
 
     return ThreadTransport()

@@ -2,12 +2,16 @@
 
 True multi-core execution for the simulated runtime.  Each rank is a
 forked worker process running the user's program against a
-:class:`_WorkerContext` — a rank-local stand-in that duck-types the
-:class:`~repro.mpi.context.SpmdContext` surface the communicator,
-drivers, and checkpoint store use.  The *world* itself — mailboxes,
-split/shrink rendezvous, rank status, the node-local store, and the
-sanitizer — stays in the master process, which is the single source of
-truth exactly like an MPI runtime daemon.
+:class:`~repro.mpi.transport.worldproxy.WorkerContext` — a rank-local
+stand-in that duck-types the :class:`~repro.mpi.context.SpmdContext`
+surface the communicator, drivers, and checkpoint store use.  The
+*world* itself — mailboxes, split/shrink rendezvous, rank status, the
+node-local store, and the sanitizer — stays in the master process,
+which is the single source of truth exactly like an MPI runtime daemon.
+Everything above the wire (the worker context, the observability
+shards, the master's RPC dispatch and lifecycle barrier) lives in
+:mod:`~repro.mpi.transport.worldproxy` and is shared with the sockets
+backend; this module owns only the pipes-and-rings wire.
 
 Wire layout per worker (all created *before* the fork so both sides
 share the mappings):
@@ -57,118 +61,33 @@ so a worker-side write into a moved buffer raises
 :class:`~repro.errors.UseAfterMoveError` naming the originating
 ``send(..., copy=False)``, on either end of the move, exactly like the
 threads backend.  Worker-side findings ship home with the lifecycle
-shards and fold into the master sanitizer's report.
+shards.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import pickle
 import queue
 import threading
-import time
 from typing import Any
 
-from ...errors import (
-    CommunicatorError,
-    CommRevokedError,
-    RankFailedError,
-    WorldAbortedError,
-)
+from ...errors import CommunicatorError, RankFailedError, WorldAbortedError
 from ..context import Envelope
 from .base import Transport
-from .shm import (
-    DEFAULT_RING_BYTES,
-    ShmRing,
+from .codec import (
+    decode_exception,
+    decode_origin,
+    encode_exception,
+    encode_origin,
     join_arrays,
     prepare_arrays,
-    recv_arrays,
-    send_arrays,
     split_arrays,
 )
-from .threads import WORLD_COMM_ID, run_rank_program
+from .shm import DEFAULT_RING_BYTES, ShmRing, recv_arrays, send_arrays
+from .threads import WORLD_COMM_ID
+from .worldproxy import WorkerConfig, WorldServerMixin, run_worker
 
 __all__ = ["ProcessTransport"]
-
-# Seconds the master waits for a finishing worker's in-flight ring
-# deliveries to drain before processing its lifecycle message.
-_DRAIN_TIMEOUT = 30.0
-
-
-# ----------------------------------------------------------------------
-# Wire codecs
-# ----------------------------------------------------------------------
-def _encode_exception(exc: BaseException) -> tuple:
-    """``(pickle-or-None, type name, message)`` — survives unpicklables."""
-    try:
-        blob = pickle.dumps(exc)
-    except Exception:
-        blob = None
-    return (blob, type(exc).__name__, str(exc))
-
-
-def _decode_exception(enc: tuple) -> BaseException:
-    blob, type_name, message = enc
-    if blob is not None:
-        try:
-            return pickle.loads(blob)
-        except Exception:
-            pass
-    # Fallback: rebuild by class name from the library's error taxonomy
-    # so except-clauses still match even when the payload (a diagnostic
-    # with live object references) could not cross the boundary.
-    from ... import errors as errors_mod
-
-    cls = getattr(errors_mod, type_name, None)
-    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
-        cls = CommunicatorError
-    return cls(message)
-
-
-def _encode_origin(origin) -> tuple | None:
-    """Flatten a MoveOrigin to plain strings/ints for the wire.
-
-    The provenance of a moved (or copied) send — sender rank, operation,
-    and the originating call site — so receive-side move registration
-    and finalize-time leak reports name the *real* send site even when
-    the sender's address space is a different process.
-    """
-    if origin is None:
-        return None
-    site = origin.site
-    return (
-        origin.rank, origin.op,
-        None if site is None else (site.file, site.line, site.function),
-    )
-
-
-def _decode_origin(wire: tuple | None):
-    if wire is None:
-        return None
-    from ...sanitize.diagnostics import CallSite
-    from ...sanitize.sanitizer import MoveOrigin
-
-    rank, op, site = wire
-    return MoveOrigin(
-        rank=rank, op=op, site=None if site is None else CallSite(*site)
-    )
-
-
-def _encode_envelope(env: Envelope | None) -> tuple | None:
-    """Envelope as wire tuple; origin travels as a flattened call site."""
-    if env is None:
-        return None
-    return (env.payload, env.send_time, env.moved, env.nbytes, env.seq,
-            env.checksum, _encode_origin(env.origin))
-
-
-def _decode_envelope(wire: tuple | None) -> Envelope | None:
-    if wire is None:
-        return None
-    payload, send_time, moved, nbytes, seq, checksum, origin = wire
-    return Envelope(payload=payload, send_time=send_time, moved=moved,
-                    nbytes=nbytes, origin=_decode_origin(origin), seq=seq,
-                    checksum=checksum)
 
 
 # ----------------------------------------------------------------------
@@ -211,45 +130,6 @@ class _Link:
         self.close_master_ends()
 
 
-class _WorkerConfig:
-    """World parameters a worker inherits through the fork.
-
-    ``comm_trace``, ``tracer``, and ``faults`` are the *caller's*
-    objects — forked by reference so rank-program closures over them
-    keep working; the worker ships back post-fork deltas only.
-    """
-
-    __slots__ = (
-        "world_size", "cost_model", "recv_timeout", "tuning", "resilience",
-        "faults", "comm_trace", "tracer", "has_sanitizer",
-        "watchdog_interval", "recorder", "heartbeat_interval",
-    )
-
-    def __init__(self, context) -> None:
-        self.world_size = context.world_size
-        self.cost_model = context.cost_model
-        self.recv_timeout = context.recv_timeout
-        self.tuning = context.tuning
-        self.resilience = context.resilience
-        self.faults = context.faults
-        self.comm_trace = context.comm_trace
-        self.tracer = context.tracer
-        self.has_sanitizer = context.sanitizer is not None
-        self.watchdog_interval = (
-            context.sanitizer.watchdog_interval
-            if context.sanitizer is not None else None
-        )
-        self.recorder = getattr(context, "recorder", None)
-        # Telemetry streaming cadence; None disables the worker
-        # heartbeat thread entirely (no recorder, no telemetry hub).
-        if self.recorder is not None:
-            self.heartbeat_interval = self.recorder.heartbeat_interval
-        elif getattr(context, "telemetry", None) is not None:
-            self.heartbeat_interval = 0.5
-        else:
-            self.heartbeat_interval = None
-
-
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -265,7 +145,7 @@ class _Channel:
         self._conn = conn
         self._ctl_ring = ctl_ring
         self._reply_ring = reply_ring
-        self.state = None  # the _WorkerContext, set after construction
+        self.state = None  # the WorkerContext, set after construction
 
     def call(self, method: str, *args) -> Any:
         skeleton, arrays = split_arrays(args)
@@ -289,7 +169,7 @@ class _Channel:
                 continue
             break
         if msg[0] == "err":
-            raise _decode_exception(msg[1])
+            raise decode_exception(msg[1])
         _, skeleton, descrs = msg
         arrays = recv_arrays(self._reply_ring, descrs)
         return join_arrays(skeleton, arrays)
@@ -335,7 +215,7 @@ class _SendPump:
         skeleton, arrays = split_arrays(env.payload)
         views, descrs = prepare_arrays(arrays)
         meta = (env.send_time, env.moved, env.nbytes, env.seq, env.checksum,
-                _encode_origin(env.origin))
+                encode_origin(env.origin))
         header = ("put", comm_id, dest_world, source, tag, meta, skeleton,
                   descrs)
         token = threading.Event()
@@ -370,339 +250,9 @@ class _SendPump:
                 token.set()
 
 
-class _MailboxProxy:
-    """Worker-side view of one master mailbox (receive RPCs)."""
-
-    __slots__ = ("_channel", "_comm_id", "_world_rank")
-
-    def __init__(self, channel: _Channel, comm_id: int,
-                 world_rank: int) -> None:
-        self._channel = channel
-        self._comm_id = comm_id
-        self._world_rank = world_rank
-
-    def get(self, source: int, tag: int, timeout: float,
-            poll=None, interval=None) -> Envelope:
-        # poll/interval are intentionally unused: the canonical blocked-
-        # receive protocol (dead-partner fast-fail, revocation, deadlock
-        # watchdog) runs master-side inside this RPC.
-        return _decode_envelope(self._channel.call(
-            "box_get", self._comm_id, self._world_rank, source, tag
-        ))
-
-    def try_get(self, source: int, tag: int) -> Envelope | None:
-        return _decode_envelope(self._channel.call(
-            "box_try_get", self._comm_id, self._world_rank, source, tag
-        ))
-
-    def has(self, source: int, tag: int) -> bool:
-        return bool(self._channel.call(
-            "box_has", self._comm_id, self._world_rank, source, tag
-        ))
-
-
-class _WorkerSanitizer:
-    """Worker-side sanitizer proxy.
-
-    Collective matching is world state and forwards to the master's
-    sanitizer; the blocked-receive hooks (wait graph, stall watchdog,
-    failed-partner diagnosis) run master-side inside ``box_get`` and
-    are no-ops here.  Move-ownership tracking is *rank-local* state:
-    a worker-resident :class:`~repro.sanitize.Sanitizer` ledger
-    registers every buffer this rank relinquishes or receives frozen —
-    with the real call sites, since moves originate in this very
-    address space (receive-side origins arrive in the envelope wire
-    metadata) — so use-after-move enforcement raises with the true
-    send site instead of degrading to a bare NumPy ``ValueError``.
-    The ledger's findings ship home with the lifecycle shards.
-    """
-
-    def __init__(self, channel: _Channel, watchdog_interval: float) -> None:
-        from ...sanitize import Sanitizer
-
-        self._channel = channel
-        self.watchdog_interval = watchdog_interval
-        # Rank-local move/provenance ledger; never finalized (leak
-        # reporting is master-side world state).
-        self._local = Sanitizer(strict=False,
-                                watchdog_interval=watchdog_interval)
-
-    def check_collective(self, comm_id, seq, world_rank, op, signature,
-                         comm_size) -> None:
-        self._channel.call("check_collective", comm_id, seq, world_rank, op,
-                           tuple(signature), comm_size)
-
-    # Move/provenance hooks: the rank-local ledger.
-    def note_send(self, world_rank):
-        return self._local.note_send(world_rank)
-
-    def note_move(self, payload, world_rank, op, dest=None):
-        return self._local.note_move(payload, world_rank, op, dest=dest)
-
-    def note_received_move(self, payload, world_rank, origin) -> None:
-        self._local.note_received_move(payload, world_rank, origin)
-
-    def explain_readonly_write(self, exc, rank):
-        return self._local.explain_readonly_write(exc, rank)
-
-    def local_findings(self) -> list:
-        """Diagnostics recorded by the rank-local ledger (for shipping)."""
-        return list(self._local.findings)
-
-    def begin_wait(self, *a, **k) -> None:  # pragma: no cover - unused
-        pass
-
-    def end_wait(self, world_rank) -> None:  # pragma: no cover - unused
-        pass
-
-    def on_stall(self, world_rank) -> None:  # pragma: no cover - unused
-        pass
-
-
-class _WorkerContext:
-    """Rank-local stand-in for :class:`SpmdContext` inside a worker.
-
-    World-authoritative operations (receive matching, rendezvous, rank
-    status, the node-local store) are RPCs to the master; per-rank
-    observability writes go to forked copies shipped home as deltas at
-    finalize.  ``remote_recv`` tells the communicator's blocking
-    receive to defer its dead-partner/watchdog protocol to the master.
-    """
-
-    remote_recv = True
-
-    def __init__(self, cfg: _WorkerConfig, channel: _Channel,
-                 pump: _SendPump) -> None:
-        self.world_size = cfg.world_size
-        self.cost_model = cfg.cost_model
-        self.recv_timeout = cfg.recv_timeout
-        self.tuning = cfg.tuning
-        self.resilience = cfg.resilience
-        self.faults = cfg.faults
-        self.comm_trace = cfg.comm_trace
-        self.tracer = cfg.tracer
-        self.recorder = cfg.recorder
-        self.sanitizer = (
-            _WorkerSanitizer(channel, cfg.watchdog_interval)
-            if cfg.has_sanitizer else None
-        )
-        self.abort_event = threading.Event()
-        self.abort_reason: str | None = None
-        self.revoked_below = 0
-        self.revoke_reason: str | None = None
-        self._channel = channel
-        self._pump = pump
-        self._proxies: dict = {}
-
-    # -- out-of-band state pushed by the master -------------------------
-    def apply_oob(self, msg: tuple) -> None:
-        if msg[1] == "abort":
-            self.abort_reason = msg[2]
-            self.abort_event.set()
-        elif msg[1] == "revoke":
-            if msg[2] > self.revoked_below:
-                self.revoked_below = msg[2]
-                self.revoke_reason = msg[3]
-
-    def check_alive(self) -> None:
-        if self.abort_event.is_set():
-            raise WorldAbortedError(
-                f"SPMD world aborted: {self.abort_reason or 'unknown reason'}"
-            )
-
-    def check_revoked(self, comm_id: int) -> None:
-        if comm_id < self.revoked_below:
-            raise CommRevokedError(
-                f"communicator {comm_id} was revoked: "
-                f"{self.revoke_reason or 'rank failure'}"
-            )
-
-    @property
-    def fault_poll_interval(self) -> float | None:
-        if self.resilience is not None:
-            return self.resilience.poll_interval
-        if self.faults is not None:
-            return 0.05
-        return None
-
-    # -- message paths ---------------------------------------------------
-    def mailbox(self, comm_id: int, world_rank: int) -> _MailboxProxy:
-        key = (comm_id, world_rank)
-        proxy = self._proxies.get(key)
-        if proxy is None:
-            proxy = _MailboxProxy(self._channel, comm_id, world_rank)
-            self._proxies[key] = proxy
-        return proxy
-
-    def deliver(self, comm_id: int, dest_world: int, source: int, tag: int,
-                envelope: Envelope) -> None:
-        self._channel.drain_oob()
-        self._pump.enqueue(comm_id, dest_world, source, tag, envelope)
-
-    def deliver_async(self, comm_id: int, dest_world: int, source: int,
-                      tag: int, envelope: Envelope) -> threading.Event:
-        self._channel.drain_oob()
-        return self._pump.enqueue(comm_id, dest_world, source, tag, envelope)
-
-    # -- world-authoritative operations (RPC) ----------------------------
-    def split_rendezvous(self, parent_comm_id, seqno, size, rank, value,
-                        members, world_rank) -> dict:
-        return self._channel.call(
-            "split", parent_comm_id, seqno, size, rank, tuple(value),
-            list(members), world_rank,
-        )
-
-    def shrink_rendezvous(self, parent_comm_id, seqno, rank, world_rank,
-                          members) -> tuple:
-        new_id, ordered_old = self._channel.call(
-            "shrink", parent_comm_id, seqno, rank, world_rank, list(members)
-        )
-        return new_id, list(ordered_old)
-
-    def rank_status(self, world_rank: int) -> str:
-        return self._channel.call("rank_status", world_rank)
-
-    def running_world_ranks(self) -> set:
-        return set(self._channel.call("running_world_ranks"))
-
-    def failed_ranks(self) -> list:
-        return list(self._channel.call("failed_ranks"))
-
-    def allocate_comm_id(self) -> int:
-        return self._channel.call("allocate_comm_id")
-
-    def abort(self, reason: str) -> None:
-        self.abort_reason = reason
-        self.abort_event.set()
-        self._channel.call("abort", reason)
-
-    def revoke_current(self, reason: str) -> None:
-        threshold, why = self._channel.call("revoke_current", reason)
-        if threshold > self.revoked_below:
-            self.revoked_below = threshold
-            self.revoke_reason = why
-
-    def store_put(self, holder: int, key, value) -> None:
-        self._channel.call("store_put", holder, key, value)
-
-    def store_items(self, holder: int) -> list:
-        return list(self._channel.call("store_items", holder))
-
-    def store_delete(self, holder: int, key) -> None:
-        self._channel.call("store_delete", holder, key)
-
-    # Rank lifecycle is reported through the worker main's lifecycle
-    # RPC, not these (the master owns the status table).
-    def mark_finalized(self, world_rank: int) -> None:
-        pass
-
-    def mark_failed(self, world_rank: int) -> None:
-        pass
-
-    def wake_all_mailboxes(self) -> None:  # pragma: no cover - master-side
-        pass
-
-    def wake_rendezvous(self) -> None:  # pragma: no cover - master-side
-        pass
-
-
-def _delta_shards(cfg: _WorkerConfig, rank: int, baselines: dict) -> dict:
-    """Metrics/comm/recorder deltas since ``baselines``; advances them.
-
-    The streaming slice of the observability shards: safe to call from
-    the heartbeat thread (all three sources are lock-protected or
-    append-only), unlike spans — ``tracer.local_spans`` is bound to the
-    rank's main thread — which stay finalize-only.
-    """
-    from ...obs.metrics import MetricsRegistry
-    from ..tracing import CommTrace
-
-    delta: dict = {}
-    if cfg.tracer is not None:
-        snap = cfg.tracer.metrics.to_dict()
-        diff = MetricsRegistry.diff_snapshots(snap, baselines["metrics"])
-        baselines["metrics"] = snap
-        if diff:
-            delta["metrics"] = diff
-    if cfg.comm_trace is not None:
-        state = cfg.comm_trace.state()
-        diff = CommTrace.diff_states(state, baselines["comm_trace"])
-        baselines["comm_trace"] = state
-        if any(diff.values()):
-            delta["comm_trace"] = diff
-    if cfg.recorder is not None:
-        events = cfg.recorder.events_since(rank, baselines["recorder_seq"])
-        if events:
-            baselines["recorder_seq"] = events[-1][0] + 1
-            delta["recorder"] = events
-    return delta
-
-
-def _collect_shards(cfg: _WorkerConfig, ctx: _WorkerContext, comm, rank: int,
-                    baselines: dict) -> dict:
-    """Post-fork observability deltas to ship with the lifecycle RPC."""
-    shards = _delta_shards(cfg, rank, baselines)
-    if comm is not None and comm.clock is not None:
-        shards["clock"] = comm.clock
-    if cfg.tracer is not None:
-        # bind() gave this thread a fresh buffer, so local_spans is
-        # already post-fork only; metrics were diffed above.
-        shards["spans"] = cfg.tracer.local_spans()
-    if cfg.faults is not None:
-        events = cfg.faults.trace[baselines["fault_events"]:]
-        shards["faults"] = (
-            [e.as_tuple() for e in events], cfg.faults.ops_per_rank()
-        )
-    if ctx.sanitizer is not None:
-        findings = ctx.sanitizer.local_findings()
-        if findings:
-            shards["sanitizer"] = findings
-    return shards
-
-
-class _Heartbeat:
-    """Worker-side telemetry streamer: ships deltas every interval.
-
-    A daemon thread that periodically computes the streaming shard
-    delta (:func:`_delta_shards`) and stages a ``("hb", rank, ts,
-    delta)`` header on the send pump — the data pipe's single writer —
-    so the master can fold mid-run state into the caller's
-    CommTrace/metrics/recorder and stamp the rank's heartbeat.  Stopped
-    (and joined) before the finalize shard is computed, so baselines
-    are never raced and nothing is double-counted.
-    """
-
-    def __init__(self, cfg: _WorkerConfig, pump: _SendPump, rank: int,
-                 baselines: dict, interval: float) -> None:
-        self._cfg = cfg
-        self._pump = pump
-        self._rank = rank
-        self._baselines = baselines
-        self._interval = interval
-        self._stop = threading.Event()
-        self._thread = threading.Thread(
-            target=self._run, daemon=True, name=f"spmd-heartbeat-{rank}"
-        )
-        self._thread.start()
-
-    def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            try:
-                delta = _delta_shards(self._cfg, self._rank, self._baselines)
-            except Exception:  # pragma: no cover - telemetry best-effort
-                continue
-            self._pump.enqueue_raw(("hb", self._rank, time.time(), delta))
-
-    def stop(self) -> None:
-        self._stop.set()
-        self._thread.join(timeout=5.0)
-
-
 def _worker_main(links: list, rank: int, fn, args, kwargs,
-                 cfg: _WorkerConfig) -> None:
+                 cfg: WorkerConfig) -> None:
     """Entry point of a forked rank worker."""
-    from ..communicator import Communicator
-
     own = links[rank]
     # fd hygiene: drop the inherited copies of every other worker's pipe
     # ends and the master's copies of our own — EOF detection on both
@@ -713,90 +263,15 @@ def _worker_main(links: list, rank: int, fn, args, kwargs,
         else:
             link.close_all_conns()
 
-    baselines = {
-        "metrics": (cfg.tracer.metrics.to_dict()
-                    if cfg.tracer is not None else None),
-        "comm_trace": (cfg.comm_trace.state()
-                       if cfg.comm_trace is not None else None),
-        "fault_events": (len(cfg.faults.trace)
-                         if cfg.faults is not None else 0),
-        "recorder_seq": (cfg.recorder.cursor(rank)
-                         if cfg.recorder is not None else 0),
-    }
-    if cfg.comm_trace is not None:
-        # This thread is a fork-clone of the caller's: clear any context
-        # label it inherited.
-        cfg.comm_trace.set_context(None)
-
     channel = _Channel(own.ctl_worker, own.ctl_ring, own.reply_ring)
     pump = _SendPump(own.data_worker, own.data_ring)
-    ctx = _WorkerContext(cfg, channel, pump)
-    channel.state = ctx
-
-    heartbeat = None
-    if cfg.heartbeat_interval is not None:
-        heartbeat = _Heartbeat(cfg, pump, rank, baselines,
-                               cfg.heartbeat_interval)
-
-    comm = None
-    outcome = {"kind": "rank_error", "value": None,
-               "exc": CommunicatorError(f"rank {rank} worker never ran")}
-    try:
-        comm = Communicator(ctx, WORLD_COMM_ID, list(range(cfg.world_size)),
-                            rank)
-
-        def on_value(value) -> None:
-            outcome.update(kind="finalize", value=value, exc=None)
-
-        def on_killed(exc) -> None:
-            outcome.update(kind="rank_killed", exc=exc)
-
-        def on_error(exc) -> None:
-            outcome.update(kind="rank_error", exc=exc)
-
-        run_rank_program(ctx, comm, fn, args, kwargs, rank,
-                         on_value=on_value, on_killed=on_killed,
-                         on_error=on_error)
-    except BaseException as exc:  # noqa: BLE001 - report setup failures
-        outcome.update(kind="rank_error", exc=exc)
-
-    if heartbeat is not None:
-        # Joined before the finalize shard is computed so the baselines
-        # the heartbeat advanced are quiescent and nothing double-counts.
-        heartbeat.stop()
-    try:
-        shards = _collect_shards(cfg, ctx, comm, rank, baselines)
-    except Exception:  # pragma: no cover - never lose the lifecycle msg
-        shards = {}
-    payload = (outcome["value"] if outcome["kind"] == "finalize"
-               else _encode_exception(outcome["exc"]))
-    try:
-        channel.call(outcome["kind"], payload, shards, pump.sent)
-    except (pickle.PicklingError, TypeError, ValueError,
-            AttributeError) as exc:
-        # The return value would not cross the process boundary (e.g.
-        # it holds live runtime handles).  Report a diagnostic instead
-        # of dying silently, which would surface as a spurious
-        # "worker process died unexpectedly".
-        err = CommunicatorError(
-            f"rank {rank} return value could not cross the process "
-            f"boundary ({type(exc).__name__}: {exc}); return plain "
-            f"arrays/containers from the rank program, or objects that "
-            f"detach cleanly on pickle"
-        )
-        try:
-            channel.call("rank_error", _encode_exception(err), shards,
-                         pump.sent)
-        except BaseException:  # noqa: BLE001 - master gone
-            pass
-    except BaseException:  # noqa: BLE001 - master gone; nothing to report to
-        pass
+    run_worker(cfg, rank, fn, args, kwargs, channel, pump)
 
 
 # ----------------------------------------------------------------------
 # Master side
 # ----------------------------------------------------------------------
-class ProcessTransport(Transport):
+class ProcessTransport(WorldServerMixin, Transport):
     """Ranks as forked processes; the master hosts the world state."""
 
     name = "procs"
@@ -841,7 +316,7 @@ class ProcessTransport(Transport):
             lambda threshold, reason: self._broadcast(
                 links, ("oob", "revoke", threshold, reason))
         )
-        cfg = _WorkerConfig(context)
+        cfg = WorkerConfig(context)
 
         procs = []
         for link in links:
@@ -895,7 +370,7 @@ class ProcessTransport(Transport):
 
     def _reply_err(self, link: _Link, exc: BaseException) -> None:
         with link.send_lock:
-            link.ctl_master.send(("err", _encode_exception(exc)))
+            link.ctl_master.send(("err", encode_exception(exc)))
 
     def _serve_ctl(self, link: _Link, context) -> None:
         """Serve one worker's blocking RPCs until it disconnects."""
@@ -948,7 +423,7 @@ class ProcessTransport(Transport):
             payload = join_arrays(skeleton, arrays)
             send_time, moved, nbytes, seq, checksum, origin = meta
             env = Envelope(payload=payload, send_time=send_time, moved=moved,
-                           nbytes=nbytes, origin=_decode_origin(origin),
+                           nbytes=nbytes, origin=decode_origin(origin),
                            seq=seq, checksum=checksum)
             context.mailbox(comm_id, dest_world).put(source, tag, env)
             with link.put_cond:
@@ -964,192 +439,3 @@ class ProcessTransport(Transport):
                     f"rank {rank} worker process died unexpectedly"
                 )
             context.mark_failed(rank)
-
-    # -- RPC dispatch ----------------------------------------------------
-    def _dispatch(self, context, link: _Link, method: str, args: tuple):
-        if method == "box_get":
-            comm_id, world_rank, source, tag = args
-            return _encode_envelope(
-                self._blocking_get(context, comm_id, world_rank, source, tag)
-            )
-        if method == "box_try_get":
-            comm_id, world_rank, source, tag = args
-            return _encode_envelope(
-                context.mailbox(comm_id, world_rank).try_get(source, tag)
-            )
-        if method == "box_has":
-            comm_id, world_rank, source, tag = args
-            return context.mailbox(comm_id, world_rank).has(source, tag)
-        if method == "split":
-            parent_comm_id, seqno, size, rank, value, members, world_rank = args
-            result = context.split_rendezvous(
-                parent_comm_id, seqno, size, rank, tuple(value),
-                list(members), world_rank,
-            )
-            with self._members_lock:
-                for new_id, world_members, _old in result.values():
-                    self._comm_members[new_id] = list(world_members)
-            return result
-        if method == "shrink":
-            parent_comm_id, seqno, rank, world_rank, members = args
-            new_id, ordered_old = context.shrink_rendezvous(
-                parent_comm_id, seqno, rank, world_rank, list(members)
-            )
-            with self._members_lock:
-                self._comm_members[new_id] = [members[i] for i in ordered_old]
-            return (new_id, ordered_old)
-        if method == "check_collective":
-            comm_id, seq, world_rank, op, signature, comm_size = args
-            context.sanitizer.check_collective(
-                comm_id, seq, world_rank, op, tuple(signature), comm_size
-            )
-            return None
-        if method == "rank_status":
-            return context.rank_status(args[0])
-        if method == "running_world_ranks":
-            return sorted(context.running_world_ranks())
-        if method == "failed_ranks":
-            return context.failed_ranks()
-        if method == "allocate_comm_id":
-            return context.allocate_comm_id()
-        if method == "abort":
-            context.abort(args[0])
-            return None
-        if method == "revoke_current":
-            context.revoke_current(args[0])
-            return (context.revoked_below, context.revoke_reason)
-        if method == "store_put":
-            holder, key, value = args
-            context.store_put(holder, key, value)
-            return None
-        if method == "store_items":
-            return context.store_items(args[0])
-        if method == "store_delete":
-            context.store_delete(args[0], args[1])
-            return None
-        if method in ("finalize", "rank_killed", "rank_error"):
-            payload, shards, puts_sent = args
-            return self._finish_rank(context, link, method, payload, shards,
-                                     puts_sent)
-        raise CommunicatorError(f"unknown transport RPC {method!r}")
-
-    def _blocking_get(self, context, comm_id: int, me: int, source: int,
-                      tag: int) -> Envelope:
-        """The canonical blocked receive, run master-side for a worker.
-
-        Mirrors ``Communicator._recv_blocking`` on the threads backend:
-        dead-partner fast-fail with sanitizer diagnosis, revocation
-        checks, and wait-for-graph bookkeeping, all against the
-        master's authoritative world state.
-        """
-        box = context.mailbox(comm_id, me)
-        san = context.sanitizer
-        with self._members_lock:
-            members = self._comm_members.get(comm_id)
-        src_world = members[source] if members is not None else source
-
-        def poll() -> None:
-            if comm_id < context.revoked_below:
-                context.check_revoked(comm_id)
-            status = context.rank_status(src_world)
-            if status != "running" and not box.has(source, tag):
-                if san is not None:
-                    diag = san.describe_failed_partner(
-                        me, src_world, source, tag, status, box,
-                        expected=(context.faults is not None
-                                  and status == "failed"),
-                    )
-                    raise RankFailedError(diag.message, diagnostic=diag)
-                where = (
-                    f"recv(source={source}, tag={tag})" if tag >= 0
-                    else f"a collective exchange with rank {source}"
-                )
-                raise RankFailedError(
-                    f"rank {me} blocked in {where} "
-                    f"but rank {src_world} already {status}"
-                )
-            if san is not None:
-                san.on_stall(me)
-
-        interval = (
-            san.watchdog_interval if san is not None
-            else context.fault_poll_interval
-        )
-        if san is not None:
-            san.begin_wait(me, src_world, source, tag, comm_id, box)
-        try:
-            poll()  # the partner may already be gone
-            return box.get(
-                source, tag, context.recv_timeout, poll=poll,
-                interval=interval,
-            )
-        finally:
-            if san is not None:
-                san.end_wait(me)
-
-    def _finish_rank(self, context, link: _Link, method: str, payload,
-                     shards: dict, puts_sent: int) -> bool:
-        # Delivery-drain barrier: the rank is not done until every
-        # payload it handed to the ring sits in a mailbox — otherwise a
-        # partner could observe "failed with an empty queue" and raise
-        # RankFailedError for a message that was actually sent.
-        with link.put_cond:
-            deadline = time.monotonic() + _DRAIN_TIMEOUT
-            while (link.puts_received < puts_sent
-                   and time.monotonic() < deadline):
-                link.put_cond.wait(timeout=0.1)
-        self._merge_shards(context, link.rank, shards)
-        rank = link.rank
-        if method == "finalize":
-            self._values[rank] = payload
-            context.mark_finalized(rank)
-        elif method == "rank_killed":
-            self._errors[rank] = _decode_exception(payload)
-            context.mark_failed(rank)
-        else:
-            exc = _decode_exception(payload)
-            self._errors[rank] = exc
-            context.mark_failed(rank)
-            context.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
-        return True
-
-    def _ingest_heartbeat(self, context, rank: int, ts: float,
-                          delta: dict) -> None:
-        """Fold one heartbeat into the caller's telemetry objects."""
-        try:
-            self._merge_telemetry(context, rank, delta)
-            hub = getattr(context, "telemetry", None)
-            if hub is not None:
-                hub.beat(rank, ts)
-        except Exception:  # pragma: no cover - telemetry must not kill
-            pass  # the data thread; deliveries matter more
-
-    def _merge_telemetry(self, context, rank: int, shards: dict) -> None:
-        """Merge the streaming shard slice (metrics/comm/recorder)."""
-        tracer = context.tracer
-        if tracer is not None and shards.get("metrics"):
-            tracer.metrics.merge_snapshot(shards["metrics"])
-        trace = context.comm_trace
-        if trace is not None and shards.get("comm_trace"):
-            trace.merge_state(shards["comm_trace"])
-        recorder = getattr(context, "recorder", None)
-        if recorder is not None and shards.get("recorder"):
-            recorder.absorb_events(rank, shards["recorder"])
-
-    def _merge_shards(self, context, rank: int, shards: dict) -> None:
-        clock = shards.get("clock")
-        if clock is not None:
-            self._clocks[rank] = clock
-        tracer = context.tracer
-        if tracer is not None:
-            spans = shards.get("spans")
-            if spans:
-                tracer.absorb_spans(spans)
-        self._merge_telemetry(context, rank, shards)
-        injector = context.faults
-        if injector is not None and shards.get("faults"):
-            events, ops = shards["faults"]
-            injector.absorb(events, ops)
-        sanitizer = context.sanitizer
-        if sanitizer is not None and shards.get("sanitizer"):
-            sanitizer.absorb_findings(shards["sanitizer"])

@@ -1,4 +1,4 @@
-"""Shared-memory SPSC ring buffers and the pickle-free ndarray codec.
+"""Shared-memory SPSC ring buffers for the process transport.
 
 The process transport moves ndarray payloads between a worker process
 and the master through :class:`ShmRing` — a bounded byte ring over an
@@ -10,13 +10,11 @@ the container skeleton, dtype/shape/order descriptors, envelope
 metadata — rides the control pipe as small picklable tuples.  Array
 *data* is never pickled.
 
-The codec (:func:`split_arrays` / :func:`join_arrays` /
-:func:`prepare_arrays` / :func:`materialize_array`) lifts ndarrays out
-of arbitrarily nested tuples/lists/dicts, replacing each with a
-positional :class:`ArrayRef`; the receiver reconstructs views over the
-ring bytes with the original dtype, shape, memory order, and
-writability (moved payloads arrive read-only, preserving the zero-copy
-move contract across the process boundary).
+The ndarray (de)serialization itself lives in the transport-neutral
+:mod:`repro.mpi.transport.codec` (shared with the socket transport);
+this module re-exports the codec names it historically owned and adds
+the ring-specific streaming helpers :func:`send_arrays` /
+:func:`recv_arrays`.
 """
 
 from __future__ import annotations
@@ -24,11 +22,16 @@ from __future__ import annotations
 import mmap
 import struct
 import time
-from typing import Any
-
-import numpy as np
 
 from ...errors import CommunicatorError
+from .codec import (
+    ArrayRef,
+    descr_nbytes,
+    join_arrays,
+    materialize_array,
+    prepare_arrays,
+    split_arrays,
+)
 
 __all__ = [
     "ShmRing",
@@ -41,6 +44,7 @@ __all__ = [
     "send_arrays",
     "DEFAULT_RING_BYTES",
 ]
+
 
 #: Default per-direction ring capacity.  Payloads larger than the ring
 #: stream through it in chunks, so this bounds memory, not message size.
@@ -150,114 +154,12 @@ class ShmRing:
         return out
 
 
-class ArrayRef:
-    """Positional placeholder for an ndarray lifted out of a payload."""
-
-    __slots__ = ("index",)
-
-    def __init__(self, index: int) -> None:
-        self.index = index
-
-    def __reduce__(self):
-        return (ArrayRef, (self.index,))
-
-
-def _ring_worthy(a: np.ndarray) -> bool:
-    # Object and structured dtypes cannot be moved as raw bytes; they
-    # stay embedded in the (pickled) skeleton.
-    return not a.dtype.hasobject and a.dtype.fields is None
-
-
-def split_arrays(obj: Any) -> tuple[Any, list[np.ndarray]]:
-    """Replace every ndarray in ``obj`` with an :class:`ArrayRef`.
-
-    Recurses through tuples, lists, and dicts (the containers message
-    payloads are built from); anything else passes through untouched
-    and will be pickled with the skeleton.  Returns ``(skeleton,
-    arrays)`` with arrays in reference order.
-    """
-    arrays: list[np.ndarray] = []
-
-    def enc(x):
-        if isinstance(x, np.ndarray) and _ring_worthy(x):
-            arrays.append(x)
-            return ArrayRef(len(arrays) - 1)
-        t = type(x)
-        if t is tuple:
-            return tuple(enc(i) for i in x)
-        if t is list:
-            return [enc(i) for i in x]
-        if t is dict:
-            return {k: enc(v) for k, v in x.items()}
-        return x
-
-    return enc(obj), arrays
-
-
-def join_arrays(skeleton: Any, arrays: list) -> Any:
-    """Inverse of :func:`split_arrays`: resolve every :class:`ArrayRef`."""
-
-    def dec(x):
-        if isinstance(x, ArrayRef):
-            return arrays[x.index]
-        t = type(x)
-        if t is tuple:
-            return tuple(dec(i) for i in x)
-        if t is list:
-            return [dec(i) for i in x]
-        if t is dict:
-            return {k: dec(v) for k, v in x.items()}
-        return x
-
-    return dec(skeleton)
-
-
-def prepare_arrays(arrays: list[np.ndarray]) -> tuple[list, list[tuple]]:
-    """Byte views + wire descriptors for a batch of lifted arrays.
-
-    Returns ``(views, descrs)`` where each view is a flat ``uint8``
-    view over the array's (contiguous) data, and each descriptor is
-    ``(dtype_str, shape, order, writeable)`` — everything the receiver
-    needs to rebuild the array from raw ring bytes.  Non-contiguous
-    arrays are compacted first (the runtime's payloads are contiguous
-    C- or F-order in practice, so this copy almost never fires).
-    """
-    views = []
-    descrs = []
-    for a in arrays:
-        order = "F" if (a.flags.f_contiguous and not a.flags.c_contiguous) else "C"
-        if not (a.flags.c_contiguous or a.flags.f_contiguous):
-            a = np.ascontiguousarray(a)
-            order = "C"
-        views.append(a.reshape(-1, order="A").view(np.uint8))
-        descrs.append(
-            (a.dtype.str, a.shape, order, bool(a.flags.writeable))
-        )
-    return views, descrs
-
-
-def materialize_array(descr: tuple, data: bytearray) -> np.ndarray:
-    """Rebuild one array from its wire descriptor and raw bytes.
-
-    The result is backed by ``data`` directly (one copy total, out of
-    the ring); payloads that were *moved* (frozen) on the sender side
-    arrive read-only, preserving move semantics across processes.
-    """
-    dtype_str, shape, order, writeable = descr
-    arr = np.frombuffer(data, dtype=np.dtype(dtype_str)).reshape(
-        shape, order=order
-    )
-    if not writeable:
-        arr.flags.writeable = False
-    return arr
-
-
 def recv_arrays(ring: ShmRing, descrs: list[tuple], *,
                 timeout: float = 600.0) -> list[np.ndarray]:
     """Read one array per descriptor from the ring, in order."""
     out = []
     for descr in descrs:
-        nbytes = int(np.dtype(descr[0]).itemsize * int(np.prod(descr[1], dtype=np.int64)))
+        nbytes = descr_nbytes(descr)
         out.append(materialize_array(descr, ring.read_bytes(nbytes, timeout=timeout)))
     return out
 

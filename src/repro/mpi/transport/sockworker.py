@@ -1,0 +1,79 @@
+"""Standalone entry point for spawned socket-transport workers.
+
+``python -m repro.mpi.transport.sockworker --addr HOST:PORT --rank R
+--token T`` dials the master's rendezvous listener, completes the hello
+handshake on the ctl link, receives its boot blob (the SPMD program,
+its arguments, and the world configuration, pickled), raises the data
+link, and runs the rank to completion.  This is what
+``SocketTransport(hosts=[...])`` launches instead of forking — a fresh
+interpreter with no inherited state, the shape a real multi-host
+deployment has.  Running the same command by hand on another machine
+(with ``--addr`` pointing back at the master) joins that host to the
+world; the handshake needs nothing but TCP reachability and the shared
+token.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+
+from ...errors import CommunicatorError
+from ...faults.network import NetworkFaultState
+from .sockets import _connect_framed, _run_sock_worker
+from .worldproxy import WorkerConfig
+
+__all__ = ["main"]
+
+_BOOT_TIMEOUT = 60.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mpi.transport.sockworker",
+        description="join a repro SPMD world as one socket-transport rank",
+    )
+    parser.add_argument("--addr", required=True, metavar="HOST:PORT",
+                        help="the master's rendezvous listener")
+    parser.add_argument("--rank", required=True, type=int)
+    parser.add_argument("--token", required=True,
+                        help="shared secret from the master's address book")
+    ns = parser.parse_args(argv)
+    host, _, port = ns.addr.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--addr must be HOST:PORT, got {ns.addr!r}")
+    addr = (host, int(port))
+    rank = ns.rank
+
+    # The ctl link comes up first and carries the boot blob; injected
+    # connect-refusal rules (which ride in the blob) therefore apply
+    # only to the data connect in spawn mode.
+    counters = {"attempts": 0, "retries": 0}
+    from .net import DEFAULT_CONNECT_POLICY
+
+    ctl = _connect_framed(addr, "ctl", rank, ns.token,
+                          DEFAULT_CONNECT_POLICY, None, counters)
+    header, _ = ctl.recv(timeout=_BOOT_TIMEOUT)
+    if not (isinstance(header, tuple) and header and header[0] == "boot"):
+        raise CommunicatorError(
+            f"rank {rank}: expected a boot blob on the ctl link, "
+            f"got {header!r}"
+        )
+    fn, args, kwargs, state, netrules, knobs = pickle.loads(header[1])
+    cfg = object.__new__(WorkerConfig)
+    for slot in WorkerConfig.__slots__:
+        setattr(cfg, slot, state[slot])
+
+    netstate = NetworkFaultState(netrules, rank) if netrules else None
+    if netstate is not None and not netstate.active:
+        netstate = None
+    data = _connect_framed(addr, "data", rank, ns.token,
+                           knobs["connect_policy"], netstate, counters)
+    _run_sock_worker(cfg, rank, fn, args, kwargs, ctl, data, addr,
+                     ns.token, netstate, knobs, counters)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -324,6 +324,7 @@ def ingest_comm_trace(registry: MetricsRegistry, trace) -> None:
         ("comm.dropped_messages", trace.dropped_messages()),
         ("comm.retried_messages", trace.retried_messages()),
         ("comm.checksum_failures", trace.checksum_failures()),
+        ("comm.connect_retries", trace.connect_retries()),
     ):
         if total:
             registry.counter(name).inc(total)

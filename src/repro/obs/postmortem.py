@@ -209,6 +209,11 @@ def build_postmortem(
             bundle["fault_trace"] = []
     else:
         bundle["fault_trace"] = []
+    # Socket transport: per-rank link health (connect attempts/retries,
+    # reconnects, last-frame age, the disconnect that killed the link,
+    # injected network faults observed on it).
+    net_health = getattr(context, "net_health", None)
+    bundle["network"] = _jsonable(net_health) if net_health else None
     return _jsonable(bundle)
 
 
@@ -328,6 +333,33 @@ def render_postmortem(bundle: Dict[str, Any], events: int = 10) -> str:
             (deadlock.get("open_spans") or {}).items(), key=lambda kv: kv[0]
         ):
             lines.append(f"  rank {rank} open spans: {' > '.join(names)}")
+
+    network = bundle.get("network") or {}
+    if network:
+        lines.append("\nnetwork links:")
+        net_rows = []
+        for rank_key in sorted(network, key=int):
+            h = network[rank_key]
+            faults = ",".join(h.get("faults") or []) or "-"
+            net_rows.append(
+                [
+                    rank_key,
+                    str(h.get("connect_attempts", "-")),
+                    str(h.get("retries", "-")),
+                    str(h.get("reconnects", "-")),
+                    _fmt_age(h.get("heartbeat_age")),
+                    faults,
+                    h.get("disconnect") or "-",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["rank", "connects", "retries", "reconns", "last rx",
+                 "net faults", "disconnect"],
+                net_rows,
+                align_right=False,
+            )
+        )
 
     fault_trace = bundle.get("fault_trace") or []
     if fault_trace:

@@ -77,6 +77,107 @@ def test_survivors_can_shrink_past_the_death(backend):
     assert survivors == [(3.0, 3)] * 3
 
 
+def test_sockets_hard_death_fast_fails_within_liveness_deadline():
+    """A socket worker killed without warning (os._exit, simulating
+    SIGKILL or a powered-off host) stops pinging; the master declares
+    it dead once the liveness deadline passes — well inside
+    recv_timeout — and blocked partners wake with RankFailedError."""
+    import os
+
+    from repro.mpi.transport import SocketTransport
+
+    liveness = 2.0
+
+    def prog(comm):
+        if comm.rank == 0:
+            os._exit(9)
+        comm.recv(0, tag=1)
+        return None
+
+    t0 = time.monotonic()
+    with pytest.raises(RankFailedError, match="rank 0"):
+        run_spmd(prog, 2, recv_timeout=TIMEOUT,
+                 backend=SocketTransport(liveness_timeout=liveness))
+    elapsed = time.monotonic() - t0
+    assert elapsed < TIMEOUT / 2
+    # detection is liveness-bounded, not instant: the silence had to
+    # outlast the deadline before the master would call it a death
+    assert elapsed >= liveness * 0.5
+
+
+def test_sockets_partition_postmortem_names_broken_link():
+    """An injected partition kills a rank's links mid-run: survivors
+    shrink past it and complete — no hang, no world abort — and the
+    partition lands in the deterministic fault trace."""
+    from repro.faults import NetworkFaultRule
+    from repro.mpi.transport import SocketTransport
+    from repro.obs import FlightRecorder
+
+    def prog(comm):
+        try:
+            for i in range(6):
+                comm.send(np.ones(8), (comm.rank + 1) % comm.size, tag=i)
+                comm.recv((comm.rank - 1) % comm.size, tag=i)
+        except RankFailedError:
+            comm.revoke()
+            comm = comm.shrink()
+        return float(comm.allreduce(np.array([1.0]))[0]), comm.size
+
+    plan = FaultPlan(seed=13, network=(
+        NetworkFaultRule("partition", ranks=(1,), after_frames=3),
+    ))
+    rec = FlightRecorder(heartbeat_interval=0.05)
+    res = run_spmd(prog, 3, faults=plan, recv_timeout=TIMEOUT, recorder=rec,
+                   backend=SocketTransport(liveness_timeout=2.0))
+    # graceful degradation: no world abort, survivors complete shrunk
+    assert res.failed_ranks == [1]
+    survivors = [v for v in res.values if v is not None]
+    assert survivors == [(2.0, 2)] * 2
+    assert (1, 3, "net:partition", (1,)) in res.faults.trace_key()
+
+
+def test_sockets_partition_root_cause_in_written_postmortem(tmp_path):
+    """When the program does NOT tolerate the partition, the launcher
+    re-raises the survivor's RankFailedError and writes a postmortem
+    whose network section carries the broken link's record: the
+    injected partition, the liveness-deadline disconnect, and the
+    heartbeat age at death."""
+    from repro.faults import NetworkFaultRule
+    from repro.mpi.transport import SocketTransport
+    from repro.obs import FlightRecorder, render_postmortem
+
+    def prog(comm):
+        for i in range(6):
+            comm.send(np.ones(8), (comm.rank + 1) % comm.size, tag=i)
+            comm.recv((comm.rank - 1) % comm.size, tag=i)
+        return comm.rank
+
+    plan = FaultPlan(seed=13, network=(
+        NetworkFaultRule("partition", ranks=(1,), after_frames=3),
+    ))
+    rec = FlightRecorder(heartbeat_interval=0.05,
+                         postmortem_dir=str(tmp_path))
+    with pytest.raises(RankFailedError):
+        run_spmd(prog, 3, faults=plan, recv_timeout=TIMEOUT, recorder=rec,
+                 backend=SocketTransport(liveness_timeout=2.0))
+
+    bundle = rec.last_postmortem
+    assert bundle is not None
+    net = bundle["network"]
+    assert net is not None
+    broken = net["1"]
+    assert "net:partition" in broken["faults"]
+    assert broken["disconnect"] is not None  # liveness verdict recorded
+    assert broken["heartbeat_age"] is not None
+    # healthy links carry history but no disconnect verdict
+    assert net["0"]["disconnect"] is None
+    assert net["0"]["connect_attempts"] >= 2  # ctl + data hellos
+    assert [1, 3, "net:partition", [1]] in bundle["fault_trace"]
+    text = render_postmortem(bundle)
+    assert "ROOT CAUSE" in text
+    assert "network links" in text and "net:partition" in text
+
+
 def test_procs_hard_death_fast_fails_without_lifecycle_message():
     """A worker killed without warning (os._exit, simulating segfault or
     OOM kill) is detected through its pipe EOF: partners blocked on it

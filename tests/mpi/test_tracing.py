@@ -257,7 +257,7 @@ class TestExports:
         keys = {"sent_messages", "sent_bytes", "copied_bytes",
                 "moved_bytes", "recv_messages", "recv_bytes",
                 "retried_messages", "dropped_messages",
-                "checksum_failures"}
+                "checksum_failures", "connect_retries"}
         for d in snap["ranks"].values():
             assert set(d) == keys
         assert set(snap["totals"]) == keys

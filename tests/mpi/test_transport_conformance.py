@@ -1,5 +1,5 @@
 """Transport conformance: every scenario must behave identically on
-``backend="threads"`` and ``backend="procs"``.
+``backend="threads"``, ``backend="procs"``, and ``backend="sockets"``.
 
 The contract under test is the one ``docs/mpi-runtime.md`` (Transports)
 states: collectives, point-to-point (blocking and nonblocking), split,
@@ -32,7 +32,7 @@ def backend(request):
 
 
 def test_available_backends_names():
-    assert BACKENDS == ["threads", "procs"]
+    assert BACKENDS == ["threads", "procs", "sockets"]
 
 
 # ----------------------------------------------------------------------
