@@ -99,16 +99,26 @@ class Request:
         """A request tracking a transport handoff token.
 
         ``token`` is ``threading.Event``-like: ``is_set()`` reports
-        whether the payload has been staged, ``wait()`` blocks for it.
-        The process backend returns one per ``isend`` so completion
-        reflects the true shared-memory ring handoff.
+        whether the handoff resolved, ``wait()`` blocks for it.  The
+        process and socket backends return one per ``isend`` so
+        completion reflects the true wire handoff.  A token carrying
+        an ``error`` attribute (:class:`~repro.mpi.transport.
+        worldproxy.SendToken`) resolved by *failing* to stage: the
+        request re-raises instead of reporting a successful send.
         """
 
         def complete(blocking: bool):
             if blocking:
                 token.wait()
-                return True, None
-            return token.is_set(), None
+            elif not token.is_set():
+                return False, None
+            err = getattr(token, "error", None)
+            if err is not None:
+                raise CommunicatorError(
+                    f"isend staging failed: the payload never reached "
+                    f"its destination ({err})"
+                ) from err
+            return True, None
 
         return Request(kind, complete_fn=complete)
 

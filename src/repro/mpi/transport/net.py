@@ -19,7 +19,11 @@ reuse the same arithmetic:
   frames — once the first byte of a frame has arrived the reader
   switches to a generous intra-frame deadline, so a slow sender never
   desynchronizes the stream and a dead one surfaces as
-  :class:`LinkClosed` instead of a hang.
+  :class:`LinkClosed` instead of a hang.  Alongside the pickled
+  framing, :meth:`~FramedSocket.send_json`/:meth:`~FramedSocket.
+  recv_json` carry bounded, pickle-free JSON control frames — the
+  rendezvous hello runs on those exclusively, so nothing from an
+  unauthenticated connection is ever unpickled.
 
 * :func:`configure_keepalive` — OS-level TCP keepalive, the last-ditch
   detector under the application-level heartbeats the socket transport
@@ -28,6 +32,7 @@ reuse the same arithmetic:
 
 from __future__ import annotations
 
+import json
 import pickle
 import socket
 import struct
@@ -59,6 +64,12 @@ DEFAULT_LIVENESS_TIMEOUT = 10.0
 # Intra-frame deadline: once a frame has started arriving, how long the
 # reader will wait for the rest before declaring the link torn.
 _FRAME_DEADLINE = 30.0
+
+# Upper bound on a JSON control frame (the pre-auth hello exchange).
+# An unauthenticated peer must not be able to make the master buffer
+# an arbitrarily large frame, so the length prefix is checked against
+# this before a single payload byte is read.
+_JSON_FRAME_MAX = 65536
 
 _LEN = struct.Struct("<I")
 
@@ -96,8 +107,13 @@ class RetryPolicy:
     jitter: float = 0.0
 
     def delay(self, attempt: int, rng=None) -> float:
-        """Backoff before 0-based retry ``attempt`` (exponential, capped)."""
-        d = self.backoff_base * (2.0 ** attempt)
+        """Backoff before 0-based retry ``attempt`` (exponential, capped).
+
+        The exponent is clamped before exponentiating: a ``Request``
+        poller calls this with an unbounded attempt counter, and
+        ``2.0 ** 1024`` would overflow long before the cap applied.
+        """
+        d = self.backoff_base * (2.0 ** min(attempt, 64))
         if self.backoff_cap is not None:
             d = min(d, self.backoff_cap)
         if self.jitter and rng is not None:
@@ -213,6 +229,21 @@ class FramedSocket:
         except (OSError, ValueError) as exc:
             raise LinkClosed(f"socket send failed: {exc}") from None
 
+    def send_json(self, obj: dict) -> None:
+        """Write one pickle-free control frame (same length prefix).
+
+        The hello handshake runs on these exclusively: JSON carries
+        only primitive fields, so neither side deserializes anything
+        executable before the rendezvous token has been verified.
+        """
+        blob = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+        try:
+            self._sock.settimeout(None)
+            self._sock.sendall(_LEN.pack(len(blob)))
+            self._sock.sendall(blob)
+        except (OSError, ValueError) as exc:
+            raise LinkClosed(f"socket send failed: {exc}") from None
+
     # -- recv -----------------------------------------------------------
     def _read_exact(self, n: int, deadline: float | None) -> bytearray:
         """Read exactly ``n`` bytes (buffered), honoring ``deadline``.
@@ -274,6 +305,44 @@ class FramedSocket:
             for d in descrs
         ]
         return header, arrays
+
+    def recv_json(self, timeout: float | None = None) -> dict:
+        """Read one pickle-free control frame; returns the decoded dict.
+
+        Safe to call on an **unauthenticated** connection: the frame
+        length is bounded by ``_JSON_FRAME_MAX`` before any payload is
+        buffered, the payload is parsed with :func:`json.loads` (never
+        pickle), and anything malformed — oversized prefix, invalid
+        UTF-8/JSON, a non-object top level — raises
+        :class:`LinkClosed` so the caller drops the connection.
+        ``timeout`` bounds the wait for the frame to start
+        (:class:`LinkTimeout`), like :meth:`recv`.
+        """
+        if not self._rbuf:
+            self._sock.settimeout(timeout)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                raise LinkTimeout("no frame within poll timeout") from None
+            except OSError as exc:
+                raise LinkClosed(f"socket recv failed: {exc}") from None
+            if not chunk:
+                raise LinkClosed("socket closed by peer")
+            self._rbuf += chunk
+        deadline = time.monotonic() + _FRAME_DEADLINE
+        (length,) = _LEN.unpack(self._read_exact(4, deadline))
+        if length > _JSON_FRAME_MAX:
+            raise LinkClosed(
+                f"oversized control frame ({length} bytes) rejected"
+            )
+        blob = self._read_exact(length, deadline)
+        try:
+            obj = json.loads(bytes(blob).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise LinkClosed(f"malformed control frame: {exc}") from None
+        if not isinstance(obj, dict):
+            raise LinkClosed("malformed control frame: not an object")
+        return obj
 
     def poll(self, timeout: float = 0.0) -> bool:
         """True when at least one buffered/readable byte is pending."""

@@ -85,7 +85,7 @@ from .codec import (
 )
 from .shm import DEFAULT_RING_BYTES, ShmRing, recv_arrays, send_arrays
 from .threads import WORLD_COMM_ID
-from .worldproxy import WorkerConfig, WorldServerMixin, run_worker
+from .worldproxy import SendToken, WorkerConfig, WorldServerMixin, run_worker
 
 __all__ = ["ProcessTransport"]
 
@@ -218,7 +218,7 @@ class _SendPump:
                 encode_origin(env.origin))
         header = ("put", comm_id, dest_world, source, tag, meta, skeleton,
                   descrs)
-        token = threading.Event()
+        token = SendToken()
         self._queue.put((header, views, token))
         self.sent += 1
         return token
@@ -236,17 +236,32 @@ class _SendPump:
             return  # telemetry is best-effort; the rank path reports it
         self._queue.put((header, (), None))
 
+    def flush(self, timeout: float | None = None) -> None:
+        """Block until every frame staged so far shipped or failed.
+
+        Run before the lifecycle report so ``failure`` is
+        authoritative: without it a rank could finalize while the pump
+        thread is still discovering that its frames will never ship.
+        """
+        token = SendToken()
+        self._queue.put((None, (), token))
+        token.wait(timeout)
+
     def _run(self) -> None:
         while True:
             header, views, token = self._queue.get()
-            if self.failure is None:
+            err = self.failure
+            if err is None and header is not None:
                 try:
                     self._conn.send(header)
                     if views:
                         send_arrays(self._ring, views)
                 except BaseException as exc:  # noqa: BLE001 - report once
-                    self.failure = exc
+                    self.failure = err = exc
             if token is not None:
+                # A frame that never shipped must not report a clean
+                # stage: the waiter re-raises the error instead.
+                token.error = err
                 token.set()
 
 

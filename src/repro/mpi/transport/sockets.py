@@ -9,9 +9,13 @@ pipes do not:
 
 * **Rendezvous handshake.**  The master binds a listener and hands each
   worker an address book entry ``(host, port, token, rank)``.  Every
-  connection opens with a ``("hello", purpose, rank, token, info)``
-  frame; the master validates the token, acknowledges, and wires the
-  connection into the rank's link.  Each worker keeps two connections:
+  connection opens with a pickle-free JSON ``hello`` control frame
+  (purpose, rank, token, connect bookkeeping — primitive fields only);
+  the master verifies the token with a constant-time comparison
+  *before* deserializing anything else from the connection, then
+  acknowledges (JSON again) and wires the connection into the rank's
+  link — the pickled envelope framing starts only after this
+  authentication.  Each worker keeps two connections:
   a duplex **ctl** link (blocking RPCs plus out-of-band abort/revoke
   pushes) and a one-way **data** link (message deliveries, telemetry
   heartbeats, liveness pings, injected-fault notices).
@@ -69,6 +73,7 @@ Two launch modes share all of the above:
 
 from __future__ import annotations
 
+import hmac
 import multiprocessing
 import os
 import pickle
@@ -109,13 +114,19 @@ from .net import (
     RetryPolicy,
 )
 from .threads import WORLD_COMM_ID
-from .worldproxy import WorkerConfig, WorldServerMixin, run_worker
+from .worldproxy import SendToken, WorkerConfig, WorldServerMixin, run_worker
 
 __all__ = ["SocketTransport"]
 
 #: Environment overrides for the CLI and test harnesses.
 LIVENESS_ENV_VAR = "REPRO_SOCKETS_LIVENESS"
 HEARTBEAT_ENV_VAR = "REPRO_SOCKETS_HEARTBEAT"
+
+#: How spawn mode hands the rendezvous token to a sockworker.  The
+#: environment, never argv: command lines are world-readable via
+#: ps/procfs for the life of the process, which would leak the shared
+#: secret to every user on the host.
+TOKEN_ENV_VAR = "REPRO_SOCKETS_TOKEN"
 
 # Seconds the master's data thread sleeps between liveness checks.
 _DATA_TICK = 0.2
@@ -147,6 +158,12 @@ def _connect_framed(addr, purpose: str, rank: int, token: str,
     rides them out exactly like the real thing.  ``counters`` tallies
     attempts/retries for the hello info the master's health table and
     ``CommTrace.record_connect_retry`` are fed from.
+
+    The hello exchange is pickle-free in both directions (JSON control
+    frames, :meth:`~repro.mpi.transport.net.FramedSocket.send_json`):
+    the pickled framing only starts after the master has verified the
+    token and acknowledged, so an unauthenticated peer never gets to
+    feed either side a pickle.
     """
     def attempt() -> socket.socket:
         counters["attempts"] += 1
@@ -159,11 +176,15 @@ def _connect_framed(addr, purpose: str, rank: int, token: str,
 
     sock = policy.run(attempt, retry_on=(OSError,), on_retry=on_retry)
     fs = FramedSocket(sock)
-    info = {"generation": generation, "attempts": counters["attempts"],
-            "retries": counters["retries"]}
-    fs.send(("hello", purpose, rank, token, info))
-    header, _ = fs.recv(timeout=_HELLO_TIMEOUT)
-    if not (isinstance(header, tuple) and header and header[0] == "ok"):
+    fs.send_json({"kind": "hello", "purpose": purpose, "rank": rank,
+                  "token": token, "generation": generation,
+                  "attempts": counters["attempts"],
+                  "retries": counters["retries"]})
+    try:
+        reply = fs.recv_json(timeout=_HELLO_TIMEOUT)
+    except (LinkClosed, LinkTimeout):
+        reply = None
+    if not (isinstance(reply, dict) and reply.get("kind") == "ok"):
         fs.close()
         raise CommunicatorError(
             f"socket handshake rejected for rank {rank} ({purpose})"
@@ -278,7 +299,7 @@ class _SockPump:
         meta = (env.send_time, env.moved, env.nbytes, env.seq, env.checksum,
                 encode_origin(env.origin))
         header = ("put", comm_id, dest_world, source, tag, meta, skeleton)
-        token = threading.Event()
+        token = SendToken()
         self._queue.put((header, descrs, views, token))
         self.sent += 1
         return token
@@ -289,15 +310,30 @@ class _SockPump:
             return  # telemetry is best-effort; the rank path reports it
         self._queue.put((header, (), (), None))
 
+    def flush(self, timeout: float | None = None) -> None:
+        """Block until every frame staged so far shipped or failed.
+
+        Run before the lifecycle report so ``failure`` is
+        authoritative: without it a rank could finalize while the pump
+        thread is still discovering that its frames will never ship.
+        """
+        token = SendToken()
+        self._queue.put((None, (), (), token))
+        token.wait(timeout)
+
     def _run(self) -> None:
         while True:
             header, descrs, views, token = self._queue.get()
-            if self.failure is None:
+            err = self.failure
+            if err is None and header is not None:
                 try:
                     self._ship(header, descrs, views)
                 except BaseException as exc:  # noqa: BLE001 - report once
-                    self.failure = exc
+                    self.failure = err = exc
             if token is not None:
+                # A frame that never shipped must not report a clean
+                # stage: the waiter re-raises the error instead.
+                token.error = err
                 token.set()
 
     def _ship(self, header, descrs, views) -> None:
@@ -405,8 +441,17 @@ def _run_sock_worker(cfg: WorkerConfig, rank: int, fn, args, kwargs,
 
 
 def _worker_main(addr, token: str, rank: int, fn, args, kwargs,
-                 cfg: WorkerConfig, netrules, knobs: dict) -> None:
+                 cfg: WorkerConfig, netrules, knobs: dict,
+                 listener=None) -> None:
     """Entry point of a forked socket worker (default launch mode)."""
+    if listener is not None:
+        # fd hygiene: drop the forked copy of the master's rendezvous
+        # listener so the port is released the moment the master
+        # closes its own.
+        try:
+            listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     netstate = NetworkFaultState(netrules, rank) if netrules else None
     if netstate is not None and not netstate.active:
         netstate = None
@@ -562,18 +607,24 @@ class SocketTransport(WorldServerMixin, Transport):
         knobs = {"connect_policy": self.connect_policy,
                  "heartbeat_interval": self.heartbeat_interval}
 
+        # Workers are launched while the master is still single-threaded
+        # (forking a multi-threaded process can deadlock children on
+        # locks held at fork time); the listener is already bound, so
+        # early connects queue in the accept backlog — and the connect
+        # RetryPolicy rides out a full backlog — until the accept
+        # thread starts right after.
+        if self.hosts is None:
+            self._fork_workers(links, addr, token, fn, args, kwargs, cfg,
+                               netrules, knobs, listener)
+        else:
+            self._spawn_workers(links, addr, token, fn, args, kwargs, cfg,
+                                netrules, knobs)
+
         accept_thread = threading.Thread(
             target=self._accept_loop, args=(listener, links, token, context),
             daemon=True, name="spmd-sock-accept",
         )
         accept_thread.start()
-
-        if self.hosts is None:
-            self._fork_workers(links, addr, token, fn, args, kwargs, cfg,
-                               netrules, knobs)
-        else:
-            self._spawn_workers(links, addr, token, fn, args, kwargs, cfg,
-                                netrules, knobs)
 
         # Rendezvous: every worker must raise both links within the
         # grace window (injected connect refusals burn into it).
@@ -621,7 +672,7 @@ class SocketTransport(WorldServerMixin, Transport):
 
     # -- worker launch ---------------------------------------------------
     def _fork_workers(self, links, addr, token, fn, args, kwargs, cfg,
-                      netrules, knobs) -> None:
+                      netrules, knobs, listener) -> None:
         try:
             mp_ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -630,10 +681,14 @@ class SocketTransport(WorldServerMixin, Transport):
                 "only); pass hosts=[...] to spawn them instead"
             ) from None
         for link in links:
+            # The fork start method passes args by reference, so the
+            # child gets the listener object to close its inherited fd
+            # copy — otherwise every worker would keep the rendezvous
+            # port bound after the master closes it.
             proc = mp_ctx.Process(
                 target=_worker_main,
                 args=(addr, token, link.rank, fn, args, kwargs, cfg,
-                      netrules, knobs),
+                      netrules, knobs, listener),
                 name=f"spmd-sock-rank-{link.rank}",
                 daemon=True,
             )
@@ -648,18 +703,21 @@ class SocketTransport(WorldServerMixin, Transport):
             for link in links
         }
         host, port = addr
+        env = dict(os.environ)
+        env[TOKEN_ENV_VAR] = token
         for link in links:
             # Single-host loopback launch; the hosts entries label the
             # layout (and are recorded in net_health).  Reaching a real
             # remote host means running this exact command there — the
-            # handshake only needs TCP to (host, port).
+            # handshake only needs TCP to (host, port) plus the token
+            # in the environment (argv would leak it via ps/procfs).
             label = self.hosts[link.rank % len(self.hosts)]
             self.net_health[link.rank]["host"] = label
             link.proc = subprocess.Popen(
                 [self.python, "-m", "repro.mpi.transport.sockworker",
-                 "--addr", f"{host}:{port}", "--rank", str(link.rank),
-                 "--token", token],
+                 "--addr", f"{host}:{port}", "--rank", str(link.rank)],
                 stdin=subprocess.DEVNULL,
+                env=env,
             )
 
     @staticmethod
@@ -729,24 +787,34 @@ class SocketTransport(WorldServerMixin, Transport):
             except OSError:  # pragma: no cover - listener closed
                 return
             fs = FramedSocket(sock)
+            # The hello is a bounded JSON frame — nothing from this
+            # connection is unpickled (or even trusted as a tuple)
+            # until the token has passed a constant-time comparison.
+            # A stray or hostile client gets its socket closed, never
+            # a pickle.loads of its bytes.
             try:
-                header, _ = fs.recv(timeout=_HELLO_TIMEOUT)
+                hello = fs.recv_json(timeout=_HELLO_TIMEOUT)
             except (LinkClosed, LinkTimeout):
                 fs.close()
                 continue
-            if not (isinstance(header, tuple) and len(header) == 5
-                    and header[0] == "hello" and header[3] == token):
+            peer_token = hello.get("token")
+            if not (hello.get("kind") == "hello"
+                    and isinstance(peer_token, str)
+                    and hmac.compare_digest(peer_token, token)):
                 fs.close()  # wrong token / stray connection: reject
                 continue
-            _, purpose, rank, _, info = header
+            purpose = hello.get("purpose")
+            rank = hello.get("rank")
             if not (isinstance(rank, int) and 0 <= rank < len(links)
                     and purpose in ("ctl", "data")):
                 fs.close()
                 continue
+            info = {key: hello.get(key, 0)
+                    for key in ("generation", "attempts", "retries")}
             link = links[rank]
             self._note_hello(context, link, purpose, info)
             try:
-                fs.send(("ok", len(links)))
+                fs.send_json({"kind": "ok", "world": len(links)})
                 if purpose == "ctl" and self._boot_blobs is not None:
                     fs.send(("boot", self._boot_blobs[rank]))
             except LinkClosed:

@@ -1,21 +1,24 @@
 """Standalone entry point for spawned socket-transport workers.
 
-``python -m repro.mpi.transport.sockworker --addr HOST:PORT --rank R
---token T`` dials the master's rendezvous listener, completes the hello
-handshake on the ctl link, receives its boot blob (the SPMD program,
-its arguments, and the world configuration, pickled), raises the data
-link, and runs the rank to completion.  This is what
-``SocketTransport(hosts=[...])`` launches instead of forking — a fresh
-interpreter with no inherited state, the shape a real multi-host
-deployment has.  Running the same command by hand on another machine
-(with ``--addr`` pointing back at the master) joins that host to the
-world; the handshake needs nothing but TCP reachability and the shared
-token.
+``REPRO_SOCKETS_TOKEN=... python -m repro.mpi.transport.sockworker
+--addr HOST:PORT --rank R`` dials the master's rendezvous listener,
+completes the hello handshake on the ctl link, receives its boot blob
+(the SPMD program, its arguments, and the world configuration,
+pickled), raises the data link, and runs the rank to completion.  This
+is what ``SocketTransport(hosts=[...])`` launches instead of forking —
+a fresh interpreter with no inherited state, the shape a real
+multi-host deployment has.  Running the same command by hand on
+another machine (with ``--addr`` pointing back at the master) joins
+that host to the world; the handshake needs nothing but TCP
+reachability and the shared token.  The token travels in the
+``REPRO_SOCKETS_TOKEN`` environment variable, not argv — command
+lines are world-readable via ps/procfs, and the secret must not be.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import sys
 
@@ -37,14 +40,21 @@ def main(argv=None) -> int:
     parser.add_argument("--addr", required=True, metavar="HOST:PORT",
                         help="the master's rendezvous listener")
     parser.add_argument("--rank", required=True, type=int)
-    parser.add_argument("--token", required=True,
-                        help="shared secret from the master's address book")
     ns = parser.parse_args(argv)
     host, _, port = ns.addr.rpartition(":")
     if not host or not port.isdigit():
         parser.error(f"--addr must be HOST:PORT, got {ns.addr!r}")
     addr = (host, int(port))
     rank = ns.rank
+    from .sockets import TOKEN_ENV_VAR
+
+    token = os.environ.get(TOKEN_ENV_VAR)
+    if not token:
+        parser.error(
+            f"set {TOKEN_ENV_VAR} to the shared secret from the master's "
+            f"address book (the token never travels on argv: command "
+            f"lines are world-readable via ps/procfs)"
+        )
 
     # The ctl link comes up first and carries the boot blob; injected
     # connect-refusal rules (which ride in the blob) therefore apply
@@ -52,7 +62,7 @@ def main(argv=None) -> int:
     counters = {"attempts": 0, "retries": 0}
     from .net import DEFAULT_CONNECT_POLICY
 
-    ctl = _connect_framed(addr, "ctl", rank, ns.token,
+    ctl = _connect_framed(addr, "ctl", rank, token,
                           DEFAULT_CONNECT_POLICY, None, counters)
     header, _ = ctl.recv(timeout=_BOOT_TIMEOUT)
     if not (isinstance(header, tuple) and header and header[0] == "boot"):
@@ -68,10 +78,10 @@ def main(argv=None) -> int:
     netstate = NetworkFaultState(netrules, rank) if netrules else None
     if netstate is not None and not netstate.active:
         netstate = None
-    data = _connect_framed(addr, "data", rank, ns.token,
+    data = _connect_framed(addr, "data", rank, token,
                            knobs["connect_policy"], netstate, counters)
     _run_sock_worker(cfg, rank, fn, args, kwargs, ctl, data, addr,
-                     ns.token, netstate, knobs, counters)
+                     token, netstate, knobs, counters)
     return 0
 
 

@@ -28,10 +28,14 @@ A transport supplies two duck-typed worker objects:
     worker context is assigned to (for out-of-band dispatch).
 ``pump``
     ``enqueue(comm_id, dest_world, source, tag, env)`` — stage a
-    delivery, returning a ``threading.Event`` completion token;
+    delivery, returning a :class:`SendToken` completion token (set
+    once staged, carrying the staging error if the wire failed);
     ``enqueue_raw(header)`` — stage a bookkeeping message
     (heartbeat, netfault) outside the drain barrier; ``sent`` — count
-    of deliveries accepted.
+    of deliveries accepted; ``failure`` — the first staging error (or
+    ``None``), shipped with the lifecycle RPC so the master can skip
+    the drain barrier for puts that will never arrive and attribute
+    the loss to the send path instead of a clean finalize.
 
 and, master-side, per-rank ``link`` objects carrying ``rank``,
 ``put_cond`` (a condition), and ``puts_received`` (deliveries folded
@@ -57,6 +61,7 @@ from .threads import WORLD_COMM_ID, run_rank_program
 
 __all__ = [
     "DRAIN_TIMEOUT",
+    "SendToken",
     "WorkerConfig",
     "MailboxProxy",
     "WorkerSanitizer",
@@ -71,6 +76,20 @@ __all__ = [
 # Seconds the master waits for a finishing worker's in-flight
 # deliveries to drain before processing its lifecycle message.
 DRAIN_TIMEOUT = 30.0
+
+
+class SendToken(threading.Event):
+    """``isend`` completion token the send pumps hand out.
+
+    Set once the payload has been staged onto the wire — or once the
+    pump knows it never will be, in which case ``error`` carries the
+    staging failure and the waiter (:meth:`~repro.mpi.request.Request.
+    from_token`) re-raises it instead of reporting a successful stage.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.error: BaseException | None = None
 
 
 class WorkerConfig:
@@ -509,8 +528,24 @@ def run_worker(cfg: WorkerConfig, rank: int, fn, args, kwargs,
         shards = {}
     payload = (outcome["value"] if outcome["kind"] == "finalize"
                else encode_exception(outcome["exc"]))
+    # The lifecycle message carries the pump's health alongside the
+    # delivery count: a send path that failed can never drain its
+    # remaining puts, and the master must know that rather than wait
+    # out the drain barrier and let partners see a clean finalize.
+    # Flush first so the pump has resolved every staged frame and
+    # ``failure`` is authoritative, not a race with the pump thread.
+    flush = getattr(pump, "flush", None)
+    if flush is not None:
+        try:
+            flush(timeout=DRAIN_TIMEOUT)
+        except Exception:  # pragma: no cover - never lose the lifecycle msg
+            pass
+    failure = getattr(pump, "failure", None)
+    sent_info = (pump.sent,
+                 None if failure is None
+                 else f"{type(failure).__name__}: {failure}")
     try:
-        channel.call(outcome["kind"], payload, shards, pump.sent)
+        channel.call(outcome["kind"], payload, shards, sent_info)
     except (pickle.PicklingError, TypeError, ValueError,
             AttributeError) as exc:
         # The return value would not cross the process boundary (e.g.
@@ -525,7 +560,7 @@ def run_worker(cfg: WorkerConfig, rank: int, fn, args, kwargs,
         )
         try:
             channel.call("rank_error", encode_exception(err), shards,
-                         pump.sent)
+                         sent_info)
         except BaseException:  # noqa: BLE001 - master gone
             pass
     except BaseException:  # noqa: BLE001 - master gone; nothing to report to
@@ -608,9 +643,13 @@ class WorldServerMixin:
             context.store_delete(args[0], args[1])
             return None
         if method in ("finalize", "rank_killed", "rank_error"):
-            payload, shards, puts_sent = args
+            payload, shards, sent_info = args
+            if isinstance(sent_info, tuple):
+                puts_sent, send_failure = sent_info
+            else:  # a pump that ships a bare count has a healthy path
+                puts_sent, send_failure = sent_info, None
             return self._finish_rank(context, link, method, payload, shards,
-                                     puts_sent)
+                                     puts_sent, send_failure)
         raise CommunicatorError(f"unknown transport RPC {method!r}")
 
     def _blocking_get(self, context, comm_id: int, me: int, source: int,
@@ -668,19 +707,39 @@ class WorldServerMixin:
                 san.end_wait(me)
 
     def _finish_rank(self, context, link, method: str, payload,
-                     shards: dict, puts_sent: int) -> bool:
+                     shards: dict, puts_sent: int,
+                     send_failure: str | None = None) -> bool:
         # Delivery-drain barrier: the rank is not done until every
         # payload it handed to the wire sits in a mailbox — otherwise a
         # partner could observe "failed with an empty queue" and raise
-        # RankFailedError for a message that was actually sent.
+        # RankFailedError for a message that was actually sent.  A rank
+        # whose send pump already failed can never drain its missing
+        # puts: skip the doomed wait and attribute the loss below.
         with link.put_cond:
-            deadline = time.monotonic() + DRAIN_TIMEOUT
-            while (link.puts_received < puts_sent
-                   and time.monotonic() < deadline):
-                link.put_cond.wait(timeout=0.1)
+            if send_failure is None:
+                deadline = time.monotonic() + DRAIN_TIMEOUT
+                while (link.puts_received < puts_sent
+                       and time.monotonic() < deadline):
+                    link.put_cond.wait(timeout=0.1)
+            lost = puts_sent - link.puts_received
         self._merge_shards(context, link.rank, shards)
         rank = link.rank
         if method == "finalize":
+            if send_failure is not None and lost > 0:
+                # The program completed but some accepted deliveries
+                # never reached a mailbox; a clean finalize would make
+                # the blocked receivers' diagnosis ("rank already
+                # finalized with an empty queue") a lie.  Fail the rank
+                # with the send path as the named cause instead.
+                err = RankFailedError(
+                    f"rank {rank} finished its program but its send "
+                    f"path failed before {lost} staged "
+                    f"{'delivery' if lost == 1 else 'deliveries'} "
+                    f"reached the master ({send_failure})"
+                )
+                self._errors[rank] = err
+                context.mark_failed(rank)
+                return True
             self._values[rank] = payload
             context.mark_finalized(rank)
         elif method == "rank_killed":

@@ -148,6 +148,35 @@ def test_reset_does_not_corrupt_or_duplicate_messages():
     assert (0, 3, "net:reset", (256,)) in res.faults.trace_key()
 
 
+def test_dead_send_path_is_attributed_not_a_clean_finalize():
+    """A rank whose data link dies permanently (reconnects refused)
+    must not finalize clean: the master skips the doomed drain wait
+    and fails the rank with the send path as the named cause, so the
+    blocked receiver's diagnosis is the lost delivery — not a
+    misleading 'rank already finalized with an empty queue'."""
+    def prog(comm):
+        if comm.rank == 0:
+            # Sabotage the worker's own data path: kill the socket and
+            # point reconnects at a port nothing listens on, so the
+            # staged delivery below can never ship.
+            pump = comm.context._pump
+            pump._fs.close()
+            pump._addr = ("127.0.0.1", 1)
+            comm.send(np.ones(4), 1, tag=7)
+            return "finished"
+        return comm.recv(0, tag=7)
+
+    transport = SocketTransport(connect_policy=RetryPolicy(
+        max_retries=1, backoff_base=0.01, backoff_cap=0.02, jitter=0.0))
+    import time
+
+    t0 = time.monotonic()
+    with pytest.raises(RankFailedError, match="send path failed"):
+        run_spmd(prog, 2, recv_timeout=60, backend=transport)
+    # the master must not sit out the 30 s drain barrier first
+    assert time.monotonic() - t0 < 15.0
+
+
 def test_connect_retries_land_in_comm_trace_and_health():
     from repro.mpi import CommTrace
 
@@ -167,6 +196,89 @@ def test_connect_retries_land_in_comm_trace_and_health():
 
 
 # ----------------------------------------------------------------------
+# Rendezvous hardening: nothing is unpickled before authentication
+# ----------------------------------------------------------------------
+def test_rendezvous_rejects_pickle_and_bad_token_preauth(tmp_path):
+    """The accept loop must never deserialize a pickle from an
+    unauthenticated connection: a crafted pickled hello (the attack the
+    pre-JSON protocol allowed) is dropped without executing anything,
+    a JSON hello with a wrong token is dropped, and only the correct
+    token earns the ``ok`` acknowledgement."""
+    import json
+    import os
+    import pickle
+    import socket as socketlib
+    import struct
+    import threading
+    from types import SimpleNamespace
+
+    from repro.mpi.transport.sockets import SocketTransport, _SockLink
+
+    transport = SocketTransport()
+    transport._shutdown = threading.Event()
+    transport._boot_blobs = None
+    transport.net_health = {0: {"connect_attempts": 0, "retries": 0,
+                                "reconnects": 0, "heartbeat_age": None,
+                                "disconnect": None, "faults": []}}
+    listener = socketlib.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    links = [_SockLink(0)]
+    context = SimpleNamespace(comm_trace=None, recorder=None)
+    thread = threading.Thread(
+        target=transport._accept_loop,
+        args=(listener, links, "right-token", context), daemon=True,
+    )
+    thread.start()
+
+    def frame(blob: bytes) -> bytes:
+        return struct.pack("<I", len(blob)) + blob
+
+    marker = str(tmp_path / "pwned")
+
+    class Evil:
+        def __reduce__(self):
+            return (os.mkdir, (marker,))
+
+    try:
+        # A pickled hello that would mkdir on load — even with the
+        # correct token in the old tuple slot — must be dropped with
+        # the connection closed and the payload never deserialized.
+        evil = pickle.dumps(
+            (("hello", "ctl", 0, "right-token", Evil()), []), protocol=4
+        )
+        with socketlib.create_connection(("127.0.0.1", port), timeout=5) as s:
+            s.sendall(frame(evil))
+            s.settimeout(5)
+            assert s.recv(1) == b""  # closed, no reply
+        assert not os.path.exists(marker), "pre-auth pickle was executed"
+
+        # A well-formed JSON hello with the wrong token: closed too.
+        bad = json.dumps({"kind": "hello", "purpose": "ctl", "rank": 0,
+                          "token": "wrong-token"}).encode()
+        with socketlib.create_connection(("127.0.0.1", port), timeout=5) as s:
+            s.sendall(frame(bad))
+            s.settimeout(5)
+            assert s.recv(1) == b""
+
+        # The correct token is acknowledged with a JSON ok.
+        good = json.dumps({"kind": "hello", "purpose": "ctl", "rank": 0,
+                           "token": "right-token", "generation": 1,
+                           "attempts": 1, "retries": 0}).encode()
+        with socketlib.create_connection(("127.0.0.1", port), timeout=5) as s:
+            s.sendall(frame(good))
+            s.settimeout(5)
+            raw = s.recv(65536)
+            (length,) = struct.unpack("<I", raw[:4])
+            reply = json.loads(raw[4:4 + length])
+            assert reply["kind"] == "ok" and reply["world"] == 1
+    finally:
+        transport._shutdown.set()
+        thread.join(timeout=5)
+        listener.close()
+    assert links[0].ctl is not None  # the authenticated hello attached
+
+
+# ----------------------------------------------------------------------
 # RetryPolicy unit behavior
 # ----------------------------------------------------------------------
 def test_retry_policy_backoff_is_bounded_exponential():
@@ -174,6 +286,17 @@ def test_retry_policy_backoff_is_bounded_exponential():
                     jitter=0.0)
     delays = [p.delay(a) for a in range(5)]
     assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+
+def test_retry_policy_huge_attempt_counts_do_not_overflow():
+    # A Request poll loop feeds an unbounded attempt counter into
+    # delay(); 2.0 ** 1024 must not raise OverflowError and the cap
+    # must still hold (regression: long-pending polls crashed at ~1s).
+    p = RetryPolicy(backoff_base=1e-6, backoff_cap=1e-3, jitter=0.0)
+    for attempt in (64, 1024, 10**6):
+        assert p.delay(attempt) == 1e-3
+    uncapped = RetryPolicy(backoff_base=1e-6, backoff_cap=None, jitter=0.0)
+    assert uncapped.delay(10**6) == uncapped.delay(64)  # saturates, finite
 
 
 def test_retry_policy_jitter_stays_within_fraction():

@@ -86,6 +86,32 @@ class TestIsendIrecv:
         with pytest.raises(CommunicatorError):
             run_spmd(prog, 2)
 
+    def test_from_token_reraises_staging_failure(self):
+        """A send token resolved by a pump failure must surface the
+        error from wait()/test(), never report a successful stage."""
+        from repro.mpi.request import Request
+        from repro.mpi.transport.worldproxy import SendToken
+
+        token = SendToken()
+        token.error = OSError("wire fell over")
+        token.set()
+        req = Request.from_token(token)
+        with pytest.raises(CommunicatorError, match="wire fell over"):
+            req.test()
+        with pytest.raises(CommunicatorError, match="never reached"):
+            req.wait()
+
+    def test_from_token_clean_completion_unchanged(self):
+        from repro.mpi.request import Request
+        from repro.mpi.transport.worldproxy import SendToken
+
+        token = SendToken()
+        req = Request.from_token(token)
+        assert req.test() == (False, None)
+        token.set()
+        assert req.test() == (True, None)
+        assert req.wait() is None
+
 
 class TestReduceScatter:
     @pytest.mark.parametrize("p", [1, 2, 3, 4, 6])
