@@ -286,7 +286,8 @@ def _trace_program(comm, X, grid, tol, ranks, method, mode_order, verbose):
     )
 
 
-def _chaos_program(comm, X, tol, ranks, method):
+def _chaos_program(comm, X, tol, ranks, method, recover="shrink",
+                   ckpt_dir=None):
     """Rank program of ``repro chaos`` (module-level: picklable for
     socket-transport spawn mode)."""
     from .core.ft import sthosvd_fault_tolerant
@@ -294,6 +295,7 @@ def _chaos_program(comm, X, tol, ranks, method):
     res = sthosvd_fault_tolerant(
         comm, X if comm.rank == 0 else None,
         tol=tol, ranks=ranks, method=method,
+        recover=recover, ckpt_dir=ckpt_dir,
     )
     tucker = res.result.to_tucker()  # collective: every rank calls
     err = None
@@ -303,7 +305,14 @@ def _chaos_program(comm, X, tol, ranks, method):
             np.linalg.norm((rec - X).ravel()) / np.linalg.norm(X.ravel())
         )
     return {"err": err, "survivors": res.comm.size,
-            "recoveries": res.recoveries}
+            "recoveries": res.recoveries,
+            # The replay-determinism check compares this sequence across
+            # replays: same fault plan, same recovery story.
+            "recovery_seq": [
+                (kind, detail.get("mode"), detail.get("survivors"),
+                 detail.get("resumed_step"))
+                for kind, detail in res.events
+            ]}
 
 
 def _cmd_trace(args) -> int:
@@ -451,7 +460,7 @@ def _cmd_chaos(args) -> int:
         X = X.astype(np.float32)
     ranks = tuple(args.ranks) if args.ranks else None
 
-    def launch(plan):
+    def launch(plan, ckpt_dir=None):
         recorder = None
         if args.postmortem_dir:
             from .obs import FlightRecorder
@@ -460,6 +469,7 @@ def _cmd_chaos(args) -> int:
         try:
             return run_spmd(_chaos_program, nprocs,
                             X, args.tol, ranks, args.method,
+                            args.recover, ckpt_dir,
                             faults=plan, resilience=True,
                             backend=_backend_arg(args), recorder=recorder)
         except Exception:
@@ -510,17 +520,32 @@ def _cmd_chaos(args) -> int:
     failures = 0
     for name, plan in scenarios:
         keys, errs, survivors, recoveries, fired = [], [], None, None, 0
-        for _ in range(args.replays):
-            res = launch(plan)
+        recovery_seqs = []
+        for replay in range(args.replays):
+            ckpt_dir = None
+            if args.ckpt_dir:
+                # Fresh directory per replay: replays must be identical,
+                # not resume each other's checkpoints.
+                ckpt_dir = os.path.join(args.ckpt_dir, f"{name}-r{replay}")
+            res = launch(plan, ckpt_dir)
             keys.append(res.faults.trace_key())
             fired = len(res.faults.trace)
             done = [v for v in res.values if v is not None]
             errs.append(next(v["err"] for v in done if v["err"] is not None))
             survivors = done[0]["survivors"]
             recoveries = done[0]["recoveries"]
-        deterministic = all(k == keys[0] for k in keys)
+            recovery_seqs.append(done[0]["recovery_seq"])
+        # Replaying the same fault trace must yield the identical
+        # recovery sequence (same mode, same survivors, same resumed
+        # steps) — not just the same fired faults.
+        deterministic = (
+            all(k == keys[0] for k in keys)
+            and all(s == recovery_seqs[0] for s in recovery_seqs)
+        )
         ratio = errs[0] / base_err if base_err else 1.0
         ok = deterministic and ratio <= args.error_factor
+        if args.recover == "replace":
+            ok = ok and survivors == nprocs
         failures += not ok
         rows.append([
             name, fired, survivors, recoveries,
@@ -847,6 +872,14 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--error-factor", type=float, default=10.0,
                     help="max allowed reconstruction error relative to the "
                          "fault-free run")
+    ch.add_argument("--recover", default="shrink",
+                    choices=["shrink", "replace"],
+                    help="recovery mode after an injected crash: shrink "
+                         "to the survivors, or respawn the dead rank and "
+                         "keep the grid shape")
+    ch.add_argument("--ckpt-dir", default=None,
+                    help="durable checkpoint tier: mirror checkpoints to "
+                         "per-replay subdirectories of this path")
     ch.add_argument("--backend", default=None,
                     choices=["threads", "procs", "sockets"],
                     help="SPMD transport (default: REPRO_SPMD_BACKEND or threads)")

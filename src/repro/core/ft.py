@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..errors import RankFailedError
 from ..dist.dtensor import GridComms
 from ..dist.grid import ProcessorGrid
@@ -69,44 +71,114 @@ class FaultTolerantResult:
     events: list = field(default_factory=list)
 
 
-def _recover_loop(comm, full, run, *, max_recoveries: int, ckpt):
-    """Shared run/catch/shrink/resume loop for both drivers.
+def _recover_loop(comm, full, run, *, max_recoveries: int, ckpt,
+                  recover: str = "shrink"):
+    """Shared run/catch/recover/resume loop for both drivers.
 
     ``run(comm, full, resume)`` executes one attempt over a freshly
     built grid and returns the driver result; ``full`` is the (root
     only) tensor the attempt distributes.
+
+    ``recover`` picks what the survivors rebuild after revoking the
+    failed epoch: ``"shrink"`` produces a dense-ranked communicator of
+    the survivors (the world gets smaller), ``"replace"`` asks the
+    transport to respawn the dead rank and rebuilds the full-size world
+    (the grid keeps its original shape).  A respawned replacement
+    replays the whole program from the top: its first operation on the
+    revoked world raises :class:`~repro.errors.CommRevokedError`, which
+    lands it in this same handler to join the replace rendezvous.
     """
+    if recover not in ("shrink", "replace"):
+        raise ValueError(
+            f"recover must be 'shrink' or 'replace', got {recover!r}")
     resume = None
     recoveries = 0
     events: list = []
+    original: RankFailedError | None = None
+    if full is not None:
+        # Pin the *input* fingerprint before any resume swaps ``full``
+        # for a recovered (already-truncated) tensor; the root's
+        # manifest writes carry it so restart-from-disk can refuse a
+        # checkpoint belonging to a different run.
+        ckpt.input_info = {
+            "shape": tuple(int(s) for s in full.shape),
+            "dtype": np.dtype(full.dtype).name,
+        }
+    if ckpt.ckpt_dir is not None:
+        # Restart-from-disk: a brand-new world (e.g. relaunched after a
+        # total crash) picks up from the newest committed manifest; a
+        # fresh directory resumes nothing and runs from scratch.
+        try:
+            with trace_span("ft.resume_disk"):
+                disk = ckpt.resume_from_disk(comm, full)
+        except RankFailedError:
+            # A replacement replaying the program (or a survivor racing
+            # a concurrent failure) trips the revoked epoch here; the
+            # loop below recovers from the in-memory tier instead.
+            disk = None
+        if disk is not None:
+            step, resume, recovered = disk
+            if comm.rank == 0:
+                full = recovered
+            events.append((
+                "disk_resume",
+                {"resumed_step": step, "ckpt_dir": ckpt.ckpt_dir},
+            ))
+    pending: RankFailedError | None = None
     while True:
         try:
+            if pending is not None:
+                with trace_span("ft.recover", attempt=recoveries,
+                                mode=recover):
+                    # Revoke before rebuilding: peers still blocked
+                    # inside the dead epoch's collectives wake with
+                    # CommRevokedError (a RankFailedError) and land in
+                    # this same handler.  The whole recovery sequence
+                    # runs inside the try: a *second* failure mid-
+                    # recovery (e.g. the replacement dying during the
+                    # checkpoint reassembly) loops back into another
+                    # cycle instead of escaping.
+                    comm.revoke()
+                    if recover == "replace":
+                        comm = comm.replace()
+                    else:
+                        comm = comm.shrink()
+                    step, meta, recovered = ckpt.recover(comm, root=0)
+                    # Re-arm the buddy invariant: entries whose second
+                    # copy died with the failed rank get a fresh
+                    # replica, so the *next* failure cannot take the
+                    # last surviving copy.
+                    ckpt.rebalance(comm)
+                resume = meta
+                full = recovered if comm.rank == 0 else None
+                events.append((
+                    "rank_failure",
+                    {
+                        "recovery": recoveries,
+                        "mode": recover,
+                        "survivors": comm.size,
+                        "resumed_step": step,
+                        "cause": f"{type(pending).__name__}: {pending}",
+                    },
+                ))
+                pending = None
             result = run(comm, full, resume)
             return FaultTolerantResult(
                 result=result, comm=comm, recoveries=recoveries, events=events,
             )
         except RankFailedError as exc:
+            if original is None:
+                original = exc
             recoveries += 1
             if recoveries > max_recoveries:
-                raise
-            with trace_span("ft.recover", attempt=recoveries):
-                # Revoke before shrink: peers still blocked inside the
-                # dead epoch's collectives wake with CommRevokedError
-                # (a RankFailedError) and land in this same handler.
-                comm.revoke()
-                comm = comm.shrink()
-                step, meta, recovered = ckpt.recover(comm, root=0)
-            resume = meta
-            full = recovered if comm.rank == 0 else None
-            events.append((
-                "rank_failure",
-                {
-                    "recovery": recoveries,
-                    "survivors": comm.size,
-                    "resumed_step": step,
-                    "cause": f"{type(exc).__name__}: {exc}",
-                },
-            ))
+                # Surface the failure that started the cascade, carrying
+                # the recovery history — not whatever secondary error
+                # the last doomed retry happened to die of.
+                original.recovery_history = tuple(events)
+                if exc is original:
+                    raise
+                raise original from exc
+            pending = exc
 
 
 def _bcast_ndim(comm, full) -> int:
@@ -126,6 +198,8 @@ def sthosvd_fault_tolerant(
     max_recoveries: int = 2,
     checkpoint_name: str = "sthosvd",
     checkpoint_keep: int = 2,
+    recover: str = "shrink",
+    ckpt_dir: str | None = None,
     progress: Callable[[dict], None] | None = None,
 ) -> FaultTolerantResult:
     """Fault-tolerant parallel ST-HOSVD (collective over ``comm``).
@@ -133,16 +207,27 @@ def sthosvd_fault_tolerant(
     ``full`` is the input tensor on ``comm``'s rank 0 (None elsewhere).
     Decomposition arguments match :func:`~repro.core.sthosvd_parallel.
     sthosvd_parallel`.  Up to ``max_recoveries`` rank failures are
-    survived; one more re-raises the :class:`~repro.errors.
-    RankFailedError`.  The returned ``result`` is a
-    :class:`~repro.core.sthosvd_parallel.ParallelSthosvdResult` whose
-    core is distributed over ``FaultTolerantResult.comm``.
+    survived; one more re-raises the *original* :class:`~repro.errors.
+    RankFailedError` with ``recovery_history`` attached.  The returned
+    ``result`` is a :class:`~repro.core.sthosvd_parallel.
+    ParallelSthosvdResult` whose core is distributed over
+    ``FaultTolerantResult.comm``.
+
+    ``recover="replace"`` respawns dead ranks instead of shrinking (the
+    grid keeps its shape; needs a transport with respawn support —
+    every ``run_spmd`` backend qualifies).  ``ckpt_dir`` adds the
+    durable tier: checkpoints also land on disk, and a brand-new
+    invocation pointed at the same directory resumes from the newest
+    committed manifest.
     """
-    ckpt = DistributedCheckpoint(checkpoint_name, keep=checkpoint_keep)
-    ndim = _bcast_ndim(comm, full)
+    ckpt = DistributedCheckpoint(
+        checkpoint_name, keep=checkpoint_keep, ckpt_dir=ckpt_dir)
 
     def run(comm, full, resume) -> ParallelSthosvdResult:
-        grid = ProcessorGrid.for_size(comm.size, ndim)
+        # ndim is derived inside the attempt: a replacement's first
+        # collective must happen where the recovery loop can catch the
+        # revoked-epoch error and route it into the replace rendezvous.
+        grid = ProcessorGrid.for_size(comm.size, _bcast_ndim(comm, full))
         comms = GridComms(comm, grid)
         dt = distribute_from_root(comms, full, root=0)
         return sthosvd_parallel(
@@ -151,7 +236,8 @@ def sthosvd_fault_tolerant(
             checkpoint=ckpt, resume=resume,
         )
 
-    return _recover_loop(comm, full, run, max_recoveries=max_recoveries, ckpt=ckpt)
+    return _recover_loop(comm, full, run, max_recoveries=max_recoveries,
+                         ckpt=ckpt, recover=recover)
 
 
 def hooi_fault_tolerant(
@@ -168,19 +254,22 @@ def hooi_fault_tolerant(
     max_recoveries: int = 2,
     checkpoint_name: str = "hooi",
     checkpoint_keep: int = 2,
+    recover: str = "shrink",
+    ckpt_dir: str | None = None,
     progress: Callable[[dict], None] | None = None,
 ) -> FaultTolerantResult:
     """Fault-tolerant distributed HOOI (collective over ``comm``).
 
     ``full`` is the input tensor on rank 0.  Checkpoints are taken per
     completed sweep, so a failure costs at most one repeated sweep plus
-    the recovery redistribution.
+    the recovery redistribution.  ``recover`` and ``ckpt_dir`` behave
+    exactly as in :func:`sthosvd_fault_tolerant`.
     """
-    ckpt = DistributedCheckpoint(checkpoint_name, keep=checkpoint_keep)
-    ndim = _bcast_ndim(comm, full)
+    ckpt = DistributedCheckpoint(
+        checkpoint_name, keep=checkpoint_keep, ckpt_dir=ckpt_dir)
 
     def run(comm, full, resume) -> ParallelHooiResult:
-        grid = ProcessorGrid.for_size(comm.size, ndim)
+        grid = ProcessorGrid.for_size(comm.size, _bcast_ndim(comm, full))
         comms = GridComms(comm, grid)
         dt = distribute_from_root(comms, full, root=0)
         return hooi_parallel(
@@ -189,4 +278,5 @@ def hooi_fault_tolerant(
             progress=progress, checkpoint=ckpt, resume=resume,
         )
 
-    return _recover_loop(comm, full, run, max_recoveries=max_recoveries, ckpt=ckpt)
+    return _recover_loop(comm, full, run, max_recoveries=max_recoveries,
+                         ckpt=ckpt, recover=recover)

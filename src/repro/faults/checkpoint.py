@@ -20,18 +20,32 @@ coordinates, and redistribute over whatever grid the survivors form
 Entries are keyed by the *epoch* (communicator id) that wrote them, so
 blocks saved before and after a shrink never mix: a complete set is
 ``nprocs`` entries from one epoch, any epoch.
+
+The optional **durable tier** (``ckpt_dir=``) additionally lands every
+shard on disk — each rank writes its own block and the buddy copy it
+holds, then rank 0 commits a versioned JSON manifest using the same
+tmp + rename discipline as :mod:`repro.core.checkpoint` — so a *total*
+world crash (every rank dead, the master gone) can be survived by a new
+``run_spmd`` invocation resuming from the directory.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pickle
 from typing import Any
 
 import numpy as np
 
 from ..errors import CheckpointError
 from ..obs.recorder import record_event as _record_event
+from ..core.checkpoint import _write_atomic
 
 __all__ = ["DistributedCheckpoint"]
+
+#: Manifest schema tag; bump on incompatible layout changes.
+_MANIFEST_SCHEMA = "repro-dckpt/1"
 
 # User tag reserved for the buddy-copy exchange.  Drivers communicate
 # through collectives (negative internal tags), so any non-negative tag
@@ -50,13 +64,25 @@ class DistributedCheckpoint:
 
     ``keep`` bounds retained steps per rank: after saving step ``s``,
     entries at steps ``<= s - keep`` are pruned from the local slot.
+
+    ``ckpt_dir`` enables the durable tier: shards and buddy copies are
+    mirrored to that directory and committed under a per-step manifest,
+    so :meth:`resume_from_disk` can restart a *fresh* world after every
+    rank (and the master) died.
     """
 
-    def __init__(self, name: str = "ckpt", keep: int = 2) -> None:
+    def __init__(self, name: str = "ckpt", keep: int = 2,
+                 ckpt_dir: str | None = None) -> None:
         if keep < 1:
             raise CheckpointError("keep must be >= 1")
         self.name = name
         self.keep = keep
+        self.ckpt_dir = ckpt_dir
+        # The owning driver may pin the *input* tensor's fingerprint
+        # (set on the root rank, whose manifest writes carry it); the
+        # stored blocks themselves are progressively truncated, so only
+        # this records what run the checkpoint belongs to.
+        self.input_info: dict | None = None
 
     # -- saving ---------------------------------------------------------
     def save(self, dt, step: int, meta: dict) -> None:
@@ -86,6 +112,7 @@ class DistributedCheckpoint:
         }
         key = (self.name, entry["epoch"], entry["step"], entry["owner"])
         ctx.store_put(me_world, key, entry)
+        buddy_entry = None
         if comm.size > 1:
             right = (comm.rank + 1) % comm.size
             left = (comm.rank - 1) % comm.size
@@ -97,6 +124,8 @@ class DistributedCheckpoint:
             )
             ctx.store_put(me_world, buddy_key, buddy_entry)
         self._prune(ctx, me_world, step)
+        if self.ckpt_dir is not None:
+            self._save_to_disk(comm, entry, buddy_entry)
         _record_event(
             "checkpoint", self.name, step=int(step), epoch=comm.comm_id,
             nbytes=int(entry["block"].nbytes),
@@ -107,6 +136,219 @@ class DistributedCheckpoint:
         for key, _entry in ctx.store_items(holder):
             if key[0] == self.name and key[2] <= horizon:
                 ctx.store_delete(holder, key)
+
+    # -- durable tier ---------------------------------------------------
+    def _shard_path(self, epoch: int, step: int, owner: int,
+                    kind: str) -> str:
+        return os.path.join(
+            self.ckpt_dir,
+            f"{self.name}-s{step:06d}-e{epoch}-{kind}-{owner:04d}.pkl",
+        )
+
+    def _manifest_path(self, epoch: int, step: int) -> str:
+        return os.path.join(
+            self.ckpt_dir,
+            f"{self.name}-manifest-s{step:06d}-e{epoch}.json",
+        )
+
+    def _save_to_disk(self, comm, entry: dict,
+                      buddy_entry: dict | None) -> None:
+        """Land this step's shards durably; rank 0 commits the manifest.
+
+        Every rank writes its own block and the buddy copy it holds
+        (two independent copies of every shard on disk), then a barrier
+        guarantees all shards are durable before rank 0 renames the
+        manifest into place — the manifest is the commit point, so a
+        crash mid-save leaves at worst an uncommitted pile of shards
+        and the previous manifest still wins.
+        """
+        os.makedirs(self.ckpt_dir, exist_ok=True)
+        epoch, step = entry["epoch"], entry["step"]
+        for kind, shard in (("own", entry), ("buddy", buddy_entry)):
+            if shard is None:
+                continue
+            path = self._shard_path(
+                shard["epoch"], shard["step"], shard["owner"], kind)
+            _write_atomic(
+                path, lambda f, s=shard: pickle.dump(s, f, protocol=4))
+        comm.barrier()
+        if comm.rank == 0:
+            manifest = {
+                "schema": _MANIFEST_SCHEMA,
+                "name": self.name,
+                "step": int(step),
+                "epoch": int(epoch),
+                "nprocs": int(entry["nprocs"]),
+                "global_shape": [int(s) for s in entry["global_shape"]],
+                "dtype": entry["dtype"],
+                "input_shape": (
+                    list(self.input_info["shape"])
+                    if self.input_info else None
+                ),
+                "input_dtype": (
+                    self.input_info["dtype"] if self.input_info else None
+                ),
+                "shards": {
+                    str(o): {
+                        "own": os.path.basename(
+                            self._shard_path(epoch, step, o, "own")),
+                        "buddy": os.path.basename(
+                            self._shard_path(epoch, step, o, "buddy")),
+                    }
+                    for o in range(entry["nprocs"])
+                },
+            }
+            _write_atomic(
+                self._manifest_path(epoch, step),
+                lambda f: f.write(json.dumps(manifest, indent=1).encode()),
+            )
+            self._prune_disk(step)
+
+    def _prune_disk(self, current_step: int) -> None:
+        horizon = current_step - self.keep
+        prefix = f"{self.name}-"
+        for fname in os.listdir(self.ckpt_dir):
+            if not fname.startswith(prefix):
+                continue
+            part = fname[len(prefix):]
+            if part.startswith("manifest-"):
+                part = part[len("manifest-"):]
+            if not part.startswith("s"):
+                continue
+            try:
+                step = int(part[1:7])
+            except ValueError:
+                continue
+            if step <= horizon:
+                try:
+                    os.remove(os.path.join(self.ckpt_dir, fname))
+                except OSError:  # pragma: no cover - concurrent prune
+                    pass
+
+    def manifests(self) -> list[tuple[int, int, str]]:
+        """Committed ``(step, epoch, path)`` manifests, newest last."""
+        if self.ckpt_dir is None or not os.path.isdir(self.ckpt_dir):
+            return []
+        found = []
+        prefix = f"{self.name}-manifest-"
+        for fname in sorted(os.listdir(self.ckpt_dir)):
+            if not (fname.startswith(prefix) and fname.endswith(".json")):
+                continue
+            try:
+                stem = fname[len(prefix):-len(".json")]
+                s_part, e_part = stem.split("-", 1)
+                found.append((int(s_part[1:]), int(e_part[1:]),
+                              os.path.join(self.ckpt_dir, fname)))
+            except (ValueError, IndexError):
+                continue
+        found.sort(key=lambda t: (t[0], t[1]))
+        return found
+
+    def resume_from_disk(self, comm, full=None):
+        """Restart a fresh world from the newest on-disk manifest.
+
+        Collective over ``comm`` (typically the brand-new world of a
+        restarted ``run_spmd`` invocation).  Returns ``(step, meta,
+        full)`` with the reassembled tensor on rank 0 (None elsewhere),
+        or None when the directory holds no committed manifest.
+
+        ``full`` — the caller's input tensor on rank 0 — anchors the
+        refusal checks: a manifest whose dtype or global shape does not
+        match it, or whose world size does not match ``comm.size``,
+        raises :class:`~repro.errors.CheckpointError` on every rank
+        rather than silently resuming the wrong run.
+        """
+        if self.ckpt_dir is None:
+            raise CheckpointError(
+                "resume_from_disk needs a DistributedCheckpoint built "
+                "with ckpt_dir=")
+        payload = None
+        full_out = None
+        if comm.rank == 0:
+            loaded = self._load_newest_on_root(comm.size, full)
+            if loaded[0] == "ok":
+                # The reassembled tensor stays on the root; peers only
+                # need the verdict, the step, and the replicated meta.
+                payload = ("ok", loaded[1], loaded[2])
+                full_out = loaded[3]
+            else:
+                payload = loaded
+        payload = comm.bcast(payload, root=0)
+        status = payload[0]
+        if status == "none":
+            return None
+        if status == "err":
+            raise CheckpointError(payload[1])
+        _status, step, meta = payload
+        _record_event(
+            "checkpoint.resume_disk", self.name, step=int(step),
+        )
+        return step, meta, full_out
+
+    def _load_newest_on_root(self, nprocs: int, full):
+        """Rank 0: pick, validate, and reassemble the newest manifest.
+
+        Returns a bcast-able status tuple so peers either proceed or
+        raise the same refusal — never deadlock on a one-sided error.
+        """
+        committed = self.manifests()
+        if not committed:
+            return ("none",)
+        step, epoch, path = committed[-1]
+        try:
+            with open(path, "rb") as f:
+                manifest = json.load(f)
+        except (OSError, ValueError) as exc:
+            return ("err", f"checkpoint {self.name!r}: unreadable "
+                           f"manifest {os.path.basename(path)}: {exc}")
+        if manifest.get("schema") != _MANIFEST_SCHEMA:
+            return ("err", f"checkpoint {self.name!r}: manifest schema "
+                           f"{manifest.get('schema')!r} is not "
+                           f"{_MANIFEST_SCHEMA!r}")
+        if int(manifest["nprocs"]) != int(nprocs):
+            return ("err",
+                    f"checkpoint {self.name!r} was written by "
+                    f"{manifest['nprocs']} ranks; refusing to resume on "
+                    f"a world of {nprocs} (world-shape mismatch)")
+        if full is not None:
+            want_shape = manifest.get("input_shape")
+            if want_shape is not None and (
+                    tuple(int(s) for s in full.shape)
+                    != tuple(int(s) for s in want_shape)):
+                return ("err",
+                        f"checkpoint {self.name!r} belongs to an input "
+                        f"tensor of shape {tuple(want_shape)}; refusing "
+                        f"to resume a run over shape {tuple(full.shape)}")
+            want_dtype = manifest.get("input_dtype") or manifest["dtype"]
+            if np.dtype(want_dtype) != np.dtype(full.dtype):
+                return ("err",
+                        f"checkpoint {self.name!r} stores dtype "
+                        f"{np.dtype(want_dtype).name}; refusing to "
+                        f"resume a run over dtype "
+                        f"{np.dtype(full.dtype).name}")
+        shape = tuple(int(s) for s in manifest["global_shape"])
+        out = np.zeros(shape, dtype=np.dtype(manifest["dtype"]), order="F")
+        meta = None
+        for owner in range(int(manifest["nprocs"])):
+            files = manifest["shards"][str(owner)]
+            entry = None
+            for kind in ("own", "buddy"):
+                spath = os.path.join(self.ckpt_dir, files[kind])
+                try:
+                    with open(spath, "rb") as f:
+                        entry = pickle.load(f)
+                    break
+                except (OSError, pickle.PickleError, EOFError):
+                    continue
+            if entry is None:
+                return ("err",
+                        f"checkpoint {self.name!r}: both copies of "
+                        f"shard {owner} (step {step}) are unreadable")
+            if meta is None:
+                meta = entry["meta"]
+            out[tuple(slice(a, b) for a, b in entry["slices"])] = (
+                entry["block"])
+        return ("ok", int(step), meta, out)
 
     # -- recovery -------------------------------------------------------
     def latest_complete(self, new_comm) -> tuple[int, int, int] | None:
@@ -155,22 +397,27 @@ class DistributedCheckpoint:
             e for e in self._held(new_comm)
             if e["epoch"] == epoch and e["step"] == step
         ]
-        meta = held[0]["meta"] if held else None
-        # Every survivor contributed to the save, so it holds at least
-        # its own entry; still, be defensive about meta availability.
-        if meta is None:  # pragma: no cover - requires a pruned own entry
+        # ``meta`` (and the global shape/dtype) are replicated, but
+        # *this* rank may hold nothing: a replacement rank rejoining
+        # after ``recover="replace"`` starts with an empty store — and
+        # it may well be the root.  Take the first survivor's copy.
+        refs = new_comm.allgather(
+            (held[0]["meta"], held[0]["global_shape"], held[0]["dtype"])
+            if held else None
+        )
+        ref = next((r for r in refs if r is not None), None)
+        if ref is None:  # pragma: no cover - latest_complete found one
             raise CheckpointError(
-                f"checkpoint {self.name!r}: rank {new_comm.rank} holds no "
-                f"entry for step {step} (epoch {epoch})"
+                f"checkpoint {self.name!r}: no rank holds an entry for "
+                f"step {step} (epoch {epoch})"
             )
+        meta, shape, dtype = ref
         parts = new_comm.gather(
             [(e["owner"], e["slices"], e["block"]) for e in held], root=root,
         )
         full = None
         if new_comm.rank == root:
-            ref = held[0]
-            shape = ref["global_shape"]
-            full = np.zeros(shape, dtype=np.dtype(ref["dtype"]), order="F")
+            full = np.zeros(shape, dtype=np.dtype(dtype), order="F")
             seen: set[int] = set()
             for rank_parts in parts:
                 for owner, slices, block in rank_parts:
@@ -179,6 +426,56 @@ class DistributedCheckpoint:
                     seen.add(owner)
                     full[tuple(slice(a, b) for a, b in slices)] = block
         return step, meta, full
+
+    def rebalance(self, comm) -> int:
+        """Re-replicate entries left single-copy by a failure (collective).
+
+        After a shrink, entries whose second copy lived on the dead rank
+        survive only in one store — a follow-up failure of *that* holder
+        would lose the last copy.  Every rank computes the same plan
+        from an allgathered inventory of the newest complete step, and
+        each single-copy entry is copied to one more rank (the owner's
+        slot when it is empty, else the holder's current ring-right).
+        Returns the number of entries re-replicated.
+        """
+        chosen = self.latest_complete(comm)
+        if chosen is None or comm.size < 2:
+            return 0
+        epoch, step, _nprocs = chosen
+        mine = {
+            e["owner"]: e for e in self._held(comm)
+            if e["epoch"] == epoch and e["step"] == step
+        }
+        inventory = comm.allgather(sorted(mine))
+        holders: dict[int, list[int]] = {}
+        for rank, owners in enumerate(inventory):
+            for owner in owners:
+                holders.setdefault(owner, []).append(rank)
+        plan = []
+        for owner in sorted(holders):
+            who = holders[owner]
+            if len(who) >= 2:
+                continue
+            src = who[0]
+            if owner < comm.size and owner != src:
+                dst = owner  # restore the natural layout when possible
+            else:
+                dst = (src + 1) % comm.size
+            plan.append((src, dst, owner))
+        for src, dst, owner in plan:
+            if comm.rank == src:
+                comm.send(mine[owner], dst, tag=_BUDDY_TAG + 1)
+            elif comm.rank == dst:
+                entry = comm.recv(src, tag=_BUDDY_TAG + 1)
+                key = (self.name, entry["epoch"], entry["step"],
+                       entry["owner"])
+                comm.context.store_put(comm.world_rank, key, entry)
+        if plan:
+            _record_event(
+                "checkpoint.rebalance", self.name, step=int(step),
+                epoch=int(epoch), copies=len(plan),
+            )
+        return len(plan)
 
     def _held(self, comm) -> list[dict[str, Any]]:
         """This rank's stored entries for this checkpoint name."""

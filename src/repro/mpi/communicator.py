@@ -62,7 +62,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import CommunicatorError, RankFailedError
+from ..errors import CommRevokedError, CommunicatorError, RankFailedError
 from ..instrument import PHASE_COMM
 from ..obs.recorder import record_event as _record_event
 from ..obs.tracer import current_tracer, trace_span
@@ -348,8 +348,14 @@ class Communicator:
         ctx = self._context
         # Fault-tolerance hooks, ordered cheapest-first: the clean path
         # (no faults, no resilience, nothing revoked) costs two extra
-        # attribute reads and an integer compare.
-        if self._comm_id < ctx.revoked_below:
+        # attribute reads and an integer compare.  The revocation gate
+        # compares against the threshold this rank has *observed* — at
+        # a blocking wait, at its own revoke(), or seeded at respawn —
+        # never the live global flag, so a survivor is never yanked at
+        # an arbitrary op by an asynchronously landing revocation and
+        # fault-injection op counters / rng draw streams stay
+        # replayable run to run.
+        if self._comm_id < ctx.revocation_seen(self.world_rank):
             ctx.check_revoked(self._comm_id)
         if ctx.faults is not None or ctx.resilience is not None:
             # The retry protocol may deliver several times; completion
@@ -511,7 +517,9 @@ class Communicator:
     def _recv_internal(self, source: int, tag: int) -> Any:
         ctx = self._context
         ctx.check_alive()
-        if self._comm_id < ctx.revoked_below:
+        # Observed-threshold gate, not the live flag — see
+        # _send_internal for why this keeps fault replay deterministic.
+        if self._comm_id < ctx.revocation_seen(self.world_rank):
             ctx.check_revoked(self._comm_id)
         if ctx.faults is not None:
             ctx.faults.on_op(self.world_rank)
@@ -576,15 +584,30 @@ class Communicator:
             # failed-partner fast-fail, revocation checks, sanitizer
             # wait-graph bookkeeping — runs master-side inside the RPC
             # this proxy get issues; the worker just blocks on the reply.
-            return box.get(source, tag, ctx.recv_timeout)
+            try:
+                return box.get(source, tag, ctx.recv_timeout)
+            except CommRevokedError:
+                # A blocking wait is a deterministic observation point:
+                # arm this rank's entry-point revocation checks.
+                ctx.note_revocation_seen(self.world_rank)
+                raise
         san = ctx.sanitizer
         me = self.world_rank
         src_world = self._members[source]
 
         def poll() -> None:
-            if self._comm_id < ctx.revoked_below:
-                ctx.check_revoked(self._comm_id)
             status = ctx.rank_status(src_world)
+            # On a revoked epoch, raise only once the awaited message
+            # can never arrive — the partner is dead, finalized, or off
+            # recovering.  A partner still making progress gets to
+            # deliver, so consume-vs-raise is decided by program state,
+            # not by when the asynchronous revocation landed.
+            if (self._comm_id < ctx.revoked_below
+                    and not box.has(source, tag)
+                    and (status != "running"
+                         or ctx.is_recovering(src_world))):
+                ctx.note_revocation_seen(me)
+                ctx.check_revoked(self._comm_id)
             if status != "running" and not box.has(source, tag):
                 if san is not None:
                     diag = san.describe_failed_partner(
@@ -1287,13 +1310,19 @@ class Communicator:
         Call after catching :class:`~repro.errors.RankFailedError`:
         every operation on *any* communicator created so far — this
         one, the world, fiber sub-communicators — raises
-        :class:`~repro.errors.CommRevokedError` on every rank, breaking
-        survivors out of exchanges with live partners that have already
-        left for recovery.  Communicators created after the subsequent
-        :meth:`shrink` are unaffected.  Idempotent.
+        :class:`~repro.errors.CommRevokedError` once the executing rank
+        *observes* the revocation: immediately for the revoking rank
+        (and for replacements, which respawn with it pre-observed), and
+        at the next blocking wait that can no longer be satisfied for
+        everyone else.  That breaks survivors out of exchanges with
+        partners that have left for recovery without ever interrupting
+        a rank at a timing-dependent op — fault traces replay
+        identically.  Communicators created after the subsequent
+        :meth:`shrink` / :meth:`replace` are unaffected.  Idempotent.
         """
         self._context.revoke_current(
-            f"rank {self.world_rank} revoked the epoch after a failure"
+            f"rank {self.world_rank} revoked the epoch after a failure",
+            world_rank=self.world_rank,
         )
 
     def shrink(self) -> "Communicator":
@@ -1323,4 +1352,30 @@ class Communicator:
         new_rank = ordered_old.index(self._rank)
         return Communicator(
             ctx, new_id, new_members, new_rank, clock=self.clock
+        )
+
+    def replace(self) -> "Communicator":
+        """Full-world communicator with failed ranks respawned in place.
+
+        The elastic alternative to :meth:`shrink`: instead of
+        densifying the survivors, the rendezvous asks the transport to
+        relaunch every failed rank at its original world position, and
+        completes only once the *entire* original world — survivors
+        plus replacements — has joined.  The result always spans world
+        ranks ``0..world_size-1`` with identity ranking, so a processor
+        grid keeps its original shape across the failure.
+
+        Collective over survivors and replacements alike; like
+        :meth:`shrink` it works on a revoked communicator.  A freshly
+        respawned replacement reaches this rendezvous by replaying its
+        rank program from the top: its first operation on the revoked
+        world epoch raises :class:`~repro.errors.CommRevokedError`,
+        which the recovery loop treats like any other failure.
+        """
+        ctx = self._context
+        with self._comm_span("replace"):
+            new_id, _round = ctx.replace_rendezvous(self.world_rank)
+        members = list(range(ctx.world_size))
+        return Communicator(
+            ctx, new_id, members, self.world_rank, clock=self.clock
         )

@@ -268,6 +268,82 @@ class _ShrinkTable:
             self._cond.notify_all()
 
 
+class _ReplaceTable:
+    """Rendezvous for :meth:`Communicator.replace` (elastic rebuild).
+
+    Unlike :class:`_ShrinkTable`, the target membership is *fixed* — the
+    full original world — and part of it does not exist yet when the
+    round opens: the failed ranks still have to be respawned.  The
+    waiters therefore drive the replacement protocol themselves: every
+    poll asks the context to respawn any failed rank that has not yet
+    joined, which also re-drives the respawn when a replacement dies
+    before contributing (a ``repeat`` crash rule, say).  The table
+    freezes — and allocates the fresh epoch's communicator id — once
+    all ``world_size`` ranks have contributed.
+    """
+
+    def __init__(self, round_no: int, world_size: int) -> None:
+        self.round_no = round_no
+        self._size = world_size
+        self._cond = threading.Condition()
+        self._contributions: set[int] = set()
+        self._result: int | None = None
+        # world rank -> respawns issued this round (capped by the
+        # context so a rank that dies instantly forever cannot spin).
+        self.respawns: dict[int, int] = {}
+
+    @property
+    def done(self) -> bool:
+        with self._cond:
+            return self._result is not None
+
+    def contributed(self) -> set[int]:
+        with self._cond:
+            return set(self._contributions)
+
+    def contribute(
+        self,
+        world_rank: int,
+        allocate_comm_id: Callable[[], int],
+        ensure_replacements: Callable[["_ReplaceTable"], None],
+        timeout: float,
+        interval: float,
+    ) -> int:
+        """Register one rank; blocks until the whole world has rejoined.
+
+        The new communicator id is allocated inside the freeze — after
+        every participant (survivors *and* replacements) has revoked
+        and contributed — so the fresh epoch is never poisoned by the
+        revocation threshold.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._contributions.add(world_rank)
+            if self._result is None and len(self._contributions) == self._size:
+                self._result = allocate_comm_id()
+                self._cond.notify_all()
+            if self._result is not None:
+                return self._result
+        while True:
+            # Outside the lock: may fork/spawn a worker or raise.
+            ensure_replacements(self)
+            with self._cond:
+                if self._result is not None:
+                    return self._result
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    missing = sorted(set(range(self._size)) - self._contributions)
+                    raise CommunicatorError(
+                        f"replace timed out after {timeout}s waiting for "
+                        f"ranks {missing} to rejoin"
+                    )
+                self._cond.wait(timeout=min(interval, remaining))
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+
 class SpmdContext:
     """All shared state for one simulated world of ``world_size`` ranks."""
 
@@ -325,6 +401,21 @@ class SpmdContext:
         # CommRevokedError.  Monotone non-decreasing; 0 disables.
         self.revoked_below = 0
         self.revoke_reason: str | None = None
+        # Per-rank revocation *visibility*: entry-point checks compare
+        # against the threshold each rank has observed — at a blocking
+        # wait, at its own revoke(), or seeded at respawn — never the
+        # live global above.  A survivor is therefore interrupted at an
+        # op index that is a function of program state alone, not of
+        # when the asynchronous revocation happened to land, which keeps
+        # fault-injection op counters and rng draw streams replayable.
+        self._revoked_seen: dict[int, int] = defaultdict(int)
+        # World ranks between "caught a failure" (their revoke) and
+        # "joined the recovery rendezvous" (table freeze).  A blocked
+        # wait on a revoked epoch raises only when the awaited partner
+        # is dead, finalized, or in this set — i.e. when the message
+        # can never arrive — so consume-vs-raise is never a wall-clock
+        # race against a still-progressing peer.
+        self._recovering: set[int] = set()
         # Per-rank "node memory" for in-memory distributed checkpoints:
         # holder world rank -> {key: entry}.  A holder only ever reads
         # its *own* slot (buddy copies travel as real messages), so rank
@@ -342,6 +433,19 @@ class SpmdContext:
         # out-of-process ranks can propagate the state change promptly.
         self._abort_hooks: list = []
         self._revoke_hooks: list = []
+        # Elastic recovery: the transport installs a respawner so a
+        # replace rendezvous can relaunch failed ranks at their original
+        # position; the context tracks incarnations and a recovery log
+        # for the postmortem bundle and live telemetry.
+        self._respawner = None
+        self._respawn_lock = threading.Lock()
+        self._replace_table: _ReplaceTable | None = None
+        self._replace_round = 0
+        self._replace_lock = threading.Lock()
+        self.max_respawns_per_round = 8
+        self.rank_incarnations = [0] * world_size
+        self.recovery_log: list[dict] = []
+        self._recovery_log_lock = threading.Lock()
         if sanitizer is not None:
             sanitizer.attach(self)
 
@@ -392,6 +496,10 @@ class SpmdContext:
             shrink_tables = list(self._shrink_tables.values())
         for table in shrink_tables:
             table.wake()
+        with self._replace_lock:
+            replace_table = self._replace_table
+        if replace_table is not None:
+            replace_table.wake()
 
     # -- rank lifecycle ------------------------------------------------
     def rank_status(self, world_rank: int) -> str:
@@ -410,6 +518,69 @@ class SpmdContext:
         """Record a rank's death (exception) and wake blocked receivers."""
         with self._status_lock:
             self._rank_status[world_rank] = "failed"
+        self.wake_all_mailboxes()
+
+    def set_respawner(self, respawner) -> None:
+        """Install ``respawner(world_rank)`` for elastic replacement.
+
+        The transport provides it while the world is live; it must
+        relaunch the rank's program at the same world position and
+        clear any transport-held error slot for the dead incarnation.
+        """
+        self._respawner = respawner
+
+    @property
+    def supports_replace(self) -> bool:
+        """True when the transport can respawn failed ranks in place."""
+        return self._respawner is not None
+
+    def log_recovery(self, action: str, **detail) -> None:
+        """Append one event to the world's recovery timeline.
+
+        The timeline feeds the postmortem bundle's ``recovery`` section
+        and the telemetry snapshot, so operators can see *how* a run
+        survived, not just that it did.
+        """
+        event = {"action": action, "time": time.time(), **detail}
+        with self._recovery_log_lock:
+            self.recovery_log.append(event)
+
+    def recovery_events(self) -> list[dict]:
+        """Snapshot of the recovery timeline."""
+        with self._recovery_log_lock:
+            return list(self.recovery_log)
+
+    def mark_respawned(self, world_rank: int) -> None:
+        """Flip a failed rank back to running ahead of its replacement.
+
+        The dead incarnation's node-local store slot is dropped — its
+        "RAM" died with the process; replacements restore state from a
+        buddy copy or from the durable checkpoint tier — and the rank's
+        incarnation counter advances.  The status flip happens *before*
+        the transport launches the replacement so no blocked waiter
+        observes a half-replaced world as failed.
+        """
+        with self._status_lock:
+            self._rank_status[world_rank] = "running"
+            self.rank_incarnations[world_rank] += 1
+            incarnation = self.rank_incarnations[world_rank]
+        # A replacement joins a world whose current epoch is already
+        # revoked, and must say so deterministically from its first
+        # instruction: seed its observed threshold so its opening
+        # operation on any pre-crash communicator raises immediately
+        # instead of exchanging stale traffic with survivors.
+        self._revoked_seen[world_rank] = self.revoked_below
+        self._recovering.discard(world_rank)
+        with self._node_store_lock:
+            self._node_store.pop(world_rank, None)
+        self.log_recovery(
+            "respawn", rank=world_rank, incarnation=incarnation,
+        )
+        if self.recorder is not None:
+            self.recorder.record(
+                world_rank, "recovery", name="respawn",
+                incarnation=incarnation,
+            )
         self.wake_all_mailboxes()
 
     def failed_ranks(self) -> list[int]:
@@ -534,19 +705,27 @@ class SpmdContext:
             return out
 
         def poll(contributed: set) -> None:
-            # A split blocked on a member that already died can never
-            # complete; fail fast like a blocked receive would.
-            if parent_comm_id < self.revoked_below:
-                self.check_revoked(parent_comm_id)
+            # A split blocked on a member that can never contribute —
+            # dead, finalized, or off recovering a revoked epoch — can
+            # never complete; fail fast like a blocked receive would.
+            # Members that are still making progress get to contribute
+            # even after a revocation lands, so whether this split
+            # completes or raises is decided by program state alone.
             self.check_alive()
+            revoked = parent_comm_id < self.revoked_below
             for old, world in enumerate(members):
-                if old not in contributed:
-                    status = self.rank_status(world)
-                    if status != "running":
-                        raise RankFailedError(
-                            f"rank {world_rank} blocked in split "
-                            f"but member rank {world} already {status}"
-                        )
+                if old in contributed:
+                    continue
+                status = self.rank_status(world)
+                if revoked and (status != "running"
+                                or self.is_recovering(world)):
+                    self.note_revocation_seen(world_rank)
+                    self.check_revoked(parent_comm_id)
+                if status != "running":
+                    raise RankFailedError(
+                        f"rank {world_rank} blocked in split "
+                        f"but member rank {world} already {status}"
+                    )
 
         return table.contribute(
             rank, value, combine, self.recv_timeout,
@@ -576,14 +755,88 @@ class SpmdContext:
             running = self.running_world_ranks()
             return {i for i, w in enumerate(members) if w in running}
 
+        def allocate() -> int:
+            # Freeze point: every survivor has arrived, the recovery is
+            # committed — nobody is "recovering" any more, so the next
+            # failure round starts with a clean visibility slate.
+            self._recovering.clear()
+            return self.allocate_comm_id()
+
         interval = self.fault_poll_interval or 0.25
         return table.contribute(
             rank, world_rank, running_old_ranks,
-            self.allocate_comm_id, self.recv_timeout, interval,
+            allocate, self.recv_timeout, interval,
         )
 
+    def replace_rendezvous(self, world_rank: int) -> tuple[int, int]:
+        """One rank's contribution to a full-world replace.
+
+        Survivors and freshly respawned replacements all land here; the
+        round's table respawns any failed rank that has not yet joined
+        (and respawns it *again* if the replacement dies first), then
+        freezes once the entire original world has contributed.
+        Returns ``(new_comm_id, replace_round)``.
+
+        Keyed by a world-global round counter rather than the parent
+        communicator's operation sequence, because a replacement worker
+        shares no communicator history with the survivors — the round
+        number is the only rendezvous coordinate both sides can derive.
+        """
+        if self._respawner is None:
+            raise CommunicatorError(
+                "recover='replace' needs a transport that can respawn "
+                "ranks; run under run_spmd with the threads, procs, or "
+                "sockets backend"
+            )
+        with self._replace_lock:
+            table = self._replace_table
+            if table is None or table.done:
+                self._replace_round += 1
+                table = _ReplaceTable(self._replace_round, self.world_size)
+                self._replace_table = table
+
+        def allocate() -> int:
+            self._recovering.clear()
+            new_id = self.allocate_comm_id()
+            self.log_recovery(
+                "replace_commit", round=table.round_no, comm_id=new_id,
+                respawns=dict(table.respawns),
+            )
+            return new_id
+
+        interval = self.fault_poll_interval or 0.25
+        new_id = table.contribute(
+            world_rank, allocate, self._ensure_replacements,
+            self.recv_timeout, interval,
+        )
+        return new_id, table.round_no
+
+    def _ensure_replacements(self, table: _ReplaceTable) -> None:
+        """Respawn every failed rank that has not yet joined ``table``.
+
+        Serialized by a dedicated lock so concurrent pollers issue each
+        respawn exactly once: :meth:`mark_respawned` flips the rank
+        back to "running" before the transport launches it, and only
+        "failed" ranks are eligible here.
+        """
+        self.check_alive()
+        with self._respawn_lock:
+            joined = table.contributed()
+            for r in range(self.world_size):
+                if r in joined or self.rank_status(r) != "failed":
+                    continue
+                count = table.respawns.get(r, 0)
+                if count >= self.max_respawns_per_round:
+                    raise CommunicatorError(
+                        f"rank {r} died {count} times during replace "
+                        f"round {table.round_no}; giving up on replacement"
+                    )
+                table.respawns[r] = count + 1
+                self.mark_respawned(r)
+                self._respawner(r)
+
     # -- epoch revocation ----------------------------------------------
-    def revoke_current(self, reason: str) -> None:
+    def revoke_current(self, reason: str, world_rank: int | None = None) -> None:
         """Poison every communicator allocated so far (MPI_Comm_revoke).
 
         Any operation on a communicator whose id predates this call
@@ -600,6 +853,12 @@ class SpmdContext:
             if threshold > self.revoked_below:
                 self.revoked_below = threshold
                 self.revoke_reason = reason
+        if world_rank is not None:
+            # The revoking rank has by definition observed the
+            # revocation, and is now in recovery: peers blocked on a
+            # message from it may stop waiting.
+            self._recovering.add(world_rank)
+            self.note_revocation_seen(world_rank)
         self.wake_all_mailboxes()
         for hook in self._revoke_hooks:
             hook(self.revoked_below, reason)
@@ -613,6 +872,19 @@ class SpmdContext:
                 f"communicator {comm_id} was revoked: "
                 f"{self.revoke_reason or 'rank failure'}"
             )
+
+    def revocation_seen(self, world_rank: int) -> int:
+        """Threshold ``world_rank`` has observed (gates entry checks)."""
+        return self._revoked_seen[world_rank]
+
+    def note_revocation_seen(self, world_rank: int) -> None:
+        """Record that ``world_rank`` observed the current revocation."""
+        if self.revoked_below > self._revoked_seen[world_rank]:
+            self._revoked_seen[world_rank] = self.revoked_below
+
+    def is_recovering(self, world_rank: int) -> bool:
+        """True between a rank's revoke() and the next rendezvous freeze."""
+        return world_rank in self._recovering
 
     # -- fault-tolerance plumbing --------------------------------------
     @property

@@ -110,6 +110,10 @@ class _Link:
         self.send_lock = threading.Lock()
         self.put_cond = threading.Condition()
         self.puts_received = 0
+        # Set when a replacement superseded this link: its EOF is then
+        # expected teardown of the dead incarnation, not a new death,
+        # and must not fail the rank the replacement now occupies.
+        self.replaced = False
 
     @staticmethod
     def _close(conns) -> None:
@@ -333,7 +337,55 @@ class ProcessTransport(WorldServerMixin, Transport):
         )
         cfg = WorkerConfig(context)
 
-        procs = []
+        procs: list = []
+        threads: list = []
+        spawn_lock = threading.Lock()
+
+        def serve_link(link: _Link) -> None:
+            for target, label in ((self._serve_ctl, "ctl"),
+                                  (self._serve_data, "data")):
+                thread = threading.Thread(
+                    target=target, args=(link, context), daemon=True,
+                    name=f"spmd-{label}-{link.rank}",
+                )
+                thread.start()
+                with spawn_lock:
+                    threads.append(thread)
+
+        def respawn(rank: int) -> None:
+            # Elastic replacement: supersede the dead incarnation's
+            # link, forget its error (the replacement's lifecycle
+            # message owns the slot now), and re-fork the rank program
+            # at the same world position.  The fresh fork inherits the
+            # master's current state, so the replacement's WorkerConfig
+            # travels by reference exactly like the original's; its
+            # respawn_info tells the worker which incarnation it is.
+            links[rank].replaced = True
+            self._errors[rank] = None
+            new_link = _Link(rank, self.ring_bytes, mp_ctx)
+            links[rank] = new_link
+            rcfg = WorkerConfig(context)
+            rcfg.respawn_info = {
+                "incarnation": context.rank_incarnations[rank],
+                "crash_fired": (context.faults.crash_fires(rank)
+                                if context.faults is not None else None),
+                "revoked_below": context.revoked_below,
+                "revoke_reason": context.revoke_reason,
+            }
+            proc = mp_ctx.Process(
+                target=_worker_main,
+                args=(links, rank, fn, args, kwargs, rcfg),
+                name=f"spmd-rank-{rank}-i{rcfg.respawn_info['incarnation']}",
+                daemon=True,
+            )
+            proc.start()
+            with spawn_lock:
+                procs.append(proc)
+            new_link.close_worker_ends()
+            serve_link(new_link)
+
+        context.set_respawner(respawn)
+
         for link in links:
             proc = mp_ctx.Process(
                 target=_worker_main,
@@ -345,21 +397,28 @@ class ProcessTransport(WorldServerMixin, Transport):
             procs.append(proc)
         for link in links:
             link.close_worker_ends()
-
-        threads = []
         for link in links:
-            for target, label in ((self._serve_ctl, "ctl"),
-                                  (self._serve_data, "data")):
-                thread = threading.Thread(
-                    target=target, args=(link, context), daemon=True,
-                    name=f"spmd-{label}-{link.rank}",
-                )
-                thread.start()
-                threads.append(thread)
+            serve_link(link)
 
-        for proc in procs:
+        # Join by index: a replace rendezvous running on a ctl service
+        # thread may append replacement processes (and their service
+        # threads) while this loop is already draining, and every
+        # incarnation must be joined before the results are read.
+        i = 0
+        while True:
+            with spawn_lock:
+                if i >= len(procs):
+                    break
+                proc = procs[i]
+            i += 1
             proc.join()
-        for thread in threads:
+        i = 0
+        while True:
+            with spawn_lock:
+                if i >= len(threads):
+                    break
+                thread = threads[i]
+            i += 1
             thread.join(timeout=10.0)
         for link in links:
             link.close_master_ends()
@@ -448,7 +507,7 @@ class ProcessTransport(WorldServerMixin, Transport):
         # (killed, segfaulted): record the death so blocked partners
         # fast-fail with RankFailedError instead of timing out.
         rank = link.rank
-        if context.rank_status(rank) == "running":
+        if not link.replaced and context.rank_status(rank) == "running":
             if self._errors[rank] is None:
                 self._errors[rank] = RankFailedError(
                     f"rank {rank} worker process died unexpectedly"

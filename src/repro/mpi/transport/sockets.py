@@ -487,6 +487,10 @@ class _SockLink:
         self.partitioned = False
         self.finished = False  # lifecycle RPC fully processed
         self.proc = None  # Process (fork) or Popen (spawn)
+        # Set when a replacement superseded this link: the dead
+        # incarnation's teardown (EOF, liveness expiry) must not fail
+        # the rank its replacement now occupies.
+        self.replaced = False
 
     def attach(self, purpose: str, fs: FramedSocket) -> None:
         with self.cond:
@@ -626,17 +630,11 @@ class SocketTransport(WorldServerMixin, Transport):
         )
         accept_thread.start()
 
-        # Rendezvous: every worker must raise both links within the
-        # grace window (injected connect refusals burn into it).
-        deadline = time.monotonic() + self.connect_grace
-        threads = []
-        for link in links:
-            if not link.wait_ready(deadline):
-                self._declare_lost(
-                    link, context,
-                    f"never connected within {self.connect_grace:.0f}s",
-                )
-                continue
+        threads: list = []
+        procs: list = []
+        spawn_lock = threading.Lock()
+
+        def serve_link(link: _SockLink) -> None:
             for target, label in ((self._serve_ctl, "ctl"),
                                   (self._serve_data, "data")):
                 thread = threading.Thread(
@@ -644,18 +642,118 @@ class SocketTransport(WorldServerMixin, Transport):
                     name=f"spmd-sock-{label}-{link.rank}",
                 )
                 thread.start()
-                threads.append(thread)
+                with spawn_lock:
+                    threads.append(thread)
 
-        for link in links:
-            proc = link.proc
-            if proc is None:
+        def respawn(rank: int) -> None:
+            # Elastic replacement: retire the dead incarnation's link,
+            # forget its error (the replacement's lifecycle overwrites
+            # the slot), and relaunch the worker through the same
+            # rendezvous the original used — the accept loop indexes
+            # ``links`` at hello time, so the replacement's connections
+            # attach to the fresh link.
+            old = links[rank]
+            old.replaced = True
+            old.close()  # unblocks the old serve threads via LinkClosed
+            self._errors[rank] = None
+            new_link = _SockLink(rank)
+            links[rank] = new_link
+            rcfg = WorkerConfig(context)
+            rcfg.respawn_info = {
+                "incarnation": context.rank_incarnations[rank],
+                "crash_fired": (
+                    context.faults.crash_fires(rank)
+                    if context.faults is not None else None
+                ),
+                "revoked_below": context.revoked_below,
+                "revoke_reason": context.revoke_reason,
+            }
+            incarnation = rcfg.respawn_info["incarnation"]
+            self.net_health[rank]["reconnects"] += 1
+            if self.hosts is None:
+                mp_ctx = multiprocessing.get_context("fork")
+                proc = mp_ctx.Process(
+                    target=_worker_main,
+                    args=(addr, token, rank, fn, args, kwargs, rcfg,
+                          netrules, knobs, listener),
+                    name=f"spmd-sock-rank-{rank}-i{incarnation}",
+                    daemon=True,
+                )
+                proc.start()
+            else:
+                if self._boot_blobs is not None:
+                    self._boot_blobs[rank] = self._boot_blob(
+                        rank, fn, args, kwargs, rcfg, netrules, knobs)
+                env = dict(os.environ)
+                env[TOKEN_ENV_VAR] = token
+                proc = subprocess.Popen(
+                    [self.python, "-m", "repro.mpi.transport.sockworker",
+                     "--addr", f"{addr[0]}:{addr[1]}",
+                     "--rank", str(rank)],
+                    stdin=subprocess.DEVNULL,
+                    env=env,
+                )
+            new_link.proc = proc
+            with spawn_lock:
+                procs.append(proc)
+
+            def boot() -> None:
+                ok = new_link.wait_ready(
+                    time.monotonic() + self.connect_grace)
+                if ok:
+                    serve_link(new_link)
+                else:
+                    self._declare_lost(
+                        new_link, context,
+                        f"replacement never connected within "
+                        f"{self.connect_grace:.0f}s",
+                    )
+
+            threading.Thread(
+                target=boot, daemon=True,
+                name=f"spmd-sock-boot-{rank}-i{incarnation}",
+            ).start()
+
+        # The initial incarnations are collected before the respawner
+        # is registered, so every process the run ever launched —
+        # original or replacement — lands in ``procs`` exactly once.
+        procs.extend(link.proc for link in links if link.proc is not None)
+        context.set_respawner(respawn)
+
+        # Rendezvous: every worker must raise both links within the
+        # grace window (injected connect refusals burn into it).
+        deadline = time.monotonic() + self.connect_grace
+        for link in list(links):
+            if not link.wait_ready(deadline):
+                self._declare_lost(
+                    link, context,
+                    f"never connected within {self.connect_grace:.0f}s",
+                )
                 continue
+            serve_link(link)
+
+        # Join by index: a replace rendezvous may append replacement
+        # workers (and their serve threads) while earlier ones are
+        # still being joined; every incarnation must be reaped.
+        i = 0
+        while True:
+            with spawn_lock:
+                if i >= len(procs):
+                    break
+                proc = procs[i]
+            i += 1
             if hasattr(proc, "join"):
                 proc.join()
             else:  # Popen
                 proc.wait()
         self._shutdown.set()
-        for thread in threads:
+        i = 0
+        while True:
+            with spawn_lock:
+                if i >= len(threads):
+                    break
+                thread = threads[i]
+            i += 1
             thread.join(timeout=10.0)
         accept_thread.join(timeout=5.0)
         try:
@@ -908,7 +1006,7 @@ class SocketTransport(WorldServerMixin, Transport):
         deadline (running since the last received frame) expires.
         """
         while True:
-            if link.finished or self._shutdown.is_set():
+            if link.finished or link.replaced or self._shutdown.is_set():
                 return
             with link.cond:
                 fs = link.data
@@ -979,6 +1077,10 @@ class SocketTransport(WorldServerMixin, Transport):
         h = self.net_health[rank]
         h["disconnect"] = why
         h["heartbeat_age"] = round(age, 3)
+        if link.replaced:
+            # The rank status now describes the replacement; this link
+            # belongs to an incarnation already recovered from.
+            return
         if context.rank_status(rank) != "running":
             return
         if link.partitioned and context.faults is not None:

@@ -107,6 +107,7 @@ class WorkerConfig:
         "world_size", "cost_model", "recv_timeout", "tuning", "resilience",
         "faults", "comm_trace", "tracer", "has_sanitizer",
         "watchdog_interval", "recorder", "heartbeat_interval",
+        "respawn_info",
     )
 
     def __init__(self, context) -> None:
@@ -132,6 +133,13 @@ class WorkerConfig:
             self.heartbeat_interval = 0.5
         else:
             self.heartbeat_interval = None
+        # Populated by a transport respawner for a replacement worker:
+        # {"incarnation", "crash_fired", "revoked_below",
+        # "revoke_reason"}.  Tells the worker which incarnation it is
+        # (so the fault injector counts its operations from zero) and
+        # seeds its local revocation threshold, because the replacement
+        # missed the out-of-band revoke push the survivors received.
+        self.respawn_info = None
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +263,21 @@ class WorkerContext:
         self.abort_reason: str | None = None
         self.revoked_below = 0
         self.revoke_reason: str | None = None
+        # Observed threshold for entry-point checks: ``revoked_below``
+        # is pushed asynchronously by master OOB messages, so gating
+        # ops on it directly would interrupt this worker at a
+        # timing-dependent op.  ``revoked_seen`` advances only at
+        # deterministic points — a blocking wait that raised, our own
+        # revoke(), or the respawn seed below.
+        self.revoked_seen = 0
+        info = getattr(cfg, "respawn_info", None)
+        if info is not None:
+            # A replacement joins a world whose current epoch is already
+            # revoked; without this seed its first operation would try a
+            # real exchange on the poisoned world communicator.
+            self.revoked_below = info.get("revoked_below", 0)
+            self.revoke_reason = info.get("revoke_reason")
+            self.revoked_seen = self.revoked_below
         self._channel = channel
         self._pump = pump
         self._proxies: dict = {}
@@ -281,6 +304,13 @@ class WorkerContext:
                 f"communicator {comm_id} was revoked: "
                 f"{self.revoke_reason or 'rank failure'}"
             )
+
+    def revocation_seen(self, world_rank: int) -> int:
+        return self.revoked_seen
+
+    def note_revocation_seen(self, world_rank: int) -> None:
+        if self.revoked_below > self.revoked_seen:
+            self.revoked_seen = self.revoked_below
 
     @property
     def fault_poll_interval(self) -> float | None:
@@ -324,6 +354,10 @@ class WorkerContext:
         )
         return new_id, list(ordered_old)
 
+    def replace_rendezvous(self, world_rank: int) -> tuple:
+        new_id, round_no = self._channel.call("replace", world_rank)
+        return new_id, round_no
+
     def rank_status(self, world_rank: int) -> str:
         return self._channel.call("rank_status", world_rank)
 
@@ -341,11 +375,15 @@ class WorkerContext:
         self.abort_event.set()
         self._channel.call("abort", reason)
 
-    def revoke_current(self, reason: str) -> None:
-        threshold, why = self._channel.call("revoke_current", reason)
+    def revoke_current(self, reason: str,
+                       world_rank: int | None = None) -> None:
+        threshold, why = self._channel.call("revoke_current", reason,
+                                            world_rank)
         if threshold > self.revoked_below:
             self.revoked_below = threshold
             self.revoke_reason = why
+        # The revoking worker has observed its own revocation.
+        self.revoked_seen = self.revoked_below
 
     def store_put(self, holder: int, key, value) -> None:
         self._channel.call("store_put", holder, key, value)
@@ -490,6 +528,16 @@ def run_worker(cfg: WorkerConfig, rank: int, fn, args, kwargs,
 
     ctx = WorkerContext(cfg, channel, pump)
     channel.state = ctx
+    info = getattr(cfg, "respawn_info", None)
+    if info is not None and cfg.faults is not None:
+        # Fresh incarnation: operations count from zero so crash-rule
+        # calibration means the same thing for every incarnation, and
+        # the fire count is pinned from the master (this process's
+        # injector copy never saw the previous incarnation's crash).
+        cfg.faults.note_respawn(
+            rank, incarnation=info["incarnation"],
+            fired=info.get("crash_fired"),
+        )
 
     heartbeat = None
     if cfg.heartbeat_interval is not None:
@@ -613,6 +661,11 @@ class WorldServerMixin:
             with self._members_lock:
                 self._comm_members[new_id] = [members[i] for i in ordered_old]
             return (new_id, ordered_old)
+        if method == "replace":
+            new_id, round_no = context.replace_rendezvous(args[0])
+            with self._members_lock:
+                self._comm_members[new_id] = list(range(context.world_size))
+            return (new_id, round_no)
         if method == "check_collective":
             comm_id, seq, world_rank, op, signature, comm_size = args
             context.sanitizer.check_collective(
@@ -631,7 +684,8 @@ class WorldServerMixin:
             context.abort(args[0])
             return None
         if method == "revoke_current":
-            context.revoke_current(args[0])
+            context.revoke_current(args[0],
+                                   args[1] if len(args) > 1 else None)
             return (context.revoked_below, context.revoke_reason)
         if method == "store_put":
             holder, key, value = args
@@ -668,9 +722,18 @@ class WorldServerMixin:
         src_world = members[source] if members is not None else source
 
         def poll() -> None:
-            if comm_id < context.revoked_below:
-                context.check_revoked(comm_id)
             status = context.rank_status(src_world)
+            # Mirror of the threads-backend poll: on a revoked epoch,
+            # raise only once the awaited message can never arrive
+            # (partner dead, finalized, or recovering), so the worker's
+            # interrupt point is program-determined and fault traces
+            # replay identically.
+            if (comm_id < context.revoked_below
+                    and not box.has(source, tag)
+                    and (status != "running"
+                         or context.is_recovering(src_world))):
+                context.note_revocation_seen(me)
+                context.check_revoked(comm_id)
             if status != "running" and not box.has(source, tag):
                 if san is not None:
                     diag = san.describe_failed_partner(

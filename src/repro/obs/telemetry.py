@@ -100,17 +100,25 @@ class TelemetryHub:
                 }
             except Exception:
                 comm_ranks = {}
+        incarnations = getattr(context, "rank_incarnations", None)
         for rank in range(context.world_size):
             entry: Dict[str, Any] = {
                 "status": context.rank_status(rank),
                 "heartbeat_age_s": ages.get(rank),
             }
+            if incarnations is not None:
+                entry["incarnation"] = int(incarnations[rank])
             if recorder is not None:
                 entry["events_recorded"] = recorder.recorded(rank)
                 entry["open_spans"] = recorder.open_spans(rank)
             if rank in comm_ranks:
                 entry["comm"] = comm_ranks[rank]
             per_rank[str(rank)] = entry
+        recovery_events = getattr(context, "recovery_events", None)
+        try:
+            recovery = recovery_events() if callable(recovery_events) else []
+        except Exception:
+            recovery = []
         snap: Dict[str, Any] = {
             "attached": True,
             "time_unix": now,
@@ -120,6 +128,7 @@ class TelemetryHub:
             "aborted": context.abort_event.is_set(),
             "abort_reason": context.abort_reason,
             "failed_ranks": context.failed_ranks(),
+            "recoveries": len(recovery),
             "ranks": per_rank,
         }
         if comm_trace is not None:
@@ -143,6 +152,8 @@ class TelemetryHub:
             f"world={snap.get('world_size')}  "
             f"uptime={snap.get('uptime_s', 0.0):.1f}s"
         )
+        if snap.get("recoveries"):
+            header += f"  recoveries={snap['recoveries']}"
         if snap.get("aborted"):
             header += f"  ABORTED: {snap.get('abort_reason')}"
         rows = []
@@ -151,10 +162,12 @@ class TelemetryHub:
             age = entry.get("heartbeat_age_s")
             comm = entry.get("comm", {})
             spans = entry.get("open_spans") or []
+            incarnation = entry.get("incarnation", 0)
             rows.append(
                 [
                     rank_key,
                     entry.get("status", "?"),
+                    str(incarnation + 1) if incarnation else "1",
                     "-" if age is None else f"{age:.2f}s",
                     str(entry.get("events_recorded", "-")),
                     str(comm.get("sent_messages", "-")),
@@ -164,7 +177,8 @@ class TelemetryHub:
                 ]
             )
         table = format_table(
-            ["rank", "status", "hb age", "events", "sent", "sent B", "recvd", "where"],
+            ["rank", "status", "inc", "hb age", "events", "sent", "sent B",
+             "recvd", "where"],
             rows,
         )
         return header + "\n" + table
